@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Headline result (Sections 1 and 5): on a CMP running heterogeneous
+ * workloads, VPC improves throughput over the FCFS baseline by
+ * eliminating negative interference -- the paper reports +14% on the
+ * harmonic mean of normalized IPCs and +25% on the minimum normalized
+ * IPC.
+ *
+ * Runs a set of heterogeneous 4-benchmark SPEC mixes under FCFS and
+ * under VPC with equal shares (phi_i = beta_i = 0.25); each thread's
+ * IPC is normalized to its target IPC on the equivalently provisioned
+ * private machine (phi = beta = 0.25).
+ */
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/cmp_system.hh"
+#include "system/experiment.hh"
+#include "system/table_printer.hh"
+#include "workload/spec2000.hh"
+
+using namespace vpc;
+
+namespace
+{
+
+constexpr Cycle kWarmup = 80'000;
+constexpr Cycle kMeasure = 200'000;
+
+using Mix = std::array<std::string, 4>;
+
+std::vector<double>
+runMix(const Mix &mix, ArbiterPolicy policy)
+{
+    SystemConfig cfg = makeBaselineConfig(4, policy);
+    std::vector<std::unique_ptr<Workload>> wl;
+    for (unsigned t = 0; t < 4; ++t)
+        wl.push_back(makeSpec2000(mix[t], (1ull << 40) * t, t + 1));
+    CmpSystem sys(cfg, std::move(wl));
+    return sys.runAndMeasure(kWarmup, kMeasure).ipc;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Heterogeneous mixes.  The paper's throughput claim concerns the
+    // contended regime ("on a four thread workload, the cache
+    // approaches full utilization"), so the mixes are weighted toward
+    // the aggressive top of Figure 6, with moderate and meek partners
+    // mixed in.
+    const std::vector<Mix> mixes = {
+        {"art", "vpr", "mesa", "crafty"},
+        {"art", "mesa", "gap", "gcc"},
+        {"vpr", "crafty", "gzip", "twolf"},
+        {"art", "vpr", "gap", "apsi"},
+        {"mesa", "crafty", "gcc", "gzip"},
+        {"art", "crafty", "twolf", "bzip2"},
+        {"vpr", "mesa", "apsi", "wupwise"},
+        {"art", "gap", "gcc", "mgrid"},
+        {"art", "mcf", "equake", "swim"},
+        {"crafty", "gzip", "ammp", "sixtrack"},
+    };
+
+    SystemConfig base = makeBaselineConfig(4, ArbiterPolicy::Vpc);
+    RunLengths lens{kWarmup, kMeasure};
+
+    TablePrinter t("Headline: heterogeneous 4-thread mixes, FCFS vs "
+                   "VPC (normalized IPC vs the phi=beta=.25 private "
+                   "target)",
+                   {"Mix", "HM FCFS", "HM VPC", "Min FCFS", "Min VPC"},
+                   12);
+
+    double hm_fcfs_sum = 0.0, hm_vpc_sum = 0.0;
+    double min_fcfs_sum = 0.0, min_vpc_sum = 0.0;
+    for (const Mix &mix : mixes) {
+        std::vector<double> targets;
+        for (unsigned i = 0; i < 4; ++i) {
+            auto wl = makeSpec2000(mix[i], (1ull << 40) * i, i + 1);
+            targets.push_back(targetIpc(base, *wl, 0.25, 0.25, lens));
+        }
+        std::vector<double> fcfs = runMix(mix, ArbiterPolicy::Fcfs);
+        std::vector<double> vpc = runMix(mix, ArbiterPolicy::Vpc);
+        std::vector<double> nf, nv;
+        for (unsigned i = 0; i < 4; ++i) {
+            double tgt = targets[i] > 0 ? targets[i] : 1e-9;
+            nf.push_back(fcfs[i] / tgt);
+            nv.push_back(vpc[i] / tgt);
+        }
+        double hm_f = harmonicMean(nf), hm_v = harmonicMean(nv);
+        double mn_f = minimum(nf), mn_v = minimum(nv);
+        hm_fcfs_sum += hm_f;
+        hm_vpc_sum += hm_v;
+        min_fcfs_sum += mn_f;
+        min_vpc_sum += mn_v;
+        t.row({mix[0] + "+" + mix[1] + "+" + mix[2] + "+" + mix[3],
+               TablePrinter::num(hm_f), TablePrinter::num(hm_v),
+               TablePrinter::num(mn_f), TablePrinter::num(mn_v)});
+    }
+    t.rule();
+    double n = static_cast<double>(mixes.size());
+    double hm_gain = (hm_vpc_sum - hm_fcfs_sum) / hm_fcfs_sum * 100.0;
+    double min_gain =
+        (min_vpc_sum - min_fcfs_sum) / min_fcfs_sum * 100.0;
+    t.row({"average", TablePrinter::num(hm_fcfs_sum / n),
+           TablePrinter::num(hm_vpc_sum / n),
+           TablePrinter::num(min_fcfs_sum / n),
+           TablePrinter::num(min_vpc_sum / n)});
+    t.rule();
+    std::printf("VPC vs FCFS: harmonic-mean normalized IPC %+.1f%% "
+                "(paper: +14%%), minimum normalized IPC %+.1f%% "
+                "(paper: +25%%)\n", hm_gain, min_gain);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot paths: the
+ * arbiter decision loops.  These bound the simulator's own throughput
+ * (grants per second), not the modeled machine's performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arbiter/fcfs_arbiter.hh"
+#include "arbiter/row_fcfs_arbiter.hh"
+#include "arbiter/vpc_arbiter.hh"
+
+namespace
+{
+
+using namespace vpc;
+
+ArbRequest
+makeReq(ThreadId t, SeqNum seq, bool write)
+{
+    ArbRequest r;
+    r.thread = t;
+    r.seq = seq;
+    r.isWrite = write;
+    r.lineAddr = 0x40 * (seq % 64);
+    return r;
+}
+
+template <typename ArbT>
+void
+pump(ArbT &arb, benchmark::State &state, unsigned threads)
+{
+    SeqNum seq = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        for (ThreadId t = 0; t < threads; ++t) {
+            while (arb.pendingCount(t) < 4)
+                arb.enqueue(makeReq(t, seq, seq % 3 == 0), now);
+            ++seq;
+        }
+        auto r = arb.select(now);
+        benchmark::DoNotOptimize(r);
+        now += 8;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_FcfsArbiter(benchmark::State &state)
+{
+    unsigned threads = static_cast<unsigned>(state.range(0));
+    FcfsArbiter arb(threads);
+    pump(arb, state, threads);
+}
+BENCHMARK(BM_FcfsArbiter)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_RowFcfsArbiter(benchmark::State &state)
+{
+    unsigned threads = static_cast<unsigned>(state.range(0));
+    RowFcfsArbiter arb(threads);
+    pump(arb, state, threads);
+}
+BENCHMARK(BM_RowFcfsArbiter)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_VpcArbiter(benchmark::State &state)
+{
+    unsigned threads = static_cast<unsigned>(state.range(0));
+    std::vector<double> shares(threads, 1.0 / threads);
+    VpcArbiter arb(threads, 8, 2, shares);
+    pump(arb, state, threads);
+}
+BENCHMARK(BM_VpcArbiter)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_VpcArbiterNoReorder(benchmark::State &state)
+{
+    unsigned threads = static_cast<unsigned>(state.range(0));
+    std::vector<double> shares(threads, 1.0 / threads);
+    VpcArbiterOptions opts;
+    opts.intraThreadRow = false;
+    VpcArbiter arb(threads, 8, 2, shares, opts);
+    pump(arb, state, threads);
+}
+BENCHMARK(BM_VpcArbiterNoReorder)->Arg(4);
+
+} // namespace

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of whole-simulator throughput:
+ * simulated cycles per second of host time for representative
+ * configurations.  Useful when sizing experiment sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "system/cmp_system.hh"
+#include "system/experiment.hh"
+#include "workload/microbench.hh"
+#include "workload/spec2000.hh"
+
+namespace
+{
+
+using namespace vpc;
+
+void
+BM_SimulateLoadsStores(benchmark::State &state)
+{
+    auto policy = static_cast<ArbiterPolicy>(state.range(0));
+    SystemConfig cfg = makeBaselineConfig(2, policy);
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    wl.push_back(std::make_unique<StoresBenchmark>(1ull << 32));
+    CmpSystem sys(cfg, std::move(wl));
+    for (auto _ : state)
+        sys.run(1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000);
+    state.SetLabel("simulated cycles");
+}
+BENCHMARK(BM_SimulateLoadsStores)
+    ->Arg(static_cast<int>(ArbiterPolicy::Fcfs))
+    ->Arg(static_cast<int>(ArbiterPolicy::Vpc));
+
+void
+BM_SimulateFourThreadSpec(benchmark::State &state)
+{
+    SystemConfig cfg = makeBaselineConfig(4, ArbiterPolicy::Vpc);
+    std::vector<std::unique_ptr<Workload>> wl;
+    const char *mix[] = {"art", "mcf", "gzip", "sixtrack"};
+    for (unsigned t = 0; t < 4; ++t)
+        wl.push_back(makeSpec2000(mix[t], (1ull << 40) * t, t + 1));
+    CmpSystem sys(cfg, std::move(wl));
+    for (auto _ : state)
+        sys.run(1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000);
+    state.SetLabel("simulated cycles");
+}
+BENCHMARK(BM_SimulateFourThreadSpec);
+
+void
+BM_SimulateSharedMemoryChannel(benchmark::State &state)
+{
+    SystemConfig cfg = makeBaselineConfig(4, ArbiterPolicy::Vpc);
+    cfg.mem.sharedChannel = true;
+    cfg.mem.schedulerPolicy = ArbiterPolicy::Vpc;
+    std::vector<std::unique_ptr<Workload>> wl;
+    for (unsigned t = 0; t < 4; ++t)
+        wl.push_back(makeSpec2000("swim", (1ull << 40) * t, t + 1));
+    CmpSystem sys(cfg, std::move(wl));
+    for (auto _ : state)
+        sys.run(1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000);
+    state.SetLabel("simulated cycles");
+}
+BENCHMARK(BM_SimulateSharedMemoryChannel);
+
+} // namespace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 1: the 2 GHz CMP system configuration.  Prints the simulated
+ * machine's parameters (the SystemConfig defaults) in the paper's
+ * format so they can be checked against the original table.
+ */
+
+#include "sim/config.hh"
+#include "system/table_printer.hh"
+
+using namespace vpc;
+
+int
+main()
+{
+    SystemConfig cfg;
+    cfg.validate();
+
+    TablePrinter t("Table 1: 2 GHz CMP system configuration "
+                   "(latencies in processor cycles)",
+                   {"Parameter", "Value"}, 44);
+    t.row({"Processors",
+           std::to_string(cfg.numProcessors) + " processors"});
+    t.row({"Dispatch group",
+           std::to_string(cfg.core.dispatchWidth) +
+           " instructions per dispatch group"});
+    t.row({"Reorder buffer",
+           std::to_string(cfg.core.robEntries / cfg.core.dispatchWidth)
+           + " dispatch groups (" +
+           std::to_string(cfg.core.robEntries) + " entries)"});
+    t.row({"Load / store queues",
+           std::to_string(cfg.core.loadQueueEntries) +
+           " entry load reorder queue, " +
+           std::to_string(cfg.core.storeQueueEntries) +
+           " entry store reorder queue"});
+    t.row({"LSU ports", std::to_string(cfg.core.lsuPorts)});
+    t.row({"D-Cache",
+           std::to_string(cfg.l1.sizeBytes / 1024) + "KB private, " +
+           std::to_string(cfg.l1.ways) + "-ways, " +
+           std::to_string(cfg.l1.lineBytes) + " byte lines, " +
+           std::to_string(cfg.l1.hitLatency) + " cycle latency, " +
+           std::to_string(cfg.l1.mshrs) + " MSHRs"});
+    t.row({"L1-to-L2 interconnect",
+           "1/2 core frequency, " +
+           std::to_string(cfg.l2.interconnectLatency) +
+           " cycle latency, " + std::to_string(cfg.l2.busBytes) +
+           " byte data bus per bank"});
+    t.row({"L2 store gathering buffer",
+           std::to_string(cfg.l2.sgbEntriesPerThread) +
+           " entries per thread, read bypassing, retire-at-" +
+           std::to_string(cfg.l2.sgbHighWater) +
+           " policy, partial-flush on read conflict"});
+    t.row({"L2 cache",
+           "1/2 core frequency, " + std::to_string(cfg.l2.banks) +
+           " banks, " +
+           std::to_string(cfg.l2.sizeBytes / (1024 * 1024)) + "MB, " +
+           std::to_string(cfg.l2.ways) + "-ways, " +
+           std::to_string(cfg.l2.lineBytes) + " byte lines, " +
+           std::to_string(cfg.l2.stateMachinesPerThread) +
+           " controller state machines per thread, " +
+           std::to_string(cfg.l2.tagLatency) +
+           " cycle tag array latency, " +
+           std::to_string(cfg.l2.dataLatency) +
+           " cycle data array latency"});
+    t.row({"Memory controller",
+           std::to_string(cfg.mem.transactionEntries) +
+           " transaction buffer entries per thread, " +
+           std::to_string(cfg.mem.writeEntries) +
+           " write buffer entries per thread, closed page policy"});
+    t.row({"SDRAM channels", "1 channel per thread"});
+    t.row({"SDRAM ranks",
+           std::to_string(cfg.mem.ranksPerChannel) +
+           " ranks per channel"});
+    t.row({"SDRAM banks",
+           std::to_string(cfg.mem.banksPerRank) + " banks per rank"});
+    t.rule();
+    return 0;
+}

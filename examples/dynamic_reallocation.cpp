@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Dynamic reallocation demo: system software reprograms the VPC
+ * control registers while threads run.
+ *
+ * The paper's VPM framework exists precisely so software can manage
+ * microarchitecture resources: "VPMs provide system software with a
+ * useful abstraction for maintaining control over shared
+ * microarchitecture resources."  This example runs two phases:
+ *
+ *   phase 1: thread 0 is the priority task (phi = 0.75);
+ *   phase 2: software flips the allocation (thread 1 gets 0.75)
+ *            by writing the VPC control registers mid-run.
+ *
+ * The measured IPCs track the allocation in each phase -- no drain,
+ * flush, or restart is needed, because the fair-queuing state adapts
+ * within one virtual service time and capacity redistributes through
+ * normal replacements.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cache/vpc_controller.hh"
+#include "system/cmp_system.hh"
+#include "workload/microbench.hh"
+
+int
+main()
+{
+    using namespace vpc;
+
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.arbiterPolicy = ArbiterPolicy::Vpc;
+    // Initial allocation: thread 0 priority.
+    cfg.shares = {QosShare{0.75, 0.5}, QosShare{0.25, 0.5}};
+
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    wl.push_back(std::make_unique<LoadsBenchmark>(1ull << 32));
+    CmpSystem system(cfg, std::move(wl));
+
+    // The software-visible control registers.
+    VpcController ctrl(system.l2(), 2);
+
+    auto report = [&system](const char *phase,
+                            const SystemSnapshot &a,
+                            const SystemSnapshot &b) {
+        IntervalStats s = CmpSystem::interval(a, b);
+        std::printf("%s  thread0 IPC %.3f   thread1 IPC %.3f\n",
+                    phase, s.ipc[0], s.ipc[1]);
+    };
+
+    system.run(50'000); // warm up
+    SystemSnapshot p1_start = system.snapshot();
+    system.run(150'000);
+    SystemSnapshot p1_end = system.snapshot();
+    report("phase 1 (phi = .75/.25):", p1_start, p1_end);
+
+    // Software flips the priority.  Shrink the big allocation first
+    // so the controller never sees an over-allocated intermediate
+    // state.
+    bool ok = ctrl.writeRegister(
+                  0, VpcConfigRegister::uniform(0.25, 0.5)) &&
+              ctrl.writeRegister(
+                  1, VpcConfigRegister::uniform(0.75, 0.5));
+    std::printf("register rewrite %s\n", ok ? "accepted" : "REJECTED");
+
+    system.run(10'000); // let the pipeline adapt
+    SystemSnapshot p2_start = system.snapshot();
+    system.run(150'000);
+    SystemSnapshot p2_end = system.snapshot();
+    report("phase 2 (phi = .25/.75):", p2_start, p2_end);
+
+    std::printf("\nThe IPC ratio tracks the programmed allocation in "
+                "both phases;\nreconfiguration cost is one virtual "
+                "service time, not a cache flush.\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: build a 2-processor CMP with Virtual Private Caches,
+ * give one thread 75% of the shared L2 bandwidth, run the Table 2
+ * microbenchmarks, and print per-thread performance.
+ *
+ * This is the smallest complete use of the public API:
+ *   1. describe the machine with SystemConfig (Table 1 defaults);
+ *   2. pick the arbiter policy and per-thread QoS shares;
+ *   3. attach one Workload per processor;
+ *   4. run and read IntervalStats.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "system/cmp_system.hh"
+#include "workload/microbench.hh"
+
+int
+main()
+{
+    using namespace vpc;
+
+    // 1. Machine description: 2 processors, everything else is the
+    //    paper's Table 1 configuration.
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+
+    // 2. QoS policy: VPC arbiters on the tag array, data array and
+    //    data bus; thread 0 is guaranteed 75% of each bandwidth and
+    //    half the cache ways, thread 1 gets the remaining 25%.
+    cfg.arbiterPolicy = ArbiterPolicy::Vpc;
+    cfg.capacityPolicy = CapacityPolicy::Vpc;
+    cfg.shares = {QosShare{0.75, 0.5}, QosShare{0.25, 0.5}};
+
+    // 3. One workload per processor: thread 0 streams loads through
+    //    the L2, thread 1 floods it with stores (Table 2).
+    std::vector<std::unique_ptr<Workload>> workloads;
+    workloads.push_back(std::make_unique<LoadsBenchmark>(0));
+    workloads.push_back(std::make_unique<StoresBenchmark>(1ull << 32));
+
+    // 4. Build, warm up, measure.
+    CmpSystem system(cfg, std::move(workloads));
+    IntervalStats stats = system.runAndMeasure(/*warmup=*/50'000,
+                                               /*measure=*/200'000);
+
+    std::printf("Virtual Private Caches quickstart (2-core CMP)\n");
+    std::printf("  thread 0 (Loads,  phi=0.75): IPC %.3f\n",
+                stats.ipc[0]);
+    std::printf("  thread 1 (Stores, phi=0.25): IPC %.3f\n",
+                stats.ipc[1]);
+    std::printf("  shared L2 data-array utilization: %.1f%%\n",
+                stats.dataUtil * 100.0);
+    std::printf("\nDespite the store flood, thread 0 keeps its "
+                "allocated bandwidth;\nswap the policy to "
+                "ArbiterPolicy::RowFcfs to watch thread 1 starve.\n");
+    return 0;
+}

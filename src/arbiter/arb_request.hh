@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The unit of arbitration for shared L2 cache resources.
+ *
+ * An ArbRequest is a lightweight handle: the paper's implementation
+ * stores only a request ID per buffer entry (a reference to a cache
+ * controller state machine).  We carry the few fields the arbitration
+ * policies themselves need (thread, read/write, arrival order, line
+ * address for dependence-aware reordering) plus the opaque @c id the
+ * resource owner uses to resume the state machine.
+ */
+
+#ifndef VPC_ARBITER_ARB_REQUEST_HH
+#define VPC_ARBITER_ARB_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** A request waiting for a shared resource. */
+struct ArbRequest
+{
+    /** Opaque handle for the owner (controller state machine index). */
+    std::uint32_t id = 0;
+    /** Requesting hardware thread. */
+    ThreadId thread = 0;
+    /** Write requests occupy the data array for two accesses (ECC). */
+    bool isWrite = false;
+    /** Cycle the request entered arbitration. */
+    Cycle arrival = 0;
+    /** Global arrival sequence number; total order for FCFS. */
+    SeqNum seq = 0;
+    /** Line address, used for dependence checks during reordering. */
+    Addr lineAddr = 0;
+    /**
+     * Prefetch-generated request: serviced behind the same thread's
+     * demand reads by reorder-capable arbiters.
+     */
+    bool isPrefetch = false;
+};
+
+} // namespace vpc
+
+#endif // VPC_ARBITER_ARB_REQUEST_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Construction of arbiters from a SystemConfig policy selection.
+ */
+
+#ifndef VPC_ARBITER_ARBITER_FACTORY_HH
+#define VPC_ARBITER_ARBITER_FACTORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "arbiter/arbiter.hh"
+#include "arbiter/vpc_arbiter.hh"
+#include "sim/config.hh"
+
+namespace vpc
+{
+
+/**
+ * Build an arbiter for one shared resource.
+ *
+ * @param policy which policy to instantiate
+ * @param num_threads threads sharing the resource
+ * @param read_latency resource occupancy of a read, in cycles (used by
+ *        the VPC arbiter's virtual service times)
+ * @param write_multiplier accesses per write (2 for the data array)
+ * @param shares per-thread phi_i; ignored by share-less policies
+ * @param opts VPC ablation switches
+ * @return a newly constructed arbiter
+ */
+std::unique_ptr<Arbiter>
+makeArbiter(ArbiterPolicy policy, unsigned num_threads,
+            Cycle read_latency, unsigned write_multiplier,
+            const std::vector<double> &shares,
+            const VpcArbiterOptions &opts = {});
+
+/** @return a short display name for @p policy. */
+const char *arbiterPolicyName(ArbiterPolicy policy);
+
+} // namespace vpc
+
+#endif // VPC_ARBITER_ARBITER_FACTORY_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Round-robin arbiter.
+ *
+ * Used by the baseline cache controller to select which thread's request
+ * (after store gathering) is admitted into the controller pipeline next
+ * (Section 3.1).  Rotates a priority pointer one past the last granted
+ * thread, FIFO within each thread.
+ */
+
+#ifndef VPC_ARBITER_ROUND_ROBIN_ARBITER_HH
+#define VPC_ARBITER_ROUND_ROBIN_ARBITER_HH
+
+#include <deque>
+
+#include "arbiter/arbiter.hh"
+
+namespace vpc
+{
+
+/** Grants one request per thread in rotating order. */
+class RoundRobinArbiter : public Arbiter
+{
+  public:
+    explicit RoundRobinArbiter(unsigned num_threads);
+
+    void enqueue(const ArbRequest &req, Cycle now) override;
+    std::optional<ArbRequest> select(Cycle now) override;
+    bool hasPending() const override;
+    std::size_t pendingCount() const override;
+    std::size_t pendingCount(ThreadId t) const override;
+    std::string name() const override { return "RoundRobin"; }
+
+  private:
+    std::vector<std::deque<ArbRequest>> queues;
+    ThreadId nextThread = 0;
+    std::size_t total = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_ARBITER_ROUND_ROBIN_ARBITER_HH

@@ -1,0 +1,82 @@
+#include "arbiter/row_fcfs_arbiter.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+RowFcfsArbiter::RowFcfsArbiter(unsigned num_threads)
+    : Arbiter(num_threads), perThread(num_threads, 0)
+{}
+
+void
+RowFcfsArbiter::enqueue(const ArbRequest &req, Cycle now)
+{
+    (void)now;
+    if (req.thread >= numThreads())
+        vpc_panic("RoW-FCFS enqueue from invalid thread {}", req.thread);
+    queue.push_back(req);
+    ++perThread[req.thread];
+}
+
+std::optional<ArbRequest>
+RowFcfsArbiter::select(Cycle now)
+{
+    if (queue.empty())
+        return std::nullopt;
+
+    // Oldest demand read, then oldest prefetch read, that does not
+    // bypass an older same-line write; else the oldest request.
+    auto blocked = [this](std::deque<ArbRequest>::iterator it) {
+        for (auto older = queue.begin(); older != it; ++older) {
+            if (older->isWrite && older->lineAddr == it->lineAddr)
+                return true;
+        }
+        return false;
+    };
+    auto chosen = queue.end();
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (!it->isWrite && !it->isPrefetch && !blocked(it)) {
+            chosen = it;
+            break;
+        }
+    }
+    if (chosen == queue.end()) {
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (!it->isWrite && !blocked(it)) {
+                chosen = it;
+                break;
+            }
+        }
+    }
+    if (chosen == queue.end())
+        chosen = queue.begin();
+
+    ArbRequest req = *chosen;
+    queue.erase(chosen);
+    --perThread[req.thread];
+    recordGrant(req, now);
+    return req;
+}
+
+bool
+RowFcfsArbiter::hasPending() const
+{
+    return !queue.empty();
+}
+
+std::size_t
+RowFcfsArbiter::pendingCount() const
+{
+    return queue.size();
+}
+
+std::size_t
+RowFcfsArbiter::pendingCount(ThreadId t) const
+{
+    return perThread.at(t);
+}
+
+} // namespace vpc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Read-over-Write, First-Come First-Serve arbiter.
+ *
+ * The uniprocessor (private cache) baseline policy: among pending
+ * requests, reads are always granted before writes; ties broken by
+ * arrival order.  Effective for a single thread, but in a multithreaded
+ * cache a thread issuing a continuous load stream starves every other
+ * thread's stores indefinitely (Section 3.1 / Figure 8 of the paper) --
+ * the motivating design flaw for the VPC arbiter.
+ *
+ * A read may not bypass an older write to the same line address
+ * (dependence), mirroring the consistency checks performed before
+ * requests enter arbitration in the baseline microarchitecture.
+ */
+
+#ifndef VPC_ARBITER_ROW_FCFS_ARBITER_HH
+#define VPC_ARBITER_ROW_FCFS_ARBITER_HH
+
+#include <deque>
+
+#include "arbiter/arbiter.hh"
+
+namespace vpc
+{
+
+/** Grants reads before writes, FCFS within each class. */
+class RowFcfsArbiter : public Arbiter
+{
+  public:
+    explicit RowFcfsArbiter(unsigned num_threads);
+
+    void enqueue(const ArbRequest &req, Cycle now) override;
+    std::optional<ArbRequest> select(Cycle now) override;
+    bool hasPending() const override;
+    std::size_t pendingCount() const override;
+    std::size_t pendingCount(ThreadId t) const override;
+    std::string name() const override { return "RoW-FCFS"; }
+
+  private:
+    std::deque<ArbRequest> queue;
+    std::vector<std::size_t> perThread;
+};
+
+} // namespace vpc
+
+#endif // VPC_ARBITER_ROW_FCFS_ARBITER_HH

@@ -1,0 +1,46 @@
+#include "arbiter/shared_resource.hh"
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+SharedResource::SharedResource(std::string name,
+                               std::unique_ptr<Arbiter> arbiter,
+                               Cycle read_latency,
+                               unsigned write_accesses)
+    : name_(std::move(name)), arb(std::move(arbiter)),
+      readLatency(read_latency), writeAccesses(write_accesses)
+{
+    if (!arb)
+        vpc_panic("SharedResource {} constructed without arbiter",
+                  name_);
+    if (readLatency == 0 || writeAccesses == 0)
+        vpc_fatal("SharedResource {}: zero latency/accesses", name_);
+}
+
+void
+SharedResource::request(const ArbRequest &req, Cycle now)
+{
+    arb->enqueue(req, now);
+}
+
+void
+SharedResource::tick(Cycle now)
+{
+    if (busy(now) || !arb->hasPending())
+        return;
+    std::optional<ArbRequest> granted = arb->select(now);
+    if (!granted)
+        return; // non-work-conserving arbiter with no eligible thread
+    Cycle occ = occupancy(*granted);
+    freeAt = now + occ;
+    util_.addBusy(occ);
+    accesses.inc();
+    if (onGrant)
+        onGrant(*granted, now, freeAt);
+    if (onGrantTap)
+        onGrantTap(*granted, now, freeAt);
+}
+
+} // namespace vpc

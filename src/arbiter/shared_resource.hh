@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A non-preemptible timed resource guarded by an arbiter.
+ *
+ * Models the tag array, data array and data bus of an L2 cache bank:
+ * each access occupies the resource for a fixed number of cycles
+ * (bandwidth = 1 / latency, as in the paper), writes may occupy it for
+ * multiple back-to-back accesses (the data array's ECC read-modify-
+ * write), and whenever the resource is idle the attached arbiter picks
+ * the next request.  Because the resource is non-preemptible, a newly
+ * arrived request can be delayed by at most one maximum service time --
+ * the preemption latency the paper's Section 4.1.2 analyses.
+ */
+
+#ifndef VPC_ARBITER_SHARED_RESOURCE_HH
+#define VPC_ARBITER_SHARED_RESOURCE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "arbiter/arbiter.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** An arbitrated, occupancy-modeled hardware resource. */
+class SharedResource
+{
+  public:
+    /**
+     * Called when a request is granted the resource.
+     *
+     * @param req the granted request
+     * @param start cycle service begins
+     * @param done cycle service completes (resource free again)
+     */
+    using GrantHandler =
+        std::function<void(const ArbRequest &req, Cycle start,
+                           Cycle done)>;
+
+    /**
+     * @param name for stats / debugging
+     * @param arbiter selection policy; takes ownership
+     * @param read_latency occupancy of a read access, cycles
+     * @param write_accesses back-to-back accesses per write (>= 1)
+     */
+    SharedResource(std::string name, std::unique_ptr<Arbiter> arbiter,
+                   Cycle read_latency, unsigned write_accesses = 1);
+
+    /** Install the downstream grant handler. */
+    void setGrantHandler(GrantHandler h) { onGrant = std::move(h); }
+
+    /**
+     * Install an additional observe-only tap invoked after the grant
+     * handler; used by instrumentation (e.g. the Figure 4 bench).
+     */
+    void setGrantHandlerTap(GrantHandler h) { onGrantTap = std::move(h); }
+
+    /** Enter @p req into arbitration. */
+    void request(const ArbRequest &req, Cycle now);
+
+    /**
+     * Advance the resource one cycle: if idle and a request is
+     * eligible, grant it and invoke the grant handler.  Call once per
+     * core cycle.
+     */
+    void tick(Cycle now);
+
+    /** @return true if the resource is servicing a request at @p now. */
+    bool busy(Cycle now) const { return now < freeAt; }
+
+    /** @return occupancy of @p req in cycles. */
+    Cycle
+    occupancy(const ArbRequest &req) const
+    {
+        return req.isWrite ? readLatency * writeAccesses : readLatency;
+    }
+
+    /** @return the selection policy. */
+    Arbiter &arbiter() { return *arb; }
+    const Arbiter &arbiter() const { return *arb; }
+
+    /** @return busy-fraction statistics. */
+    const UtilizationStat &util() const { return util_; }
+
+    /** @return accesses granted so far. */
+    std::uint64_t accessCount() const { return accesses.value(); }
+
+    /** @return this resource's name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::unique_ptr<Arbiter> arb;
+    Cycle readLatency;
+    unsigned writeAccesses;
+    Cycle freeAt = 0;
+    GrantHandler onGrant;
+    GrantHandler onGrantTap;
+    UtilizationStat util_;
+    Counter accesses;
+};
+
+} // namespace vpc
+
+#endif // VPC_ARBITER_SHARED_RESOURCE_HH

@@ -1,0 +1,183 @@
+#include "arbiter/vpc_arbiter.hh"
+
+#include <limits>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+VpcArbiter::VpcArbiter(unsigned num_threads, Cycle service_latency,
+                       unsigned write_multiplier,
+                       const std::vector<double> &shares,
+                       const VpcArbiterOptions &opts)
+    : Arbiter(num_threads), threads(num_threads),
+      latency(service_latency), writeMult(write_multiplier),
+      options(opts)
+{
+    if (shares.size() != num_threads)
+        vpc_fatal("VpcArbiter: {} shares for {} threads",
+                  shares.size(), num_threads);
+    if (latency == 0)
+        vpc_fatal("VpcArbiter: resource latency must be > 0");
+    if (writeMult == 0)
+        vpc_fatal("VpcArbiter: write multiplier must be > 0");
+    double sum = 0.0;
+    for (unsigned t = 0; t < num_threads; ++t) {
+        sum += shares[t];
+        setShare(t, shares[t]);
+    }
+    if (sum > 1.0 + 1e-9)
+        vpc_fatal("VpcArbiter: resource over-allocated, sum(phi)={}",
+                  sum);
+}
+
+void
+VpcArbiter::setShare(ThreadId t, double phi)
+{
+    if (phi < 0.0 || phi > 1.0)
+        vpc_fatal("VpcArbiter: share {} out of [0,1]", phi);
+    ThreadState &ts = threads.at(t);
+    ts.phi = phi;
+    // R.L_i only needs recomputation when phi changes (Section 4.1.1).
+    ts.rl = phi > 0.0 ? static_cast<double>(latency) / phi : kInf;
+}
+
+void
+VpcArbiter::enqueue(const ArbRequest &req, Cycle now)
+{
+    if (req.thread >= numThreads())
+        vpc_panic("VPC enqueue from invalid thread {}", req.thread);
+    ThreadState &ts = threads[req.thread];
+    // Equation 6: an idle thread's virtual resource cannot be available
+    // before "now"; without this reset the thread would bank unbounded
+    // credit while idle and later starve others while repaying none.
+    // In virtual-clock mode "now" is the served-start-tag clock, which
+    // stays meaningful when the resource cannot deliver its nominal
+    // bandwidth (see VpcArbiterOptions::virtualClock).
+    double reset_floor = options.virtualClock
+        ? vclock : static_cast<double>(now);
+    if (options.idleReset && ts.buffer.empty() && ts.rs < reset_floor)
+        ts.rs = reset_floor;
+    ts.buffer.push_back(req);
+    ++total;
+}
+
+std::size_t
+VpcArbiter::candidateIndex(const std::deque<ArbRequest> &buf) const
+{
+    if (!options.intraThreadRow)
+        return 0;
+    // Intra-thread reordering (Section 4.1.1): demand reads first,
+    // then prefetch reads, then the oldest request -- a read may not
+    // bypass an older same-line write (dependence).
+    auto blocked = [&buf](std::size_t i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if (buf[j].isWrite && buf[j].lineAddr == buf[i].lineAddr)
+                return true;
+        }
+        return false;
+    };
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        if (!buf[i].isWrite && !buf[i].isPrefetch && !blocked(i))
+            return i;
+    }
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        if (!buf[i].isWrite && !blocked(i))
+            return i;
+    }
+    return 0;
+}
+
+double
+VpcArbiter::nextVirtualFinish(ThreadId t) const
+{
+    const ThreadState &ts = threads.at(t);
+    if (ts.buffer.empty())
+        return kInf;
+    std::size_t idx = candidateIndex(ts.buffer);
+    return ts.rs + virtualService(ts, ts.buffer[idx]);
+}
+
+std::optional<ArbRequest>
+VpcArbiter::select(Cycle now)
+{
+    if (total == 0)
+        return std::nullopt;
+
+    // Earliest virtual finish time first (EDF); ties broken by global
+    // arrival order so zero-share threads are FCFS among themselves.
+    bool found = false;
+    ThreadId best_t = 0;
+    std::size_t best_idx = 0;
+    double best_f = kInf;
+    SeqNum best_seq = 0;
+
+    for (ThreadId t = 0; t < numThreads(); ++t) {
+        ThreadState &ts = threads[t];
+        if (ts.buffer.empty())
+            continue;
+        if (!options.workConserving &&
+            ts.rs > static_cast<double>(now)) {
+            // Non-work-conserving ablation: the thread's virtual start
+            // time has not arrived yet; it is ineligible.
+            continue;
+        }
+        std::size_t idx = candidateIndex(ts.buffer);
+        double f = ts.rs + virtualService(ts, ts.buffer[idx]);
+        SeqNum seq = ts.buffer[idx].seq;
+        if (!found || f < best_f || (f == best_f && seq < best_seq)) {
+            found = true;
+            best_t = t;
+            best_idx = idx;
+            best_f = f;
+            best_seq = seq;
+        }
+    }
+    if (!found)
+        return std::nullopt;
+
+    ThreadState &ts = threads[best_t];
+    ArbRequest req = ts.buffer[best_idx];
+    ts.buffer.erase(ts.buffer.begin() +
+                    static_cast<std::ptrdiff_t>(best_idx));
+    --total;
+    // System virtual time = start tag of the request entering
+    // service (used by virtual-clock idle resets).
+    if (ts.rs > vclock)
+        vclock = ts.rs;
+    // Equation 5: advance the virtual resource past this service.
+    ts.rs = best_f;
+    VPC_DPRINTF(Arbiter, "[{}] grant t{} seq {} F={:.1f} rs->{:.1f}",
+                now, best_t, req.seq, best_f, ts.rs);
+    recordGrant(req, now);
+    return req;
+}
+
+bool
+VpcArbiter::hasPending() const
+{
+    return total != 0;
+}
+
+std::size_t
+VpcArbiter::pendingCount() const
+{
+    return total;
+}
+
+std::size_t
+VpcArbiter::pendingCount(ThreadId t) const
+{
+    return threads.at(t).buffer.size();
+}
+
+} // namespace vpc

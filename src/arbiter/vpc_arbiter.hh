@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The Virtual Private Cache arbiter (Section 4.1 of the paper).
+ *
+ * A strict fair-queuing arbiter: each thread i holds a share
+ * 0 <= phi_i <= 1 of the resource's bandwidth and a small buffer of
+ * pending request IDs.  The arbiter maintains, per thread,
+ *
+ *   R.L_i = L / phi_i      (virtual service time; L = resource latency)
+ *   R.S_i                  (virtual time thread i's virtual resource
+ *                           next becomes available)
+ *
+ * and a real-time clock R.clk.  On enqueue, Equation 6 conditionally
+ * resets an idle thread's virtual time:
+ *
+ *   [6]  if queue_i empty and R.S_i <= R.clk then R.S_i <- R.clk
+ *
+ * On selection the thread with the earliest virtual finish time
+ *
+ *   [3'] S_i^k = R.S_i
+ *   [4]  F_i^k = S_i^k + R.L_i        (2 * R.L_i for data-array writes)
+ *
+ * is granted (earliest deadline first), and
+ *
+ *   [5]  R.S_i <- F_i^k.
+ *
+ * Because R.S_i depends only on the amount of service consumed -- not on
+ * which specific request is chosen -- requests *within* a thread's buffer
+ * may be reordered (we implement Read-over-Write, subject to same-line
+ * dependences) without disturbing any thread's bandwidth guarantee.
+ *
+ * Fairness policy: excess bandwidth goes to the backlogged thread with
+ * the earliest virtual finish time, i.e. the thread that has received
+ * the least excess service in the past relative to its share.
+ *
+ * Threads with phi_i = 0 have infinite virtual service time and are only
+ * served from excess bandwidth (work conservation), in arrival order
+ * among themselves.
+ */
+
+#ifndef VPC_ARBITER_VPC_ARBITER_HH
+#define VPC_ARBITER_VPC_ARBITER_HH
+
+#include <deque>
+#include <vector>
+
+#include "arbiter/arbiter.hh"
+
+namespace vpc
+{
+
+/** Tunables for the VPC arbiter (ablation switches). */
+struct VpcArbiterOptions
+{
+    /** Reorder reads over writes inside each thread's buffer. */
+    bool intraThreadRow = true;
+    /** Apply Equation 6 on enqueue (reset idle virtual time). */
+    bool idleReset = true;
+    /**
+     * Distribute excess bandwidth (work-conserving).  When false a
+     * thread is eligible only once real time has caught up with its
+     * virtual start time, so unallocated bandwidth is wasted.
+     */
+    bool workConserving = true;
+    /**
+     * Reset idle threads against the arbiter's *virtual* clock (the
+     * start tag of the most recently granted request) instead of the
+     * wall clock (Equation 6).
+     *
+     * Strict wall-clock FQ assumes the allocations are feasible: the
+     * resource really can deliver sum(phi) of its nominal bandwidth.
+     * A DRAM channel cannot (bank conflicts and activate gaps eat
+     * into the nominal bus rate), so under wall-clock virtual time a
+     * permanently backlogged flow accumulates unbounded deficit and
+     * outranks every burst from a lighter flow forever.  Tracking
+     * system virtual time by served start tags -- the classic
+     * SFQ-style construction approximate fair-queuing memory
+     * schedulers use (the paper's Section 2.1 notes the FQ memory
+     * controller uses approximate methods) -- keeps shares exact and
+     * the unfairness window bounded at any achievable bandwidth.
+     * Cache resources keep the paper-exact wall-clock Equation 6
+     * (their occupancy-based capacity makes sum(phi) <= 1 feasible).
+     */
+    bool virtualClock = false;
+};
+
+/** Fair-queuing arbiter providing per-thread minimum bandwidth. */
+class VpcArbiter : public Arbiter
+{
+  public:
+    /**
+     * @param num_threads threads sharing the resource
+     * @param service_latency L: resource occupancy of one (read) access,
+     *        in cycles
+     * @param write_multiplier how many back-to-back accesses a write
+     *        performs (2 for the data array, 1 elsewhere)
+     * @param shares phi_i per thread; sum must be <= 1
+     * @param opts ablation switches
+     */
+    VpcArbiter(unsigned num_threads, Cycle service_latency,
+               unsigned write_multiplier,
+               const std::vector<double> &shares,
+               const VpcArbiterOptions &opts = {});
+
+    void enqueue(const ArbRequest &req, Cycle now) override;
+    std::optional<ArbRequest> select(Cycle now) override;
+    bool hasPending() const override;
+    std::size_t pendingCount() const override;
+    std::size_t pendingCount(ThreadId t) const override;
+    void setShare(ThreadId t, double phi) override;
+    std::string name() const override { return "VPC"; }
+
+    /** @return thread @p t's current share phi_t. */
+    double share(ThreadId t) const { return threads.at(t).phi; }
+
+    /** @return R.S_t, thread @p t's virtual-resource-available time. */
+    double virtualTime(ThreadId t) const { return threads.at(t).rs; }
+
+    /**
+     * Virtual finish time of thread @p t's next grant, or +infinity if
+     * the thread has no pending request.  Exposed for tests.
+     */
+    double nextVirtualFinish(ThreadId t) const;
+
+  private:
+    struct ThreadState
+    {
+        std::deque<ArbRequest> buffer; //!< pending request IDs
+        double phi = 0.0;              //!< bandwidth share
+        double rl = 0.0;               //!< R.L_i = L / phi_i
+        double rs = 0.0;               //!< R.S_i register
+    };
+
+    /**
+     * Index into @p buf of the request to service next under the
+     * intra-thread reordering policy (RoW subject to same-line
+     * dependences when enabled, else FIFO).
+     */
+    std::size_t candidateIndex(const std::deque<ArbRequest> &buf) const;
+
+    /** Virtual service time of @p req for thread state @p ts. */
+    double
+    virtualService(const ThreadState &ts, const ArbRequest &req) const
+    {
+        return req.isWrite ? ts.rl * writeMult : ts.rl;
+    }
+
+    std::vector<ThreadState> threads;
+    double vclock = 0.0; //!< start tag of the last granted request
+    Cycle latency;
+    unsigned writeMult;
+    VpcArbiterOptions options;
+    std::size_t total = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_ARBITER_VPC_ARBITER_HH

@@ -1,0 +1,156 @@
+#include "cache/cache_array.hh"
+
+#include "cache/replacement.hh"
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+CacheArray::CacheArray(std::uint64_t sets, unsigned ways,
+                       unsigned line_bytes,
+                       std::unique_ptr<ReplacementPolicy> policy,
+                       unsigned index_shift)
+    : sets_(sets), ways_(ways), lineBytes_(line_bytes),
+      indexShift_(index_shift), policy_(std::move(policy))
+{
+    if (!isPowerOf2(sets_) || !isPowerOf2(lineBytes_))
+        vpc_fatal("cache geometry must use power-of-two sets ({}) and "
+                  "line size ({})", sets_, lineBytes_);
+    if (ways_ == 0)
+        vpc_fatal("cache must have at least one way");
+    if (!policy_)
+        vpc_panic("CacheArray constructed without replacement policy");
+    data.assign(sets_, std::vector<CacheLine>(ways_));
+}
+
+CacheArray::~CacheArray() = default;
+
+std::uint64_t
+CacheArray::setIndex(Addr addr) const
+{
+    return ((addr / lineBytes_) >> indexShift_) & (sets_ - 1);
+}
+
+Addr
+CacheArray::tagOf(Addr addr) const
+{
+    return ((addr / lineBytes_) >> indexShift_) / sets_;
+}
+
+std::vector<CacheLine> &
+CacheArray::setOf(Addr addr)
+{
+    return data[setIndex(addr)];
+}
+
+const std::vector<CacheLine> &
+CacheArray::setOf(Addr addr) const
+{
+    return data[setIndex(addr)];
+}
+
+bool
+CacheArray::lookup(Addr addr, bool touch, ThreadId t)
+{
+    (void)t;
+    Addr tag = tagOf(addr);
+    for (CacheLine &line : setOf(addr)) {
+        if (line.valid && line.tag == tag) {
+            if (touch) {
+                line.lastUse = ++useClock;
+                hits.inc();
+            }
+            return true;
+        }
+    }
+    if (touch)
+        misses.inc();
+    return false;
+}
+
+Eviction
+CacheArray::insert(Addr addr, ThreadId t, bool dirty)
+{
+    std::vector<CacheLine> &set = setOf(addr);
+    unsigned w = policy_->victim(set, t);
+    if (w >= ways_)
+        vpc_panic("replacement policy returned way {} of {}", w, ways_);
+
+    CacheLine &line = set[w];
+    Eviction ev;
+    if (line.valid) {
+        ev.valid = true;
+        ev.dirty = line.dirty;
+        ev.owner = line.owner;
+        // Reconstruct the victim's address: the discarded interleave
+        // bits are constant per bank and equal to the incoming
+        // address's low line bits.
+        Addr low = (addr / lineBytes_) &
+                   ((Addr{1} << indexShift_) - 1);
+        ev.lineAddr = (((line.tag * sets_ + setIndex(addr))
+                        << indexShift_) | low) * lineBytes_;
+        policy_->onEvict(line.owner);
+    }
+    line.tag = tagOf(addr);
+    line.valid = true;
+    line.dirty = dirty;
+    line.owner = t;
+    line.lastUse = ++useClock;
+    policy_->onInsert(t);
+    return ev;
+}
+
+bool
+CacheArray::markDirty(Addr addr, ThreadId t)
+{
+    (void)t;
+    Addr tag = tagOf(addr);
+    for (CacheLine &line : setOf(addr)) {
+        if (line.valid && line.tag == tag) {
+            line.dirty = true;
+            line.lastUse = ++useClock;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+CacheArray::invalidate(Addr addr)
+{
+    Addr tag = tagOf(addr);
+    for (CacheLine &line : setOf(addr)) {
+        if (line.valid && line.tag == tag) {
+            line.valid = false;
+            line.dirty = false;
+            policy_->onEvict(line.owner);
+            return;
+        }
+    }
+}
+
+unsigned
+CacheArray::setOccupancy(Addr addr, ThreadId t) const
+{
+    unsigned n = 0;
+    for (const CacheLine &line : setOf(addr)) {
+        if (line.valid && line.owner == t)
+            ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+CacheArray::occupancy(ThreadId t) const
+{
+    std::uint64_t n = 0;
+    for (const auto &set : data) {
+        for (const CacheLine &line : set) {
+            if (line.valid && line.owner == t)
+                ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace vpc

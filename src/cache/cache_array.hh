@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Set-associative tag/state storage shared by the L1 and L2 models.
+ *
+ * CacheArray tracks tags, validity, dirtiness, per-line owning thread
+ * and LRU ordering; a ReplacementPolicy chooses victims.  Timing is
+ * modeled elsewhere (SharedResource / L1 latency) -- this class is the
+ * functional state only.
+ */
+
+#ifndef VPC_CACHE_CACHE_ARRAY_HH
+#define VPC_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** One cache line's bookkeeping state. */
+struct CacheLine
+{
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    ThreadId owner = kInvalidThread;
+    std::uint64_t lastUse = 0; //!< LRU timestamp (higher = more recent)
+};
+
+class ReplacementPolicy;
+
+/** Result of an insert: what was evicted, if anything. */
+struct Eviction
+{
+    bool valid = false;   //!< a valid line was displaced
+    bool dirty = false;   //!< ... and it was dirty (needs writeback)
+    Addr lineAddr = 0;    //!< address of the displaced line
+    ThreadId owner = kInvalidThread;
+};
+
+/** Functional set-associative array with pluggable replacement. */
+class CacheArray
+{
+  public:
+    /**
+     * @param sets number of sets (power of two)
+     * @param ways associativity
+     * @param line_bytes line size (power of two)
+     * @param policy victim selection; takes ownership
+     * @param index_shift line-number bits to discard before set
+     *        indexing: a bank of a 2^n-way interleaved cache only
+     *        sees every 2^n-th line, so those bits are constant and
+     *        must not select the set (they would leave all but
+     *        1/2^n of the sets unused)
+     */
+    CacheArray(std::uint64_t sets, unsigned ways, unsigned line_bytes,
+               std::unique_ptr<ReplacementPolicy> policy,
+               unsigned index_shift = 0);
+
+    ~CacheArray();
+
+    CacheArray(const CacheArray &) = delete;
+    CacheArray &operator=(const CacheArray &) = delete;
+    CacheArray(CacheArray &&) = default;
+
+    /**
+     * Probe for @p addr.
+     *
+     * @param addr byte address
+     * @param touch update LRU state on hit
+     * @param t thread performing the access (LRU bookkeeping)
+     * @return true on hit
+     */
+    bool lookup(Addr addr, bool touch, ThreadId t);
+
+    /**
+     * Install the line containing @p addr, selecting a victim via the
+     * replacement policy.
+     *
+     * @param addr byte address
+     * @param t owning thread
+     * @param dirty install in dirty state (write-allocate merge)
+     * @return eviction information for writeback handling
+     */
+    Eviction insert(Addr addr, ThreadId t, bool dirty);
+
+    /** Mark the line holding @p addr dirty. @return false on miss. */
+    bool markDirty(Addr addr, ThreadId t);
+
+    /** Invalidate the line holding @p addr if present. */
+    void invalidate(Addr addr);
+
+    /** @return number of valid lines owned by thread @p t in the set
+     *          holding @p addr. */
+    unsigned setOccupancy(Addr addr, ThreadId t) const;
+
+    /** @return total valid lines owned by thread @p t. */
+    std::uint64_t occupancy(ThreadId t) const;
+
+    /** @return number of sets. */
+    std::uint64_t numSets() const { return sets_; }
+
+    /** @return associativity. */
+    unsigned numWays() const { return ways_; }
+
+    /** @return line size in bytes. */
+    unsigned lineBytes() const { return lineBytes_; }
+
+    /** @return the replacement policy (for share updates). */
+    ReplacementPolicy &policy() { return *policy_; }
+    const ReplacementPolicy &policy() const { return *policy_; }
+
+    /** @return hits observed (touched lookups only). */
+    std::uint64_t hitCount() const { return hits.value(); }
+
+    /** @return misses observed (touched lookups only). */
+    std::uint64_t missCount() const { return misses.value(); }
+
+  private:
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    std::vector<CacheLine> &setOf(Addr addr);
+    const std::vector<CacheLine> &setOf(Addr addr) const;
+
+    std::uint64_t sets_;
+    unsigned ways_;
+    unsigned lineBytes_;
+    unsigned indexShift_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::vector<std::vector<CacheLine>> data;
+    std::uint64_t useClock = 0;
+    Counter hits;
+    Counter misses;
+};
+
+} // namespace vpc
+
+#endif // VPC_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,94 @@
+#include "cache/prefetcher.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetchConfig &cfg_,
+                                   unsigned line_bytes)
+    : cfg(cfg_), lineBytes(line_bytes), streams(cfg_.streams)
+{
+    if (cfg.enable && cfg.streams == 0)
+        vpc_fatal("prefetcher enabled with zero streams");
+}
+
+std::vector<Addr>
+StridePrefetcher::observeMiss(Addr line_addr)
+{
+    std::vector<Addr> out;
+    if (!cfg.enable)
+        return out;
+    ++useClock;
+
+    // 0. A repeated miss to a stream's current line (e.g. a merged
+    //    secondary miss) is redundant: refresh recency, nothing more.
+    for (Stream &s : streams) {
+        if (s.valid && s.lastLine == line_addr) {
+            s.lastUse = useClock;
+            return out;
+        }
+    }
+
+    // 1. A stream whose prediction matches: confirm and prefetch.
+    for (Stream &s : streams) {
+        if (!s.valid || s.stride == 0)
+            continue;
+        if (static_cast<std::int64_t>(line_addr) ==
+            static_cast<std::int64_t>(s.lastLine) + s.stride) {
+            s.lastLine = line_addr;
+            s.lastUse = useClock;
+            if (s.confirmations < cfg.confidence) {
+                ++s.confirmations;
+            }
+            if (s.confirmations >= cfg.confidence) {
+                for (unsigned d = 1; d <= cfg.degree; ++d) {
+                    out.push_back(static_cast<Addr>(
+                        static_cast<std::int64_t>(line_addr) +
+                        s.stride * static_cast<std::int64_t>(d)));
+                }
+                issued.inc(out.size());
+            }
+            return out;
+        }
+    }
+
+    // 2. A stream close enough to retrain (new stride from its last
+    //    address).
+    for (Stream &s : streams) {
+        if (!s.valid)
+            continue;
+        std::int64_t delta = static_cast<std::int64_t>(line_addr) -
+                             static_cast<std::int64_t>(s.lastLine);
+        if (delta != 0 &&
+            std::llabs(delta) <= 8 * static_cast<std::int64_t>(
+                                         lineBytes)) {
+            s.stride = delta;
+            s.lastLine = line_addr;
+            s.confirmations = 0;
+            s.lastUse = useClock;
+            return out;
+        }
+    }
+
+    // 3. Allocate a stream (LRU victim).
+    Stream *victim = &streams[0];
+    for (Stream &s : streams) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    victim->valid = true;
+    victim->lastLine = line_addr;
+    victim->stride = 0;
+    victim->confirmations = 0;
+    victim->lastUse = useClock;
+    return out;
+}
+
+} // namespace vpc

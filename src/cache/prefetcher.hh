@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-thread stride prefetcher.
+ *
+ * The paper disables the 970's prefetchers and names "VPC supported
+ * prefetching" as future work; it also lists "prioritizing
+ * demand-fetches over prefetches" as a reordering optimization the
+ * VPC arbiter's intra-thread buffer can implement without disturbing
+ * bandwidth guarantees.  This module provides both pieces: a classic
+ * reference-prediction stride prefetcher observing the L1 miss stream,
+ * and prefetch-tagged requests that the arbiters service only behind
+ * the same thread's demand reads.
+ *
+ * Prefetches consume the issuing thread's own bandwidth shares, so a
+ * thread's prefetch aggressiveness cannot degrade other threads'
+ * QoS -- the property that makes prefetching admissible in a VPC
+ * system.  Note the paper's performance-monotonicity caveat: extra
+ * bandwidth can increase prefetch volume and, through pollution,
+ * occasionally lower the thread's own performance (Section 4.3);
+ * bench_ablate_prefetch demonstrates both sides.
+ */
+
+#ifndef VPC_CACHE_PREFETCHER_HH
+#define VPC_CACHE_PREFETCHER_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** Detects strided miss streams and proposes prefetch addresses. */
+class StridePrefetcher
+{
+  public:
+    /**
+     * @param cfg tuning knobs
+     * @param line_bytes cache line size (stride granularity)
+     */
+    StridePrefetcher(const PrefetchConfig &cfg, unsigned line_bytes);
+
+    /**
+     * Observe a demand miss and propose prefetch candidates.
+     *
+     * @param line_addr the missing line
+     * @return line addresses to prefetch (empty while training or
+     *         when disabled)
+     */
+    std::vector<Addr> observeMiss(Addr line_addr);
+
+    /** @return prefetch addresses proposed so far. */
+    std::uint64_t issuedCount() const { return issued.value(); }
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr lastLine = 0;
+        std::int64_t stride = 0;
+        unsigned confirmations = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    PrefetchConfig cfg;
+    unsigned lineBytes;
+    std::vector<Stream> streams;
+    std::uint64_t useClock = 0;
+    Counter issued;
+};
+
+} // namespace vpc
+
+#endif // VPC_CACHE_PREFETCHER_HH

@@ -1,0 +1,179 @@
+#include "cache/replacement.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+namespace
+{
+
+/** Index of the invalid way, or the set size if all ways are valid. */
+unsigned
+firstInvalid(const std::vector<CacheLine> &set)
+{
+    for (unsigned w = 0; w < set.size(); ++w) {
+        if (!set[w].valid)
+            return w;
+    }
+    return static_cast<unsigned>(set.size());
+}
+
+} // namespace
+
+unsigned
+LruReplacement::victim(const std::vector<CacheLine> &set,
+                       ThreadId requester) const
+{
+    (void)requester;
+    unsigned inv = firstInvalid(set);
+    if (inv < set.size())
+        return inv;
+    unsigned lru = 0;
+    for (unsigned w = 1; w < set.size(); ++w) {
+        if (set[w].lastUse < set[lru].lastUse)
+            lru = w;
+    }
+    return lru;
+}
+
+GlobalOccupancyManager::GlobalOccupancyManager(
+    const std::vector<double> &betas, std::uint64_t total_lines)
+    : quotas(betas.size()), occ(betas.size(), 0)
+{
+    double sum = 0.0;
+    for (std::size_t t = 0; t < betas.size(); ++t) {
+        if (betas[t] < 0.0 || betas[t] > 1.0)
+            vpc_fatal("capacity share {} out of [0,1]", betas[t]);
+        sum += betas[t];
+        quotas[t] = static_cast<std::uint64_t>(
+            betas[t] * static_cast<double>(total_lines) + 1e-9);
+    }
+    if (sum > 1.0 + 1e-9)
+        vpc_fatal("cache capacity over-allocated: sum(beta)={}", sum);
+}
+
+void
+GlobalOccupancyManager::onInsert(ThreadId owner)
+{
+    if (owner < occ.size())
+        ++occ[owner];
+}
+
+void
+GlobalOccupancyManager::onEvict(ThreadId owner)
+{
+    if (owner < occ.size() && occ[owner] > 0)
+        --occ[owner];
+}
+
+unsigned
+GlobalOccupancyManager::victim(const std::vector<CacheLine> &set,
+                               ThreadId requester) const
+{
+    unsigned inv = firstInvalid(set);
+    if (inv < set.size())
+        return inv;
+
+    // Take the set-LRU line among threads over their *whole-cache*
+    // quota; if nobody is over quota (possible with unallocated
+    // capacity), fall back to plain LRU.  Note the absence of any
+    // per-set protection: a thread within its global quota can still
+    // lose every way of this particular set.
+    unsigned best = static_cast<unsigned>(set.size());
+    std::uint64_t best_use = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned w = 0; w < set.size(); ++w) {
+        ThreadId j = set[w].owner;
+        if (j >= occ.size() || occ[j] <= quotas[j])
+            continue;
+        if (set[w].lastUse < best_use) {
+            best = w;
+            best_use = set[w].lastUse;
+        }
+    }
+    if (best < set.size())
+        return best;
+    return LruReplacement().victim(set, requester);
+}
+
+VpcCapacityManager::VpcCapacityManager(const std::vector<double> &betas_,
+                                       unsigned ways_)
+    : betas(betas_), quotas(betas_.size()), ways(ways_)
+{
+    double sum = 0.0;
+    for (std::size_t t = 0; t < betas.size(); ++t) {
+        if (betas[t] < 0.0 || betas[t] > 1.0)
+            vpc_fatal("capacity share {} out of [0,1]", betas[t]);
+        sum += betas[t];
+        quotas[t] = static_cast<unsigned>(betas[t] * ways + 1e-9);
+    }
+    if (sum > 1.0 + 1e-9)
+        vpc_fatal("cache capacity over-allocated: sum(beta)={}", sum);
+}
+
+void
+VpcCapacityManager::setShare(ThreadId t, double beta)
+{
+    betas.at(t) = beta;
+    quotas.at(t) = static_cast<unsigned>(beta * ways + 1e-9);
+}
+
+unsigned
+VpcCapacityManager::victim(const std::vector<CacheLine> &set,
+                           ThreadId requester) const
+{
+    unsigned inv = firstInvalid(set);
+    if (inv < set.size())
+        return inv;
+
+    // Per-thread occupancy of this set.
+    std::vector<unsigned> occ(quotas.size(), 0);
+    for (const CacheLine &line : set) {
+        if (line.owner < occ.size())
+            ++occ[line.owner];
+    }
+
+    // Condition 1: LRU line among threads over their way allocation.
+    // Globally-LRU selection across over-quota threads is the fairness
+    // refinement distributing excess capacity.
+    unsigned best = static_cast<unsigned>(set.size());
+    std::uint64_t best_use = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned w = 0; w < set.size(); ++w) {
+        ThreadId j = set[w].owner;
+        if (j >= occ.size() || occ[j] <= quotas[j])
+            continue;
+        if (set[w].lastUse < best_use) {
+            best = w;
+            best_use = set[w].lastUse;
+        }
+    }
+    if (best < set.size())
+        return best;
+
+    // Condition 2: every owner is exactly at (or under) its quota; take
+    // the requester's own LRU line -- the same line a private cache
+    // with beta_i of the ways would replace.
+    best = static_cast<unsigned>(set.size());
+    best_use = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned w = 0; w < set.size(); ++w) {
+        if (set[w].owner != requester)
+            continue;
+        if (set[w].lastUse < best_use) {
+            best = w;
+            best_use = set[w].lastUse;
+        }
+    }
+    if (best < set.size())
+        return best;
+
+    // The requester owns nothing and nobody is over quota: only
+    // possible when lines are owned by an untracked/invalid thread.
+    // Fall back to global LRU.
+    vpc_warn("VPC capacity manager: falling back to global LRU");
+    return LruReplacement().victim(set, requester);
+}
+
+} // namespace vpc

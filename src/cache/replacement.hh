@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Replacement policies: global LRU and the VPC Capacity Manager.
+ *
+ * The VPC Capacity Manager (Section 4.2) gives thread i a virtual
+ * private cache with the same number of sets as the shared cache and at
+ * least beta_i * ways cache ways.  On a fill its replacement policy
+ * picks, from the destination set:
+ *
+ *   1) the LRU line owned by a thread j occupying *more* than
+ *      beta_j * ways of the set (taking it cannot drop j below its
+ *      allocation, and that line would not have been resident in j's
+ *      equivalent private cache anyway); else
+ *   2) the requester's own LRU line (all threads sit exactly at their
+ *      allocations, so this matches the private-cache replacement).
+ *
+ * Fairness refinement: when several threads are over-allocation, we
+ * choose the globally least-recently-used line among their lines,
+ * which distributes the unallocated/excess ways toward threads with
+ * recent reuse.
+ */
+
+#ifndef VPC_CACHE_REPLACEMENT_HH
+#define VPC_CACHE_REPLACEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** Chooses a victim way within one set. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /**
+     * Select the victim way for a fill by @p requester.
+     *
+     * @param set the destination set's lines
+     * @param requester the filling thread
+     * @return index of the way to replace
+     */
+    virtual unsigned victim(const std::vector<CacheLine> &set,
+                            ThreadId requester) const = 0;
+
+    /**
+     * Bookkeeping hooks: the owning CacheArray reports every line
+     * installed for / taken from a thread, so policies that partition
+     * on whole-cache occupancy can track it incrementally.
+     */
+    virtual void onInsert(ThreadId owner) { (void)owner; }
+    virtual void onEvict(ThreadId owner) { (void)owner; }
+
+    /** @return a short display name. */
+    virtual std::string name() const = 0;
+};
+
+/** Unpartitioned global LRU (thread-oblivious baseline). */
+class LruReplacement : public ReplacementPolicy
+{
+  public:
+    unsigned victim(const std::vector<CacheLine> &set,
+                    ThreadId requester) const override;
+    std::string name() const override { return "LRU"; }
+};
+
+/**
+ * A *flexible* whole-cache capacity manager of the kind the paper
+ * contrasts with the VPC Capacity Manager (Section 4.3): it partitions
+ * by each thread's occupancy of the entire cache rather than by ways
+ * within each set.  Victims come from threads holding more than
+ * beta_j of all cache lines; within the set the globally LRU such
+ * line goes, else plain LRU.
+ *
+ * Flexibility cuts both ways, exactly as Section 4.3 argues: a thread
+ * whose working set concentrates in a few hot sets may use all the
+ * ways of those sets (better average performance than a way quota),
+ * but nothing stops another thread from taking every way of one
+ * particular set while staying under its whole-cache quota -- so the
+ * per-set guarantee, and with it performance monotonicity, is lost.
+ * bench_ablate_flexible compares the two.
+ */
+class GlobalOccupancyManager : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param betas capacity share per thread; sum must be <= 1
+     * @param total_lines capacity of the cache this policy manages
+     */
+    GlobalOccupancyManager(const std::vector<double> &betas,
+                           std::uint64_t total_lines);
+
+    unsigned victim(const std::vector<CacheLine> &set,
+                    ThreadId requester) const override;
+    void onInsert(ThreadId owner) override;
+    void onEvict(ThreadId owner) override;
+    std::string name() const override { return "GlobalOccupancy"; }
+
+    /** @return thread @p t's whole-cache line quota. */
+    std::uint64_t quota(ThreadId t) const { return quotas.at(t); }
+
+    /** @return thread @p t's tracked line occupancy. */
+    std::uint64_t occupancy(ThreadId t) const
+    {
+        return occ.at(t);
+    }
+
+  private:
+    std::vector<std::uint64_t> quotas;
+    std::vector<std::uint64_t> occ;
+};
+
+/** The paper's way-partitioning thread-aware policy. */
+class VpcCapacityManager : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param betas capacity share beta_i per thread; sum must be <= 1
+     * @param ways shared-cache associativity the quotas apply to
+     */
+    VpcCapacityManager(const std::vector<double> &betas, unsigned ways);
+
+    unsigned victim(const std::vector<CacheLine> &set,
+                    ThreadId requester) const override;
+    std::string name() const override { return "VPC"; }
+
+    /** Update thread @p t's capacity share. */
+    void setShare(ThreadId t, double beta);
+
+    /** @return thread @p t's way quota (floor(beta_t * ways)). */
+    unsigned quota(ThreadId t) const { return quotas.at(t); }
+
+  private:
+    std::vector<double> betas;
+    std::vector<unsigned> quotas;
+    unsigned ways;
+};
+
+} // namespace vpc
+
+#endif // VPC_CACHE_REPLACEMENT_HH

@@ -1,0 +1,105 @@
+#include "cache/store_gather_buffer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+StoreGatherBuffer::StoreGatherBuffer(unsigned entries_,
+                                     unsigned high_water)
+    : entries(entries_), highWater(high_water)
+{
+    if (entries == 0)
+        vpc_fatal("store gathering buffer needs at least one entry");
+    if (highWater == 0 || highWater > entries)
+        vpc_fatal("high-water mark {} invalid for {} entries",
+                  highWater, entries);
+}
+
+bool
+StoreGatherBuffer::full() const
+{
+    return buffer.size() + reservations >= entries;
+}
+
+void
+StoreGatherBuffer::reserve()
+{
+    if (full())
+        vpc_panic("SGB reservation while full");
+    ++reservations;
+}
+
+bool
+StoreGatherBuffer::addStore(Addr line_addr, Cycle now)
+{
+    if (reservations == 0)
+        vpc_panic("SGB store delivered without reservation");
+    --reservations;
+    total.inc();
+    for (Entry &e : buffer) {
+        if (e.lineAddr == line_addr) {
+            gathered.inc();
+            return true;
+        }
+    }
+    buffer.push_back(Entry{line_addr, now});
+    return false;
+}
+
+bool
+StoreGatherBuffer::loadConflict(Addr line_addr) const
+{
+    return std::any_of(buffer.begin(), buffer.end(),
+                       [line_addr](const Entry &e) {
+                           return e.lineAddr == line_addr;
+                       });
+}
+
+void
+StoreGatherBuffer::flushThrough(Addr line_addr)
+{
+    // Newest matching entry and everything older must retire.
+    for (std::size_t i = buffer.size(); i > 0; --i) {
+        if (buffer[i - 1].lineAddr == line_addr) {
+            flushCount = std::max<unsigned>(flushCount,
+                                            static_cast<unsigned>(i));
+            return;
+        }
+    }
+}
+
+bool
+StoreGatherBuffer::loadsMayBypass() const
+{
+    // RoW inversion while at/above the high-water mark (Section 3.1).
+    return buffer.size() < highWater;
+}
+
+bool
+StoreGatherBuffer::hasRetirable() const
+{
+    return flushCount > 0 || buffer.size() >= highWater;
+}
+
+std::optional<Addr>
+StoreGatherBuffer::peekRetire() const
+{
+    if (buffer.empty())
+        return std::nullopt;
+    return buffer.front().lineAddr;
+}
+
+void
+StoreGatherBuffer::popRetire()
+{
+    if (buffer.empty())
+        vpc_panic("SGB retire from empty buffer");
+    buffer.pop_front();
+    if (flushCount > 0)
+        --flushCount;
+}
+
+} // namespace vpc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-thread store gathering buffer (Section 3.1).
+ *
+ * Write-through L1 caches generate one L2 store per committed store
+ * instruction; the gathering buffer merges stores to the same L2 line
+ * so that, on average, only ~20% of stores require a separate L2 data
+ * array access (Figure 7).  Policies implemented, as in the paper:
+ *
+ *  - merge incoming stores with an existing same-line entry;
+ *  - retire-at-n: once occupancy reaches the high-water mark the buffer
+ *    begins retiring stores to the L2, and loads lose their
+ *    read-over-write bypass (RoW inversion) until occupancy drops back
+ *    below the mark;
+ *  - partial flush: a load that hits a buffered store forces that store
+ *    and all older entries to retire before the load proceeds.
+ */
+
+#ifndef VPC_CACHE_STORE_GATHER_BUFFER_HH
+#define VPC_CACHE_STORE_GATHER_BUFFER_HH
+
+#include <deque>
+#include <optional>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** Gathers a thread's write-through stores in front of one L2 bank. */
+class StoreGatherBuffer
+{
+  public:
+    /**
+     * @param entries buffer capacity
+     * @param high_water retire-at-n threshold (n <= entries)
+     */
+    StoreGatherBuffer(unsigned entries, unsigned high_water);
+
+    /** @return true if no entry (or reservation) is available. */
+    bool full() const;
+
+    /** @return true if the buffer holds no stores. */
+    bool empty() const { return buffer.empty(); }
+
+    /** @return current number of gathered-line entries. */
+    std::size_t occupancy() const { return buffer.size(); }
+
+    /**
+     * Reserve space for a store still in flight through the crossbar.
+     * Counted against capacity so the core sees timely backpressure.
+     */
+    void reserve();
+
+    /**
+     * Deliver a store (releases one reservation).
+     *
+     * @param line_addr the store's L2 line address
+     * @param now current cycle
+     * @return true if the store was gathered into an existing entry
+     */
+    bool addStore(Addr line_addr, Cycle now);
+
+    /** @return true if a buffered store targets @p line_addr. */
+    bool loadConflict(Addr line_addr) const;
+
+    /**
+     * Partial flush: force the newest entry matching @p line_addr and
+     * every older entry to retire before any load proceeds.
+     */
+    void flushThrough(Addr line_addr);
+
+    /** @return true while loads may bypass buffered stores (RoW). */
+    bool loadsMayBypass() const;
+
+    /** @return true if the retire policy wants to drain a store now. */
+    bool hasRetirable() const;
+
+    /** @return the line address of the oldest entry, if any. */
+    std::optional<Addr> peekRetire() const;
+
+    /** Retire (remove) the oldest entry. @pre !empty(). */
+    void popRetire();
+
+    /** @return total stores delivered. */
+    std::uint64_t storesTotal() const { return total.value(); }
+
+    /** @return stores merged into an existing entry. */
+    std::uint64_t storesGathered() const { return gathered.value(); }
+
+  private:
+    struct Entry
+    {
+        Addr lineAddr;
+        Cycle firstStore;
+    };
+
+    unsigned entries;
+    unsigned highWater;
+    std::deque<Entry> buffer;
+    unsigned reservations = 0;
+    unsigned flushCount = 0; //!< oldest entries that must retire
+    Counter total;
+    Counter gathered;
+};
+
+} // namespace vpc
+
+#endif // VPC_CACHE_STORE_GATHER_BUFFER_HH

@@ -1,0 +1,98 @@
+#include "cache/vpc_controller.hh"
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+VpcController::VpcController(L2Cache &l2_, unsigned num_threads)
+    : l2(l2_), regs(num_threads)
+{}
+
+bool
+VpcController::wouldOverAllocate(ThreadId t,
+                                 const VpcConfigRegister &reg) const
+{
+    double tag = reg.phiTag, data = reg.phiData, bus = reg.phiBus;
+    double beta = reg.beta;
+    for (ThreadId i = 0; i < regs.size(); ++i) {
+        if (i == t)
+            continue;
+        tag += regs[i].phiTag;
+        data += regs[i].phiData;
+        bus += regs[i].phiBus;
+        beta += regs[i].beta;
+    }
+    constexpr double kTol = 1.0 + 1e-9;
+    return tag > kTol || data > kTol || bus > kTol || beta > kTol;
+}
+
+bool
+VpcController::writeRegister(ThreadId t, const VpcConfigRegister &reg)
+{
+    if (t >= regs.size())
+        vpc_panic("VPC register write for invalid thread {}", t);
+    auto in_range = [](double v) { return v >= 0.0 && v <= 1.0; };
+    if (!in_range(reg.phiTag) || !in_range(reg.phiData) ||
+        !in_range(reg.phiBus) || !in_range(reg.beta)) {
+        return false;
+    }
+    if (wouldOverAllocate(t, reg))
+        return false;
+
+    regs[t] = reg;
+    for (unsigned b = 0; b < l2.numBanks(); ++b) {
+        l2.bank(b).setResourceShares(t, reg.phiTag, reg.phiData,
+                                     reg.phiBus);
+        l2.bank(b).setCapacityShare(t, reg.beta);
+    }
+    return true;
+}
+
+const VpcConfigRegister &
+VpcController::readRegister(ThreadId t) const
+{
+    return regs.at(t);
+}
+
+namespace
+{
+
+double
+unallocated(const std::vector<VpcConfigRegister> &regs,
+            double VpcConfigRegister::*field)
+{
+    double sum = 0.0;
+    for (const VpcConfigRegister &r : regs)
+        sum += r.*field;
+    double rest = 1.0 - sum;
+    return rest < 0.0 ? 0.0 : rest;
+}
+
+} // namespace
+
+double
+VpcController::unallocatedTag() const
+{
+    return unallocated(regs, &VpcConfigRegister::phiTag);
+}
+
+double
+VpcController::unallocatedData() const
+{
+    return unallocated(regs, &VpcConfigRegister::phiData);
+}
+
+double
+VpcController::unallocatedBus() const
+{
+    return unallocated(regs, &VpcConfigRegister::phiBus);
+}
+
+double
+VpcController::unallocatedCapacity() const
+{
+    return unallocated(regs, &VpcConfigRegister::beta);
+}
+
+} // namespace vpc

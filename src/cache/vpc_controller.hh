@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The VPC controller's software-visible control registers (Section 4).
+ *
+ * "The VPC controller ... has a set of control registers visible to
+ * system software that specify a VPC configuration for each hardware
+ * thread sharing the cache.  For each active thread, the control
+ * registers specify a share of cache capacity (beta_i), and a share of
+ * tag array, data array, and data bus bandwidths (phi_i).  In their
+ * full generality, the mechanisms ... allow software to allocate each
+ * of the three bandwidth resources independently (via separate
+ * control registers)."
+ *
+ * This class implements that full generality: one register per thread
+ * holding independent tag/data/bus bandwidth shares plus a capacity
+ * share.  Writes are validated (no resource may be over-allocated
+ * across threads) and take effect immediately on every bank's
+ * arbiters and on the capacity manager; capacity reconfiguration is
+ * lazy -- existing lines are redistributed by subsequent replacements,
+ * which is exactly the low-overhead property the paper credits
+ * thread-aware replacement with.
+ */
+
+#ifndef VPC_CACHE_VPC_CONTROLLER_HH
+#define VPC_CACHE_VPC_CONTROLLER_HH
+
+#include <vector>
+
+#include "cache/l2_cache.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** One thread's VPC configuration register. */
+struct VpcConfigRegister
+{
+    double phiTag = 0.0;  //!< share of tag-array bandwidth
+    double phiData = 0.0; //!< share of data-array bandwidth
+    double phiBus = 0.0;  //!< share of data-bus bandwidth
+    double beta = 0.0;    //!< share of cache ways
+
+    /** Convenience: one phi for all three bandwidth resources. */
+    static VpcConfigRegister
+    uniform(double phi, double beta)
+    {
+        return VpcConfigRegister{phi, phi, phi, beta};
+    }
+};
+
+/** Validated software interface to the VPC mechanisms. */
+class VpcController
+{
+  public:
+    /**
+     * @param l2 the shared cache whose arbiters/capacity we control
+     * @param num_threads hardware threads sharing the cache
+     *
+     * Registers start zeroed; threads receive only excess resources
+     * until software writes an allocation.
+     */
+    VpcController(L2Cache &l2, unsigned num_threads);
+
+    /**
+     * Write thread @p t's configuration register.
+     *
+     * @return false (and change nothing) if any field is outside
+     *         [0, 1] or the write would over-allocate any resource
+     *         across threads
+     */
+    bool writeRegister(ThreadId t, const VpcConfigRegister &reg);
+
+    /** @return thread @p t's current register value. */
+    const VpcConfigRegister &readRegister(ThreadId t) const;
+
+    /** @return unallocated share of the tag array, in [0, 1]. */
+    double unallocatedTag() const;
+    /** @return unallocated share of the data array, in [0, 1]. */
+    double unallocatedData() const;
+    /** @return unallocated share of the data bus, in [0, 1]. */
+    double unallocatedBus() const;
+    /** @return unallocated share of the cache ways, in [0, 1]. */
+    double unallocatedCapacity() const;
+
+    /** @return number of threads. */
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(regs.size());
+    }
+
+  private:
+    /** @return true iff replacing regs[t] with @p reg over-allocates. */
+    bool wouldOverAllocate(ThreadId t,
+                           const VpcConfigRegister &reg) const;
+
+    L2Cache &l2;
+    std::vector<VpcConfigRegister> regs;
+};
+
+} // namespace vpc
+
+#endif // VPC_CACHE_VPC_CONTROLLER_HH

@@ -1,0 +1,163 @@
+#include "core/cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+Cpu::Cpu(const CoreConfig &cfg_, ThreadId thread_, Workload &workload_,
+         L1DCache &l1_, L2Cache &l2_)
+    : cfg(cfg_), thread(thread_), workload(workload_), l1(l1_),
+      l2(l2_), rng(0xc0ffee + thread_, 0xabcd1234 + thread_)
+{}
+
+void
+Cpu::tick(Cycle now)
+{
+    // Classic reverse pipeline order so data moves one stage per cycle.
+    retireStage(now);
+    issueStage(now);
+    dispatchStage(now);
+}
+
+void
+Cpu::retireStage(Cycle now)
+{
+    unsigned committed_stores = 0;
+    for (unsigned i = 0; i < cfg.retireWidth && !rob.empty(); ++i) {
+        RobEntry &head = rob.front();
+        if (head.op.kind == MicroOp::Kind::Store) {
+            if (committed_stores >= cfg.storeCommitWidth)
+                break;
+            // Write-through: the store must be accepted by the target
+            // bank's gathering buffer before it can leave the machine.
+            if (!l2.store(thread, head.op.addr, now)) {
+                storeStalls.inc();
+                break;
+            }
+            l1.store(head.op.addr, now);
+            ++committed_stores;
+            stores.inc();
+            --storesInRob;
+        } else if (head.op.kind == MicroOp::Kind::Load) {
+            if (head.state != State::Done)
+                break;
+            loads.inc();
+            --loadsInRob;
+        } else if (head.state != State::Done) {
+            break;
+        }
+        retired.inc();
+        rob.pop_front();
+    }
+    oldestInRob = rob.empty() ? nextSeq : rob.front().seq;
+}
+
+bool
+Cpu::depSatisfied(const RobEntry &entry) const
+{
+    if (!entry.op.dependsOnPrevLoad || entry.prevLoadSeq == 0)
+        return true;
+    if (entry.prevLoadSeq < oldestInRob)
+        return true; // the producer already retired
+    for (const RobEntry &e : rob) {
+        if (e.seq == entry.prevLoadSeq)
+            return e.state == State::Done;
+        if (e.seq > entry.prevLoadSeq)
+            break;
+    }
+    return true; // producer no longer tracked; treat as complete
+}
+
+void
+Cpu::issueStage(Cycle now)
+{
+    unsigned ports_used = 0;
+    for (RobEntry &e : rob) {
+        if (ports_used >= cfg.lsuPorts)
+            break;
+        if (e.op.kind != MicroOp::Kind::Load ||
+            e.state != State::Waiting) {
+            continue;
+        }
+        if (!depSatisfied(e))
+            continue;
+        ++ports_used;
+        if (!l1.wouldHit(e.op.addr) &&
+            rng.chance(cfg.lsuRejectProb)) {
+            // LSU reject on an L1 miss (LMQ allocation): the issue
+            // slot is wasted and the load retries later, perturbing
+            // the order loads reach the L2 and capping miss issue
+            // bandwidth -- the 970 behaviour behind the Loads
+            // benchmark's sub-100% utilization at >= 4 banks (Fig. 5).
+            lsuRejects.inc();
+            continue;
+        }
+        L1DCache::LoadResult res =
+            l1.load(e.op.addr, now,
+                    [this, seq = e.seq]() { complete(seq); });
+        if (res == L1DCache::LoadResult::Blocked)
+            continue; // all MSHRs busy; slot wasted, retry later
+        e.state = State::Issued;
+    }
+}
+
+void
+Cpu::dispatchStage(Cycle now)
+{
+    (void)now;
+    for (unsigned i = 0; i < cfg.dispatchWidth; ++i) {
+        if (rob.size() >= cfg.robEntries)
+            break;
+        if (!fetched)
+            fetched = workload.next();
+        if (fetched->kind == MicroOp::Kind::Load &&
+            loadsInRob >= cfg.loadQueueEntries) {
+            break;
+        }
+        if (fetched->kind == MicroOp::Kind::Store &&
+            storesInRob >= cfg.storeQueueEntries) {
+            break;
+        }
+
+        RobEntry entry;
+        entry.op = *fetched;
+        fetched.reset();
+        entry.seq = nextSeq++;
+        entry.prevLoadSeq = lastLoadSeq;
+        switch (entry.op.kind) {
+          case MicroOp::Kind::Load:
+            ++loadsInRob;
+            lastLoadSeq = entry.seq;
+            break;
+          case MicroOp::Kind::Store:
+            ++storesInRob;
+            break;
+          case MicroOp::Kind::Compute:
+            // Non-memory work completes in a single cycle; it becomes
+            // retirable on the next retire pass.
+            entry.state = State::Done;
+            break;
+        }
+        if (rob.empty())
+            oldestInRob = entry.seq;
+        rob.push_back(std::move(entry));
+    }
+}
+
+void
+Cpu::complete(SeqNum seq)
+{
+    for (RobEntry &e : rob) {
+        if (e.seq == seq) {
+            if (e.state != State::Issued)
+                vpc_panic("completion for seq {} in state {}", seq,
+                          static_cast<int>(e.state));
+            e.state = State::Done;
+            return;
+        }
+    }
+    vpc_panic("completion for unknown seq {}", seq);
+}
+
+} // namespace vpc

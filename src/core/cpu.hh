@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Simplified out-of-order processor model.
+ *
+ * Captures the structural properties of Table 1's core that matter to
+ * the cache study, without modeling individual functional units:
+ *
+ *  - a dispatch-group-organized reorder buffer (100 entries = 20 groups
+ *    of 5) filled in order at the dispatch width;
+ *  - load/store reorder queues bounding in-flight memory operations;
+ *  - loads issued out of order through a fixed number of LSU ports,
+ *    with MSHR-bounded memory-level parallelism and an LSU-reject
+ *    mechanism that perturbs issue order (see CoreConfig);
+ *  - program-order retirement at the retire width; stores commit at the
+ *    head by writing through the L1 into the L2's store gathering
+ *    buffers, stalling retirement when a buffer is full (the
+ *    backpressure path that throttles the Stores microbenchmark);
+ *  - single-cycle non-memory instructions.
+ *
+ * Instruction fetch is not modeled (the workloads are small loops that
+ * always hit the I-cache, as in the paper's microbenchmarks).
+ */
+
+#ifndef VPC_CORE_CPU_HH
+#define VPC_CORE_CPU_HH
+
+#include <deque>
+#include <optional>
+
+#include "cache/l1_cache.hh"
+#include "cache/l2_cache.hh"
+#include "sim/config.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "workload/workload.hh"
+
+namespace vpc
+{
+
+/** One hardware thread's processor pipeline. */
+class Cpu : public Ticking
+{
+  public:
+    /**
+     * @param cfg core parameters
+     * @param thread hardware thread id
+     * @param workload instruction stream (not owned)
+     * @param l1 private L1 D-cache (not owned)
+     * @param l2 shared L2 (not owned)
+     */
+    Cpu(const CoreConfig &cfg, ThreadId thread, Workload &workload,
+        L1DCache &l1, L2Cache &l2);
+
+    void tick(Cycle now) override;
+
+    /** @return instructions retired so far. */
+    std::uint64_t instrsRetired() const { return retired.value(); }
+
+    /** @return loads retired so far. */
+    std::uint64_t loadsRetired() const { return loads.value(); }
+
+    /** @return stores retired so far. */
+    std::uint64_t storesRetired() const { return stores.value(); }
+
+    /** @return cycles retirement stalled on a full gathering buffer. */
+    std::uint64_t storeStallCycles() const { return storeStalls.value(); }
+
+    /** @return instructions per cycle over @p window cycles. */
+    double
+    ipc(Cycle window) const
+    {
+        return window == 0 ? 0.0
+            : static_cast<double>(retired.value()) /
+              static_cast<double>(window);
+    }
+
+    /** @return this thread's id. */
+    ThreadId threadId() const { return thread; }
+
+  private:
+    enum class State
+    {
+        Waiting, //!< not yet issued
+        Issued,  //!< access in flight
+        Done     //!< result available; retirable
+    };
+
+    struct RobEntry
+    {
+        MicroOp op;
+        State state = State::Waiting;
+        SeqNum seq = 0;
+        SeqNum prevLoadSeq = 0; //!< most recent older load (0 = none)
+    };
+
+    /** Retire completed instructions in order; commit stores. */
+    void retireStage(Cycle now);
+
+    /** Issue ready loads through the LSU ports. */
+    void issueStage(Cycle now);
+
+    /** Dispatch new instructions from the workload. */
+    void dispatchStage(Cycle now);
+
+    /** Mark the entry with sequence number @p seq complete. */
+    void complete(SeqNum seq);
+
+    /** @return true once @p entry's load dependence is satisfied. */
+    bool depSatisfied(const RobEntry &entry) const;
+
+    CoreConfig cfg;
+    ThreadId thread;
+    Workload &workload;
+    L1DCache &l1;
+    L2Cache &l2;
+    Rng rng;
+
+    std::deque<RobEntry> rob;
+    std::optional<MicroOp> fetched; //!< one-op dispatch lookahead
+    SeqNum nextSeq = 1;
+    SeqNum lastLoadSeq = 0;    //!< seq of most recently dispatched load
+    SeqNum oldestInRob = 1;    //!< seq of the ROB head (retire frontier)
+    unsigned loadsInRob = 0;
+    unsigned storesInRob = 0;
+
+    Counter retired;
+    Counter loads;
+    Counter stores;
+    Counter storeStalls;
+    Counter lsuRejects;
+};
+
+} // namespace vpc
+
+#endif // VPC_CORE_CPU_HH

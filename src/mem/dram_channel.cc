@@ -1,0 +1,60 @@
+#include "mem/dram_channel.hh"
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+DramChannel::DramChannel(const MemConfig &cfg_, unsigned line_bytes)
+    : cfg(cfg_), lineBytes(line_bytes),
+      numBanks(cfg_.ranksPerChannel * cfg_.banksPerRank),
+      bankReadyAt(numBanks, 0)
+{
+    if (numBanks == 0)
+        vpc_fatal("DramChannel: no banks configured");
+    if (!isPowerOf2(lineBytes))
+        vpc_fatal("DramChannel: line size must be a power of two");
+}
+
+unsigned
+DramChannel::bankIndex(Addr addr) const
+{
+    // Line-interleave across banks with an XOR fold of the higher
+    // address bits, as real controllers do: without it, streams whose
+    // bases differ by a large power of two (e.g. different threads'
+    // address spaces) advance through the banks in lockstep and
+    // serialize on a single bank's row cycle.
+    Addr ln = addr / lineBytes;
+    ln ^= ln >> 4;
+    ln ^= ln >> 8;
+    ln ^= ln >> 16;
+    ln ^= ln >> 32;
+    return static_cast<unsigned>(ln % numBanks);
+}
+
+Cycle
+DramChannel::access(Addr addr, bool is_write, Cycle now)
+{
+    unsigned bank = bankIndex(addr);
+
+    Cycle act_start = std::max(now, bankReadyAt[bank]);
+    bankWait_.sample(static_cast<double>(act_start - now));
+
+    // Closed page: ACT, then CAS after tRCD, data after tCL, one burst.
+    Cycle cas = act_start + cfg.tRcd;
+    Cycle data_start = std::max(cas + cfg.tCl, busReadyAt);
+    Cycle data_end = data_start + cfg.tBurst;
+
+    busReadyAt = data_end;
+    busUtil_.addBusy(cfg.tBurst);
+
+    // Auto-precharge: the bank can ACT again after the precharge
+    // completes; writes first wait out the write-recovery time.
+    Cycle pre_start = data_end + (is_write ? cfg.tWr : 0);
+    bankReadyAt[bank] = pre_start + cfg.tRp;
+
+    accesses.inc();
+    return data_end;
+}
+
+} // namespace vpc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DDR2-800 SDRAM channel timing model.
+ *
+ * Models one 64-bit channel with ranks x banks operating a closed-page
+ * policy (Table 1): every access performs ACT -> CAS -> burst and
+ * auto-precharges.  Bank-level parallelism is captured with per-bank
+ * ready times; the shared channel data bus serializes bursts.  In the
+ * paper's evaluation each thread owns a private channel (requests are
+ * interleaved across channels by the high physical-address bits), so
+ * inter-thread memory interference is excluded by construction -- the
+ * study isolates *cache* sharing.
+ */
+
+#ifndef VPC_MEM_DRAM_CHANNEL_HH
+#define VPC_MEM_DRAM_CHANNEL_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** One private SDRAM channel with closed-page timing. */
+class DramChannel
+{
+  public:
+    /**
+     * @param cfg DRAM timing parameters
+     * @param line_bytes transfer granularity (one cache line per access)
+     */
+    DramChannel(const MemConfig &cfg, unsigned line_bytes);
+
+    /**
+     * Perform one line access.
+     *
+     * @param addr line address (selects the bank)
+     * @param is_write true for a writeback
+     * @param now earliest cycle the command can issue
+     * @return cycle the data burst completes (for reads, when the line
+     *         is available at the controller)
+     */
+    Cycle access(Addr addr, bool is_write, Cycle now);
+
+    /** @return total accesses serviced. */
+    std::uint64_t accessCount() const { return accesses.value(); }
+
+    /** @return bank-conflict (wait-for-bank) statistics, cycles. */
+    const SampleStat &bankWait() const { return bankWait_; }
+
+    /** @return data-bus busy statistics. */
+    const UtilizationStat &busUtil() const { return busUtil_; }
+
+    /** @return the cycle the channel data bus next becomes free. */
+    Cycle busFreeAt() const { return busReadyAt; }
+
+    /** @return the flat bank index addressed by @p addr. */
+    unsigned bankIndex(Addr addr) const;
+
+  private:
+
+    MemConfig cfg;
+    unsigned lineBytes;
+    unsigned numBanks;
+    std::vector<Cycle> bankReadyAt; //!< next ACT allowed per bank
+    Cycle busReadyAt = 0;           //!< channel data bus free time
+    Counter accesses;
+    SampleStat bankWait_;
+    UtilizationStat busUtil_;
+};
+
+} // namespace vpc
+
+#endif // VPC_MEM_DRAM_CHANNEL_HH

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * System configuration (Table 1 of the paper) and QoS allocations.
+ *
+ * Defaults model the 2 GHz 4-processor CMP of Table 1.  All latencies
+ * are in core (processor) cycles.  Bandwidth of the L2 arrays is the
+ * reciprocal of their latency (the arrays are not pipelined), exactly as
+ * the paper specifies.
+ */
+
+#ifndef VPC_SIM_CONFIG_HH
+#define VPC_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+
+namespace vpc
+{
+
+/** Which policy drives the shared L2 resource arbiters. */
+enum class ArbiterPolicy
+{
+    Fcfs,      //!< first-come first-serve across all threads
+    RowFcfs,   //!< reads-over-writes, then FCFS (private-cache policy)
+    RoundRobin,//!< cycle round-robin across threads
+    Vpc        //!< fair-queuing VPC arbiter (the paper's contribution)
+};
+
+/** Which replacement policy manages shared L2 capacity. */
+enum class CapacityPolicy
+{
+    Lru,       //!< unpartitioned global LRU
+    Vpc,       //!< VPC capacity manager (way partitioning, Section 4.2)
+    /**
+     * Flexible whole-cache occupancy partitioning -- the class of
+     * manager Section 4.3 contrasts with way partitioning (better
+     * average use of capacity, but no per-set guarantee and hence no
+     * performance monotonicity).
+     */
+    GlobalOccupancy
+};
+
+/** Per-processor core parameters (Table 1, top half). */
+struct CoreConfig
+{
+    unsigned dispatchWidth = 5;    //!< instrs per dispatch group
+    unsigned robEntries = 100;     //!< 20 groups x 5 instructions
+    unsigned retireWidth = 5;
+    unsigned loadQueueEntries = 32;
+    unsigned storeQueueEntries = 32;
+    unsigned lsuPorts = 2;         //!< load issues per cycle
+    unsigned storeCommitWidth = 1; //!< stores committed per cycle
+    /**
+     * Probability an issue attempt of an L1-*missing* load is rejected
+     * by the LSU and retried (the 970's LSU reject / LMQ allocation
+     * mechanism): loads enter the L2 out of order and the sustained
+     * miss-issue rate is capped at lsuPorts * (1 - p) = 0.4/cycle,
+     * which reproduces the Loads microbenchmark's 100% utilization on
+     * two banks but ~80% on four (Figure 5).
+     */
+    double lsuRejectProb = 0.8;
+};
+
+/** Stride prefetcher configuration (see cache/prefetcher.hh). */
+struct PrefetchConfig
+{
+    bool enable = false;     //!< paper baseline: prefetchers disabled
+    unsigned streams = 4;    //!< tracked miss streams
+    unsigned degree = 2;     //!< prefetches issued per confirmation
+    unsigned confidence = 2; //!< confirmations before issuing
+};
+
+/** Private L1 data cache parameters. */
+struct L1Config
+{
+    std::uint64_t sizeBytes = 16 * 1024;
+    unsigned ways = 4;
+    unsigned lineBytes = 64;
+    Cycle hitLatency = 2;
+    unsigned mshrs = 16;           //!< outstanding misses (D-cache)
+    PrefetchConfig prefetch;       //!< disabled by default (Table 1)
+};
+
+/** Shared L2 cache parameters (per Table 1). */
+struct L2Config
+{
+    unsigned banks = 2;
+    std::uint64_t sizeBytes = 16ULL * 1024 * 1024; //!< total, all banks
+    unsigned ways = 32;
+    unsigned lineBytes = 64;
+    Cycle tagLatency = 4;          //!< core cycles per tag access
+    unsigned tagWriteAccesses = 2; //!< tag-state ECC read-modify-write
+    Cycle dataLatency = 8;         //!< core cycles per data-array read
+    unsigned dataWriteAccesses = 2;//!< ECC read-modify-write (Sec. 3.1)
+    Cycle busBeatCycles = 2;       //!< 16B beat at 1/2 core frequency
+    unsigned busBytes = 16;        //!< data bus width
+    /**
+     * Full-line bus occupancy override in cycles; 0 derives it as
+     * busBeatCycles * (lineBytes / busBytes).  Used by the private-
+     * equivalent machine (Section 5.3) whose 1/phi-scaled occupancy
+     * is not a whole number of beats.
+     */
+    Cycle busOccupancyOverride = 0;
+    Cycle interconnectLatency = 2; //!< crossbar request latency
+    unsigned stateMachinesPerThread = 8; //!< controller SMs / thread / bank
+    unsigned sgbEntriesPerThread = 8;    //!< store gathering buffer
+    unsigned sgbHighWater = 6;           //!< retire-at-6 policy
+    unsigned readClaimEntries = 8;
+
+    /** @return number of sets per bank. */
+    std::uint64_t
+    setsPerBank(unsigned num_banks_override = 0) const
+    {
+        unsigned b = num_banks_override ? num_banks_override : banks;
+        std::uint64_t per_bank = sizeBytes / b;
+        return per_bank / (static_cast<std::uint64_t>(ways) * lineBytes);
+    }
+};
+
+/** Per-thread private DDR2-800 channel parameters. */
+struct MemConfig
+{
+    unsigned ranksPerChannel = 2;
+    unsigned banksPerRank = 8;
+    unsigned transactionEntries = 16; //!< per-thread transaction buffer
+    unsigned writeEntries = 8;        //!< per-thread write buffer
+    // DDR2-800-5-5-5 on a 2 GHz core: 1 DRAM cycle = 5 core cycles.
+    Cycle tRcd = 25;   //!< ACT->READ
+    Cycle tCl = 25;    //!< READ->data
+    Cycle tRp = 25;    //!< PRE->ACT
+    Cycle tBurst = 20; //!< 64B over a 64-bit DDR bus (4 DRAM cycles)
+    Cycle tWr = 25;    //!< write recovery before precharge
+    Cycle ctrlLatency = 10; //!< controller pipeline overhead each way
+
+    /**
+     * Share one SDRAM channel among all threads instead of giving
+     * each thread a private channel.  The paper's evaluation uses
+     * private channels to isolate cache effects; the shared mode
+     * implements the companion FQ memory system of Nesbit et al.
+     * (Section 2.1) so the VPM framework extends across subsystems.
+     */
+    bool sharedChannel = false;
+    /**
+     * Transaction scheduling policy for the shared channel: Fcfs is
+     * the baseline (equivalent to FR-FCFS under a closed-page
+     * policy), Vpc is the fair-queuing scheduler with per-thread
+     * bandwidth shares (taken from SystemConfig::shares).
+     */
+    ArbiterPolicy schedulerPolicy = ArbiterPolicy::Fcfs;
+};
+
+/**
+ * QoS allocation for one thread: a bandwidth share (phi) applied to the
+ * tag array, data array and data bus, and a capacity share (beta)
+ * applied to the cache ways.
+ */
+struct QosShare
+{
+    double phi = 0.0;  //!< bandwidth share in [0, 1]
+    double beta = 0.0; //!< capacity share in [0, 1]
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    unsigned numProcessors = 4;
+    CoreConfig core;
+    L1Config l1;
+    L2Config l2;
+    MemConfig mem;
+
+    ArbiterPolicy arbiterPolicy = ArbiterPolicy::Fcfs;
+    CapacityPolicy capacityPolicy = CapacityPolicy::Vpc;
+
+    /** Allow RoW reordering inside each thread's VPC arbiter buffer. */
+    bool vpcIntraThreadRow = true;
+    /** Apply Equation 6 (reset idle thread virtual time); ablation. */
+    bool vpcIdleReset = true;
+    /** Work-conserving excess distribution; ablation (Section 3.2). */
+    bool vpcWorkConserving = true;
+
+    /** Per-thread QoS shares; sized to numProcessors by validate(). */
+    std::vector<QosShare> shares;
+
+    /**
+     * Optional per-thread L1 prefetcher override; empty means every
+     * thread uses l1.prefetch.  Sized to numProcessors otherwise.
+     */
+    std::vector<PrefetchConfig> l1PrefetchPerThread;
+
+    /**
+     * Check internal consistency and normalize the shares vector.
+     * Calls vpc_fatal on user errors (over-allocation, bad sizes).
+     */
+    void
+    validate()
+    {
+        if (numProcessors == 0)
+            vpc_fatal("numProcessors must be > 0");
+        if (!isPowerOf2(l2.lineBytes) || !isPowerOf2(l2.banks))
+            vpc_fatal("L2 line size and bank count must be powers of 2");
+        if (shares.empty()) {
+            // Default: equal allocation of everything.
+            shares.assign(numProcessors,
+                          QosShare{1.0 / numProcessors,
+                                   1.0 / numProcessors});
+        }
+        if (shares.size() != numProcessors)
+            vpc_fatal("shares.size() ({}) != numProcessors ({})",
+                      shares.size(), numProcessors);
+        double phi_sum = 0.0, beta_sum = 0.0;
+        for (const QosShare &s : shares) {
+            if (s.phi < 0.0 || s.phi > 1.0 ||
+                s.beta < 0.0 || s.beta > 1.0) {
+                vpc_fatal("QoS shares must lie in [0, 1]");
+            }
+            phi_sum += s.phi;
+            beta_sum += s.beta;
+        }
+        if (phi_sum > 1.0 + 1e-9)
+            vpc_fatal("bandwidth over-allocated: sum(phi) = {}", phi_sum);
+        if (beta_sum > 1.0 + 1e-9)
+            vpc_fatal("capacity over-allocated: sum(beta) = {}", beta_sum);
+        if (!l1PrefetchPerThread.empty() &&
+            l1PrefetchPerThread.size() != numProcessors) {
+            vpc_fatal("l1PrefetchPerThread.size() ({}) != "
+                      "numProcessors ({})",
+                      l1PrefetchPerThread.size(), numProcessors);
+        }
+    }
+
+    /** @return thread @p t's effective L1 configuration. */
+    L1Config
+    l1ConfigFor(ThreadId t) const
+    {
+        L1Config out = l1;
+        if (!l1PrefetchPerThread.empty())
+            out.prefetch = l1PrefetchPerThread.at(t);
+        return out;
+    }
+};
+
+} // namespace vpc
+
+#endif // VPC_SIM_CONFIG_HH

@@ -1,0 +1,120 @@
+#include "sim/debug.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vpc
+{
+namespace debug
+{
+
+namespace
+{
+
+constexpr std::size_t kNumFlags =
+    static_cast<std::size_t>(Flag::NumFlags);
+
+std::array<bool, kNumFlags> &
+flags()
+{
+    static std::array<bool, kNumFlags> f = [] {
+        std::array<bool, kNumFlags> init{};
+        if (const char *env = std::getenv("VPC_DEBUG")) {
+            // Populate directly; enableFromList writes into us via
+            // setEnabled, which reads this same array -- safe because
+            // the static is already constructed at that point.
+            (void)env;
+        }
+        return init;
+    }();
+    return f;
+}
+
+/** One-time VPC_DEBUG parse, after the flag array exists. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        if (const char *env = std::getenv("VPC_DEBUG"))
+            enableFromList(env);
+    }
+};
+
+} // namespace
+
+const char *
+flagName(Flag f)
+{
+    switch (f) {
+      case Flag::Arbiter: return "Arbiter";
+      case Flag::L2Bank: return "L2Bank";
+      case Flag::Memory: return "Memory";
+      case Flag::Prefetch: return "Prefetch";
+      case Flag::Cpu: return "Cpu";
+      case Flag::NumFlags: break;
+    }
+    return "?";
+}
+
+bool
+enabled(Flag f)
+{
+    static EnvInit init;
+    return flags()[static_cast<std::size_t>(f)];
+}
+
+void
+setEnabled(Flag f, bool on)
+{
+    flags()[static_cast<std::size_t>(f)] = on;
+}
+
+bool
+enableFromList(std::string_view list)
+{
+    bool all_known = true;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        std::string_view name = list.substr(
+            start, comma == std::string_view::npos ? list.size() - start
+                                                   : comma - start);
+        if (!name.empty()) {
+            if (name == "All") {
+                for (std::size_t i = 0; i < kNumFlags; ++i)
+                    flags()[i] = true;
+            } else {
+                bool known = false;
+                for (std::size_t i = 0; i < kNumFlags; ++i) {
+                    Flag f = static_cast<Flag>(i);
+                    if (name == flagName(f)) {
+                        setEnabled(f, true);
+                        known = true;
+                        break;
+                    }
+                }
+                if (!known) {
+                    std::fprintf(stderr,
+                                 "warn: unknown VPC_DEBUG flag '%.*s'\n",
+                                 static_cast<int>(name.size()),
+                                 name.data());
+                    all_known = false;
+                }
+            }
+        }
+        if (comma == std::string_view::npos)
+            break;
+        start = comma + 1;
+    }
+    return all_known;
+}
+
+void
+emit(Flag f, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", flagName(f), msg.c_str());
+}
+
+} // namespace debug
+} // namespace vpc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Named debug-trace flags in the gem5 DPRINTF idiom.
+ *
+ * Models emit trace lines guarded by a named flag:
+ *
+ *     VPC_DPRINTF(L2Bank, "thread {} admitted {:#x}", t, addr);
+ *
+ * Flags are off by default (zero overhead beyond one branch) and are
+ * enabled at process start from the VPC_DEBUG environment variable --
+ * a comma-separated list of flag names, or "All":
+ *
+ *     VPC_DEBUG=Arbiter,L2Bank ./build/bench/bench_fig8
+ *
+ * Trace lines go to stderr prefixed with the current flag name; they
+ * are a debugging aid, never parsed by the simulator itself.
+ */
+
+#ifndef VPC_SIM_DEBUG_HH
+#define VPC_SIM_DEBUG_HH
+
+#include <string>
+#include <string_view>
+
+#include "sim/format.hh"
+
+namespace vpc
+{
+namespace debug
+{
+
+/** Debug flags; extend in lockstep with flagName(). */
+enum class Flag
+{
+    Arbiter,
+    L2Bank,
+    Memory,
+    Prefetch,
+    Cpu,
+    NumFlags
+};
+
+/** @return the canonical name of @p f. */
+const char *flagName(Flag f);
+
+/** @return true if @p f was enabled via VPC_DEBUG. */
+bool enabled(Flag f);
+
+/**
+ * Enable or disable @p f programmatically (tests).
+ */
+void setEnabled(Flag f, bool on);
+
+/**
+ * Parse a VPC_DEBUG-style list ("Arbiter,L2Bank" or "All") and enable
+ * the named flags.
+ *
+ * @return false if any name was unknown (known names still take
+ *         effect)
+ */
+bool enableFromList(std::string_view list);
+
+/** Emit one trace line (already formatted). */
+void emit(Flag f, const std::string &msg);
+
+} // namespace debug
+} // namespace vpc
+
+/** Guarded formatted trace line; no-op unless the flag is enabled. */
+#define VPC_DPRINTF(flag, ...)                                        \
+    do {                                                              \
+        if (::vpc::debug::enabled(::vpc::debug::Flag::flag)) {        \
+            ::vpc::debug::emit(::vpc::debug::Flag::flag,              \
+                               ::vpc::format(__VA_ARGS__));           \
+        }                                                             \
+    } while (0)
+
+#endif // VPC_SIM_DEBUG_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic event queue for delayed callbacks.
+ *
+ * The simulator is cycle-stepped (see Simulator), but several models
+ * need "call me back in N cycles" semantics: DRAM access completion,
+ * crossbar transit, data-bus beat completion.  Events scheduled for the
+ * same cycle fire in scheduling order, which keeps runs reproducible.
+ */
+
+#ifndef VPC_SIM_EVENT_QUEUE_HH
+#define VPC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** Orders events by (cycle, insertion sequence). */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule @p cb to run at cycle @p when.
+     *
+     * @pre @p when must not be in the past relative to the last
+     *      runDue() call.
+     */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        if (when < lastRun_)
+            vpc_panic("event scheduled in the past ({} < {})",
+                      when, lastRun_);
+        heap.push(Entry{when, nextSeq++, std::move(cb)});
+    }
+
+    /**
+     * Run every event due at or before @p now, in deterministic order.
+     * Events may schedule further events (including for @p now).
+     *
+     * @param now current cycle
+     * @return number of events executed
+     */
+    std::size_t
+    runDue(Cycle now)
+    {
+        lastRun_ = now;
+        std::size_t n = 0;
+        while (!heap.empty() && heap.top().when <= now) {
+            // Move the callback out before popping so the event may
+            // schedule new events without invalidating the heap top.
+            Callback cb = std::move(heap.top().cb);
+            heap.pop();
+            cb();
+            ++n;
+        }
+        return n;
+    }
+
+    /** @return cycle of the earliest pending event, or kCycleMax. */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap.empty() ? kCycleMax : heap.top().when;
+    }
+
+    /** @return true if no events are pending. */
+    bool empty() const { return heap.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        mutable Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::uint64_t nextSeq = 0;
+    Cycle lastRun_ = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_SIM_EVENT_QUEUE_HH

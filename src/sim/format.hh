@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal "{}"-style string formatting.
+ *
+ * The toolchain this project targets (GCC 12) does not ship
+ * std::format, so logging and table output use this small formatter
+ * instead.  Supported placeholder forms:
+ *
+ *   {}      - stream the argument with operator<<
+ *   {:#x}   - hexadecimal with 0x prefix (integers)
+ *   {:.Nf}  - fixed-point with N decimals (floating point)
+ *
+ * Any other specification falls back to plain streaming.  Surplus
+ * placeholders render as-is; surplus arguments are ignored.
+ */
+
+#ifndef VPC_SIM_FORMAT_HH
+#define VPC_SIM_FORMAT_HH
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vpc
+{
+
+namespace detail
+{
+
+/** Render one argument under the spec found between ':' and '}'. */
+template <typename T>
+std::string
+renderArg(std::string_view spec, const T &value)
+{
+    std::ostringstream os;
+    if (spec.find('x') != std::string_view::npos) {
+        if (spec.find('#') != std::string_view::npos)
+            os << "0x";
+        if constexpr (std::is_integral_v<T>) {
+            os << std::hex
+               << static_cast<unsigned long long>(value);
+        } else {
+            os << value;
+        }
+    } else if (auto dot = spec.find('.');
+               dot != std::string_view::npos) {
+        int digits = 0;
+        for (std::size_t i = dot + 1;
+             i < spec.size() && spec[i] >= '0' && spec[i] <= '9'; ++i)
+            digits = digits * 10 + (spec[i] - '0');
+        if constexpr (std::is_arithmetic_v<T>) {
+            os << std::fixed << std::setprecision(digits)
+               << static_cast<double>(value);
+        } else {
+            os << value;
+        }
+    } else {
+        os << value;
+    }
+    return os.str();
+}
+
+inline void
+formatImpl(std::string &out, std::string_view f)
+{
+    out.append(f);
+}
+
+template <typename T, typename... Rest>
+void
+formatImpl(std::string &out, std::string_view f, const T &first,
+           const Rest &...rest)
+{
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        if (f[i] == '{' && i + 1 < f.size() && f[i + 1] == '{') {
+            out.push_back('{');
+            ++i;
+            continue;
+        }
+        if (f[i] == '{') {
+            std::size_t close = f.find('}', i);
+            if (close == std::string_view::npos) {
+                out.append(f.substr(i));
+                return;
+            }
+            std::string_view spec = f.substr(i + 1, close - i - 1);
+            out += renderArg(spec, first);
+            formatImpl(out, f.substr(close + 1), rest...);
+            return;
+        }
+        out.push_back(f[i]);
+    }
+}
+
+} // namespace detail
+
+/** @return @p f with "{}" placeholders replaced by @p args in order. */
+template <typename... Args>
+std::string
+format(std::string_view f, const Args &...args)
+{
+    std::string out;
+    out.reserve(f.size() + 16);
+    detail::formatImpl(out, f, args...);
+    return out;
+}
+
+} // namespace vpc
+
+#endif // VPC_SIM_FORMAT_HH

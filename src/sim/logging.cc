@@ -1,0 +1,40 @@
+#include "sim/logging.hh"
+
+namespace vpc
+{
+namespace detail
+{
+
+void
+panicExit(std::string_view msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %.*s\n  at %s:%d\n",
+                 static_cast<int>(msg.size()), msg.data(), file, line);
+    std::abort();
+}
+
+void
+fatalExit(std::string_view msg, const char *file, int line)
+{
+    std::fprintf(stderr, "fatal: %.*s\n  at %s:%d\n",
+                 static_cast<int>(msg.size()), msg.data(), file, line);
+    std::exit(1);
+}
+
+void
+warnPrint(std::string_view msg)
+{
+    std::fprintf(stderr, "warn: %.*s\n",
+                 static_cast<int>(msg.size()), msg.data());
+}
+
+void
+informPrint(std::string_view msg)
+{
+    std::fprintf(stdout, "info: %.*s\n",
+                 static_cast<int>(msg.size()), msg.data());
+    std::fflush(stdout);
+}
+
+} // namespace detail
+} // namespace vpc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in this
+ *            code base); aborts.
+ * fatal()  - the simulation cannot continue because of a user error (bad
+ *            configuration, invalid arguments); exits with status 1.
+ * warn()   - something is suspicious but the simulation can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef VPC_SIM_LOGGING_HH
+#define VPC_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "sim/format.hh"
+
+namespace vpc
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicExit(std::string_view msg,
+                            const char *file, int line);
+[[noreturn]] void fatalExit(std::string_view msg,
+                            const char *file, int line);
+void warnPrint(std::string_view msg);
+void informPrint(std::string_view msg);
+
+} // namespace detail
+
+/** Abort with a formatted message; use for internal invariant failures. */
+#define vpc_panic(...) \
+    ::vpc::detail::panicExit(::vpc::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Exit(1) with a formatted message; use for user/configuration errors. */
+#define vpc_fatal(...) \
+    ::vpc::detail::fatalExit(::vpc::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Print a warning; the simulation continues. */
+#define vpc_warn(...) \
+    ::vpc::detail::warnPrint(::vpc::format(__VA_ARGS__))
+
+/** Print an informational status message. */
+#define vpc_inform(...) \
+    ::vpc::detail::informPrint(::vpc::format(__VA_ARGS__))
+
+} // namespace vpc
+
+#endif // VPC_SIM_LOGGING_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * The simulator must be bit-reproducible across runs and platforms, so we
+ * use our own small PCG32 generator rather than std::mt19937 +
+ * distribution objects (whose output is implementation-defined for
+ * floating-point distributions).
+ */
+
+#ifndef VPC_SIM_RANDOM_HH
+#define VPC_SIM_RANDOM_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+/**
+ * PCG32 (O'Neill) pseudo-random generator.
+ *
+ * 64-bit state, 32-bit output, period 2^64.  Deterministic given a seed
+ * and stream id.
+ */
+class Rng
+{
+  public:
+    /**
+     * @param seed initial state seed
+     * @param stream stream selector; generators with different streams
+     *        produce independent sequences from the same seed
+     */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+        : state(0), inc((stream << 1u) | 1u)
+    {
+        next32();
+        state += seed;
+        next32();
+    }
+
+    /** @return the next raw 32-bit value. */
+    std::uint32_t
+    next32()
+    {
+        std::uint64_t old = state;
+        state = old * 6364136223846793005ULL + inc;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+    }
+
+    /** @return a uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        if (bound == 0)
+            vpc_panic("Rng::below called with bound 0");
+        // Debiased modulo (Lemire-style rejection).
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next32();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next32() * (1.0 / 4294967296.0);
+    }
+
+    /** @return true with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /**
+     * Sample a (truncated) geometric run length >= 1 with mean roughly
+     * @p mean.  Used for burst-length synthesis in workload generators.
+     */
+    std::uint32_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        double p = 1.0 / mean;
+        std::uint32_t n = 1;
+        while (n < 100000 && !chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    std::uint64_t state;
+    std::uint64_t inc;
+};
+
+} // namespace vpc
+
+#endif // VPC_SIM_RANDOM_HH

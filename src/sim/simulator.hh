@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cycle-stepped simulation driver.
+ *
+ * The Simulator advances one core cycle at a time.  Each cycle it first
+ * fires due events from the shared EventQueue, then calls tick() on every
+ * registered Ticking component in registration order.  Registration order
+ * is therefore part of the model: producers are registered before
+ * consumers so data moves at most one pipeline stage per cycle.
+ */
+
+#ifndef VPC_SIM_SIMULATOR_HH
+#define VPC_SIM_SIMULATOR_HH
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** Interface for components that do work every core cycle. */
+class Ticking
+{
+  public:
+    virtual ~Ticking() = default;
+
+    /** Perform this component's work for cycle @p now. */
+    virtual void tick(Cycle now) = 0;
+};
+
+/** Owns simulated time; steps registered components and the event queue. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /**
+     * Register a component for per-cycle ticking.  The simulator does
+     * not take ownership; the component must outlive the simulator run.
+     */
+    void addTicking(Ticking *t) { components.push_back(t); }
+
+    /** @return the shared event queue. */
+    EventQueue &events() { return queue; }
+
+    /** @return the current cycle. */
+    Cycle now() const { return cycle_; }
+
+    /** Advance the simulation by exactly one cycle. */
+    void
+    step()
+    {
+        queue.runDue(cycle_);
+        for (Ticking *t : components)
+            t->tick(cycle_);
+        ++cycle_;
+    }
+
+    /** Advance the simulation by @p cycles cycles. */
+    void
+    run(Cycle cycles)
+    {
+        Cycle end = cycle_ + cycles;
+        while (cycle_ < end)
+            step();
+    }
+
+  private:
+    EventQueue queue;
+    std::vector<Ticking *> components;
+    Cycle cycle_ = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_SIM_SIMULATOR_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * All timing in the simulator is expressed in *core* (processor) clock
+ * cycles, matching the convention of Table 1 of the paper ("latencies
+ * measured in processor cycles").  Components that run at a divided clock
+ * (the L2 cache and crossbar run at 1/2 core frequency, the SDRAM channel
+ * at 1/5) simply use latencies that are multiples of their clock ratio.
+ */
+
+#ifndef VPC_SIM_TYPES_HH
+#define VPC_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace vpc
+{
+
+/** Simulated time, in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** Hardware thread (== processor in this study) identifier. */
+using ThreadId = std::uint32_t;
+
+/** Monotonically increasing per-system request sequence number. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/** Sentinel thread id used for requests not owned by any thread. */
+constexpr ThreadId kInvalidThread =
+    std::numeric_limits<ThreadId>::max();
+
+/**
+ * Round an address down to the start of its cache line.
+ *
+ * @param addr byte address
+ * @param line_bytes cache line size; must be a power of two
+ * @return the line-aligned address
+ */
+constexpr Addr
+lineAlign(Addr addr, Addr line_bytes)
+{
+    return addr & ~(line_bytes - 1);
+}
+
+/** @return true iff @p x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Integer log2 for power-of-two values. */
+constexpr unsigned
+log2i(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace vpc
+
+#endif // VPC_SIM_TYPES_HH

@@ -1,0 +1,121 @@
+#include "system/cmp_system.hh"
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+CmpSystem::CmpSystem(SystemConfig cfg_,
+                     std::vector<std::unique_ptr<Workload>> workloads_)
+    : cfg(std::move(cfg_)), workloads(std::move(workloads_))
+{
+    cfg.validate();
+    if (workloads.size() != cfg.numProcessors)
+        vpc_fatal("{} workloads for {} processors", workloads.size(),
+                  cfg.numProcessors);
+
+    std::vector<double> mem_shares;
+    mem_shares.reserve(cfg.shares.size());
+    for (const QosShare &s : cfg.shares)
+        mem_shares.push_back(s.phi);
+    mem_ = std::make_unique<MemoryController>(cfg.mem,
+                                              cfg.numProcessors,
+                                              cfg.l2.lineBytes,
+                                              sim.events(),
+                                              mem_shares);
+    l2_ = std::make_unique<L2Cache>(cfg, sim.events(), *mem_);
+
+    for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+        l1s.push_back(std::make_unique<L1DCache>(cfg.l1ConfigFor(t),
+                                                 t, sim.events()));
+        L1DCache &l1 = *l1s.back();
+        L2Cache &l2 = *l2_;
+        l1.setMissHandler([&l2, t](Addr line_addr, Cycle now,
+                                   bool prefetch) {
+            l2.load(t, line_addr, now, prefetch);
+        });
+        cpus.push_back(std::make_unique<Cpu>(cfg.core, t,
+                                             *workloads[t], l1, *l2_));
+    }
+
+    l2_->setResponseHandler([this](ThreadId t, Addr line_addr) {
+        l1s.at(t)->fill(line_addr, sim.now());
+    });
+
+    // Registration order defines intra-cycle evaluation order:
+    // cores produce requests, the L2 moves them, memory follows.
+    for (auto &cpu : cpus)
+        sim.addTicking(cpu.get());
+    sim.addTicking(l2_.get());
+    sim.addTicking(mem_.get());
+}
+
+void
+CmpSystem::run(Cycle cycles)
+{
+    sim.run(cycles);
+}
+
+SystemSnapshot
+CmpSystem::snapshot() const
+{
+    SystemSnapshot s;
+    s.cycle = sim.now();
+    for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+        s.instrs.push_back(cpus[t]->instrsRetired());
+        s.loads.push_back(cpus[t]->loadsRetired());
+        s.stores.push_back(cpus[t]->storesRetired());
+        s.l2Reads.push_back(l2_->readCount(t));
+        s.l2Writes.push_back(l2_->writeCount(t));
+        s.l2Misses.push_back(l2_->missCount(t));
+        s.sgbStores.push_back(l2_->storesTotal(t));
+        s.sgbGathered.push_back(l2_->storesGathered(t));
+    }
+    s.tagBusy = l2_->tagBusyMean();
+    s.dataBusy = l2_->dataBusyMean();
+    s.busBusy = l2_->busBusyMean();
+    return s;
+}
+
+IntervalStats
+CmpSystem::interval(const SystemSnapshot &a, const SystemSnapshot &b)
+{
+    if (b.cycle < a.cycle)
+        vpc_panic("interval endpoints out of order");
+    IntervalStats out;
+    out.cycles = b.cycle - a.cycle;
+    double window = static_cast<double>(out.cycles);
+    for (std::size_t t = 0; t < a.instrs.size(); ++t) {
+        std::uint64_t di = b.instrs[t] - a.instrs[t];
+        out.instrs.push_back(di);
+        out.ipc.push_back(window > 0.0
+                          ? static_cast<double>(di) / window : 0.0);
+        out.l2Reads.push_back(b.l2Reads[t] - a.l2Reads[t]);
+        out.l2Writes.push_back(b.l2Writes[t] - a.l2Writes[t]);
+        out.l2Misses.push_back(b.l2Misses[t] - a.l2Misses[t]);
+        out.sgbStores.push_back(b.sgbStores[t] - a.sgbStores[t]);
+        out.sgbGathered.push_back(b.sgbGathered[t] - a.sgbGathered[t]);
+    }
+    if (window > 0.0) {
+        // A grant accrues its full occupancy immediately, so a window
+        // boundary can land inside an access; clamp the spill-over.
+        auto clamp01 = [](double v) {
+            return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+        };
+        out.tagUtil = clamp01((b.tagBusy - a.tagBusy) / window);
+        out.dataUtil = clamp01((b.dataBusy - a.dataBusy) / window);
+        out.busUtil = clamp01((b.busBusy - a.busBusy) / window);
+    }
+    return out;
+}
+
+IntervalStats
+CmpSystem::runAndMeasure(Cycle warmup, Cycle measure)
+{
+    run(warmup);
+    SystemSnapshot before = snapshot();
+    run(measure);
+    return interval(before, snapshot());
+}
+
+} // namespace vpc

@@ -1,0 +1,111 @@
+#include "system/experiment.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+SystemConfig
+makeBaselineConfig(unsigned num_processors, ArbiterPolicy policy)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = num_processors;
+    cfg.arbiterPolicy = policy;
+    cfg.shares.assign(num_processors,
+                      QosShare{1.0 / num_processors,
+                               1.0 / num_processors});
+    cfg.validate();
+    return cfg;
+}
+
+Cycle
+ceilEven(double cycles)
+{
+    auto c = static_cast<Cycle>(std::ceil(cycles - 1e-9));
+    if (c < 2)
+        c = 2;
+    return (c % 2 == 0) ? c : c + 1;
+}
+
+SystemConfig
+makePrivateConfig(const SystemConfig &base, double phi, double beta)
+{
+    if (phi <= 0.0)
+        vpc_fatal("private-equivalent machine undefined for phi == 0");
+
+    SystemConfig cfg = base;
+    cfg.numProcessors = 1;
+    // The uniprocessor baseline uses the private-cache arbiter policy
+    // (RoW-FCFS) -- Section 5.1.
+    cfg.arbiterPolicy = ArbiterPolicy::RowFcfs;
+    cfg.capacityPolicy = CapacityPolicy::Lru;
+    cfg.shares = {QosShare{1.0, 1.0}};
+
+    // Same number of sets, beta of the ways: shrink total capacity in
+    // proportion to the ways kept.
+    auto ways = static_cast<unsigned>(base.l2.ways * beta + 1e-9);
+    if (ways == 0)
+        ways = 1;
+    cfg.l2.sizeBytes = base.l2.sizeBytes / base.l2.ways * ways;
+    cfg.l2.ways = ways;
+
+    // All shared-resource latencies scale by 1/phi (bandwidth =
+    // 1/latency); occupancies stay even because the L2 runs at half
+    // the core frequency.
+    cfg.l2.tagLatency = ceilEven(base.l2.tagLatency / phi);
+    cfg.l2.dataLatency = ceilEven(base.l2.dataLatency / phi);
+    // Scale the *total* line occupancy of the bus (scaling the beat
+    // and re-multiplying by the beat count would round 1/phi up to a
+    // whole beat and overshoot badly, e.g. phi=0.75 doubling the bus
+    // time).  The critical-word beat scales directly.
+    Cycle base_occ = base.l2.busBeatCycles *
+                     (base.l2.lineBytes / base.l2.busBytes);
+    cfg.l2.busOccupancyOverride = ceilEven(base_occ / phi);
+    cfg.l2.busBeatCycles = ceilEven(base.l2.busBeatCycles / phi);
+
+    cfg.validate();
+    return cfg;
+}
+
+double
+targetIpc(const SystemConfig &base, const Workload &workload,
+          double phi, double beta, const RunLengths &lens)
+{
+    if (phi <= 0.0)
+        return 0.0;
+    SystemConfig cfg = makePrivateConfig(base, phi, beta);
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(workload.clone(1));
+    CmpSystem sys(std::move(cfg), std::move(wl));
+    IntervalStats stats = sys.runAndMeasure(lens.warmup, lens.measure);
+    return stats.ipc.at(0);
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+minimum(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double m = values.front();
+    for (double v : values)
+        m = std::min(m, v);
+    return m;
+}
+
+} // namespace vpc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Command-line options for the vpcsim driver.
+ *
+ * Parses an argv-style option list into a SystemConfig plus one
+ * workload specification per processor, so experiments can be run
+ * without writing C++:
+ *
+ *   vpcsim --arbiter=vpc --phi=0.5,0.5 --beta=0.5,0.5 \
+ *          --workload=loads,stores --cycles=200000
+ *
+ * Workload specs: "loads", "stores", "idle", any SPEC 2000 stand-in
+ * name (e.g. "mcf"), or "trace:<path>".
+ */
+
+#ifndef VPC_SYSTEM_OPTIONS_HH
+#define VPC_SYSTEM_OPTIONS_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workload/workload.hh"
+
+namespace vpc
+{
+
+/** Parsed vpcsim invocation. */
+struct SimOptions
+{
+    SystemConfig config;
+    std::vector<std::string> workloadSpecs;
+    Cycle warmup = 100'000;
+    Cycle measure = 400'000;
+    bool dumpStats = false;
+    std::uint64_t seed = 1;
+
+    /** Build the workload objects described by workloadSpecs. */
+    std::vector<std::unique_ptr<Workload>> buildWorkloads() const;
+};
+
+/**
+ * Parse @p args (without argv[0]).
+ *
+ * @param args option strings
+ * @param error_out on failure, receives a human-readable message
+ * @return the parsed options, or std::nullopt on error
+ */
+std::optional<SimOptions>
+parseSimOptions(const std::vector<std::string> &args,
+                std::string &error_out);
+
+/** @return the --help text. */
+std::string simUsage();
+
+/**
+ * Build one workload from a spec string.
+ *
+ * @param spec "loads" | "stores" | "idle" | a SPEC name | "trace:path"
+ * @param base_addr thread address-space base
+ * @param seed generator seed
+ * @param error_out receives a message when the spec is unknown
+ * @return the workload, or nullptr on error
+ */
+std::unique_ptr<Workload>
+makeWorkloadFromSpec(const std::string &spec, Addr base_addr,
+                     std::uint64_t seed, std::string &error_out);
+
+} // namespace vpc
+
+#endif // VPC_SYSTEM_OPTIONS_HH

@@ -1,0 +1,121 @@
+#include "system/stats_report.hh"
+
+#include <iomanip>
+
+#include "sim/format.hh"
+
+namespace vpc
+{
+
+namespace
+{
+
+void
+line(std::ostream &os, const std::string &name, double value,
+     const char *desc)
+{
+    os << std::left << std::setw(44) << name << std::setw(16)
+       << value << "# " << desc << "\n";
+}
+
+void
+line(std::ostream &os, const std::string &name, std::uint64_t value,
+     const char *desc)
+{
+    os << std::left << std::setw(44) << name << std::setw(16)
+       << value << "# " << desc << "\n";
+}
+
+} // namespace
+
+void
+dumpStats(CmpSystem &sys, std::ostream &os, Cycle window)
+{
+    const SystemConfig &cfg = sys.config();
+    os << "---------- Begin Simulation Statistics ----------\n";
+    line(os, "sim.cycles", static_cast<std::uint64_t>(sys.now()),
+         "simulated core cycles");
+
+    for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+        std::string p = format("cpu{}.", t);
+        Cpu &cpu = sys.cpu(t);
+        line(os, p + "instrs", cpu.instrsRetired(),
+             "instructions retired");
+        line(os, p + "ipc", cpu.ipc(window), "instructions per cycle");
+        line(os, p + "loads", cpu.loadsRetired(), "loads retired");
+        line(os, p + "stores", cpu.storesRetired(), "stores retired");
+        line(os, p + "storeStallCycles", cpu.storeStallCycles(),
+             "retire stalls on full store gathering buffer");
+
+        std::string l = format("l1d{}.", t);
+        L1DCache &l1 = sys.l1(t);
+        line(os, l + "hits", l1.hitCount(), "L1 load hits");
+        line(os, l + "misses", l1.missCount(), "L1 primary misses");
+        line(os, l + "mergedMisses", l1.mergedMissCount(),
+             "secondary misses merged into an MSHR");
+        line(os, l + "blocked", l1.blockedCount(),
+             "loads blocked on full MSHRs");
+        line(os, l + "prefetches", l1.prefetchesIssued(),
+             "prefetch lines requested");
+        line(os, l + "prefetchLateUseful", l1.prefetchesLateUseful(),
+             "demand misses merged into in-flight prefetches");
+    }
+
+    L2Cache &l2 = sys.l2();
+    for (unsigned b = 0; b < l2.numBanks(); ++b) {
+        std::string p = format("l2.bank{}.", b);
+        L2Bank &bank = l2.bank(b);
+        line(os, p + "tag.util",
+             bank.tagArray().util().utilization(window),
+             "tag array busy fraction");
+        line(os, p + "data.util",
+             bank.dataArray().util().utilization(window),
+             "data array busy fraction");
+        line(os, p + "bus.util",
+             bank.dataBus().util().utilization(window),
+             "data bus busy fraction");
+        line(os, p + "tag.accesses", bank.tagArray().accessCount(),
+             "tag array accesses");
+        line(os, p + "data.accesses", bank.dataArray().accessCount(),
+             "data array accesses");
+        line(os, p + "bus.transfers", bank.dataBus().accessCount(),
+             "data bus line transfers");
+        line(os, p + "rcqHighWater",
+             static_cast<std::uint64_t>(bank.readClaimHighWater()),
+             "read-claim queue peak occupancy");
+        for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+            std::string q = format("l2.bank{}.thread{}.", b, t);
+            line(os, q + "reads", bank.readCount(t),
+                 "L2 read requests admitted");
+            line(os, q + "writes", bank.writeCount(t),
+                 "L2 write requests admitted");
+            line(os, q + "misses", bank.threadMissCount(t),
+                 "L2 misses");
+            line(os, q + "dataGrants",
+                 bank.dataArray().arbiter().grantCount(t),
+                 "data array grants");
+            line(os, q + "sgbGathered", bank.sgb(t).storesGathered(),
+                 "stores gathered into existing entries");
+            line(os, q + "sgbStores", bank.sgb(t).storesTotal(),
+                 "stores delivered to the gathering buffer");
+        }
+        line(os, p + "arbiter.queueDelayMean",
+             bank.dataArray().arbiter().queueDelay().mean(),
+             "mean data-array arbitration delay, cycles");
+    }
+
+    for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+        std::string p = format("mem.thread{}.", t);
+        MemoryController &mc = sys.mem();
+        line(os, p + "reads", mc.readCount(t), "line reads serviced");
+        line(os, p + "writes", mc.writeCount(t),
+             "line writebacks serviced");
+        line(os, p + "readLatencyMean", mc.readLatency(t).mean(),
+             "mean read latency, cycles");
+        line(os, p + "readLatencyMax", mc.readLatency(t).max(),
+             "max read latency, cycles");
+    }
+    os << "---------- End Simulation Statistics   ----------\n";
+}
+
+} // namespace vpc

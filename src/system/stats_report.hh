@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hierarchical statistics dump in the gem5 stats.txt idiom.
+ *
+ * Walks a CmpSystem and writes one `name value # description` line per
+ * statistic: per-core retirement and stall counters, per-L1 hit/miss
+ * and prefetch counters, per-bank shared-resource utilizations and
+ * per-thread grant counts, store-gathering effectiveness, and memory
+ * channel statistics.  Benches print focused tables; this report is
+ * the "everything" view for debugging and for users building their
+ * own experiments.
+ */
+
+#ifndef VPC_SYSTEM_STATS_REPORT_HH
+#define VPC_SYSTEM_STATS_REPORT_HH
+
+#include <ostream>
+
+#include "system/cmp_system.hh"
+
+namespace vpc
+{
+
+/**
+ * Write every model statistic of @p sys to @p os.
+ *
+ * @param sys the simulated system
+ * @param os output stream
+ * @param window cycles elapsed (for utilization fractions); pass
+ *        sys.now() for whole-run statistics
+ */
+void dumpStats(CmpSystem &sys, std::ostream &os, Cycle window);
+
+} // namespace vpc
+
+#endif // VPC_SYSTEM_STATS_REPORT_HH

@@ -1,0 +1,57 @@
+#include "system/table_printer.hh"
+
+#include <algorithm>
+
+namespace vpc
+{
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> columns,
+                           std::size_t min_width)
+{
+    widths.reserve(columns.size());
+    for (const std::string &c : columns)
+        widths.push_back(std::max(min_width, c.size() + 2));
+    for (std::size_t w : widths)
+        totalWidth += w;
+
+    std::printf("\n%s\n", title.c_str());
+    rule();
+    row(columns);
+    rule();
+}
+
+void
+TablePrinter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        std::string cell = i < cells.size() ? cells[i] : "";
+        std::printf("%-*s", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+void
+TablePrinter::rule()
+{
+    std::printf("%s\n", std::string(totalWidth, '-').c_str());
+}
+
+std::string
+TablePrinter::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+    return buf;
+}
+
+} // namespace vpc

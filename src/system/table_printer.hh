@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-width table output used by the benches to print the rows and
+ * series of each reproduced table/figure.
+ */
+
+#ifndef VPC_SYSTEM_TABLE_PRINTER_HH
+#define VPC_SYSTEM_TABLE_PRINTER_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vpc
+{
+
+/** Streams rows of a fixed-width text table to stdout. */
+class TablePrinter
+{
+  public:
+    /**
+     * @param title caption printed above the table
+     * @param columns column headings; widths adapt to the headings
+     *        with a minimum of @p min_width characters
+     */
+    TablePrinter(std::string title, std::vector<std::string> columns,
+                 std::size_t min_width = 10);
+
+    /** Print one row; cells beyond the column count are ignored. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Print a horizontal rule. */
+    void rule();
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string num(double v, int digits = 3);
+
+    /** Format helper: percentage with one decimal. */
+    static std::string pct(double v);
+
+  private:
+    std::vector<std::size_t> widths;
+    std::size_t totalWidth = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_SYSTEM_TABLE_PRINTER_HH

@@ -1,0 +1,43 @@
+#include "workload/microbench.hh"
+
+namespace vpc
+{
+
+MicroBenchmark::MicroBenchmark(bool is_store, Addr base_addr)
+    : isStore(is_store), base(base_addr)
+{}
+
+MicroOp
+MicroBenchmark::next()
+{
+    MicroOp op;
+    if (phase < kUnroll) {
+        // lwz/stw r3, <row offset>(r2)
+        op.kind = isStore ? MicroOp::Kind::Store : MicroOp::Kind::Load;
+        op.addr = base + row;
+        row += kRowBytes;
+        if (row >= kArrayBytes)
+            row = 0;
+        ++phase;
+    } else {
+        // r2 <- r2 + 256 (address increment of the unrolled body)
+        op.kind = MicroOp::Kind::Compute;
+        phase = 0;
+    }
+    return op;
+}
+
+std::string
+MicroBenchmark::name() const
+{
+    return isStore ? "Stores" : "Loads";
+}
+
+std::unique_ptr<Workload>
+MicroBenchmark::clone(std::uint64_t seed) const
+{
+    (void)seed; // deterministic benchmark; nothing to reseed
+    return std::make_unique<MicroBenchmark>(isStore, base);
+}
+
+} // namespace vpc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The Loads and Stores microbenchmarks of Table 2.
+ *
+ * Each operates on a two-dimensional array of 32-bit words whose rows
+ * are 64 bytes (one L1 line) and whose total size is 32KB -- twice the
+ * L1 data cache -- so every access misses the L1 and hits the L2,
+ * creating a constant stream of L2 traffic.  The loop is unrolled four
+ * times: four memory operations followed by one address-increment
+ * compute op, touching the first word of four consecutive rows.
+ *
+ * Loads stresses L2 load bandwidth; Stores stresses L2 store bandwidth
+ * (consecutive stores touch different lines, so none gather).
+ */
+
+#ifndef VPC_WORKLOAD_MICROBENCH_HH
+#define VPC_WORKLOAD_MICROBENCH_HH
+
+#include "workload/workload.hh"
+
+namespace vpc
+{
+
+/** Common row-walk machinery for the two microbenchmarks. */
+class MicroBenchmark : public Workload
+{
+  public:
+    /**
+     * @param is_store emit stores instead of loads
+     * @param base_addr start of this thread's private array
+     */
+    MicroBenchmark(bool is_store, Addr base_addr);
+
+    MicroOp next() override;
+    std::string name() const override;
+    std::unique_ptr<Workload> clone(std::uint64_t seed) const override;
+
+    /** Array geometry from Table 2. */
+    static constexpr Addr kRowBytes = 64;
+    static constexpr Addr kArrayBytes = 32 * 1024;
+    static constexpr unsigned kUnroll = 4;
+
+  private:
+    bool isStore;
+    Addr base;
+    Addr row = 0;        //!< current row offset within the array
+    unsigned phase = 0;  //!< position within the unrolled loop body
+};
+
+/** The Loads microbenchmark: a constant stream of L2 read hits. */
+class LoadsBenchmark : public MicroBenchmark
+{
+  public:
+    explicit LoadsBenchmark(Addr base_addr)
+        : MicroBenchmark(false, base_addr)
+    {}
+};
+
+/** The Stores microbenchmark: a constant stream of L2 writes. */
+class StoresBenchmark : public MicroBenchmark
+{
+  public:
+    explicit StoresBenchmark(Addr base_addr)
+        : MicroBenchmark(true, base_addr)
+    {}
+};
+
+} // namespace vpc
+
+#endif // VPC_WORKLOAD_MICROBENCH_HH

@@ -1,0 +1,129 @@
+#include "workload/spec2000.hh"
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+namespace
+{
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+/** One row of the calibration table. */
+SyntheticParams
+profile(const char *name, double mem_frac, double store_frac,
+        double store_loc, std::uint64_t ws, double hot_frac,
+        double dep_frac, double stream_frac)
+{
+    SyntheticParams p;
+    p.name = name;
+    p.memFrac = mem_frac;
+    p.storeFrac = store_frac;
+    p.storeLocality = store_loc;
+    p.workingSetBytes = ws;
+    p.hotFrac = hot_frac;
+    p.depFrac = dep_frac;
+    p.streamFrac = stream_frac;
+    return p;
+}
+
+
+/** A row with an additional L2-resident reuse region. */
+SyntheticParams
+l2profile(const char *name, double mem_frac, double store_frac,
+          double store_loc, std::uint64_t ws, double hot_frac,
+          double dep_frac, double stream_frac, double l2_frac,
+          std::uint64_t l2_bytes)
+{
+    SyntheticParams p = profile(name, mem_frac, store_frac, store_loc,
+                                ws, hot_frac, dep_frac, stream_frac);
+    p.l2Frac = l2_frac;
+    p.l2Bytes = l2_bytes;
+    return p;
+}
+
+/**
+ * Calibration table, ordered by resulting data-array utilization
+ * (Figure 6's ordering).  Columns: memFrac, storeFrac, storeLocality,
+ * workingSet, hotFrac, depFrac, streamFrac.
+ */
+const std::vector<SyntheticParams> &
+table()
+{
+    static const std::vector<SyntheticParams> t = {
+        profile("art",      0.45, 0.32, 0.70, 512 * KiB,  0.60, 0.05,
+                0.35),
+        profile("vpr",      0.40, 0.38, 0.78, 512 * KiB,  0.81, 0.15,
+                0.40),
+        profile("mesa",     0.40, 0.42, 0.88, 384 * KiB,  0.875, 0.10,
+                0.50),
+        profile("crafty",   0.38, 0.42, 0.91, 256 * KiB,  0.91, 0.10,
+                0.40),
+        profile("gap",      0.36, 0.40, 0.85, 512 * KiB,  0.885, 0.10,
+                0.50),
+        l2profile("mcf",    0.40, 0.25, 0.80, 64 * MiB,   0.35, 0.25,
+                0.00, 0.90, 1 * MiB),
+        profile("apsi",     0.36, 0.40, 0.80, 768 * KiB,  0.86, 0.10,
+                0.60),
+        profile("twolf",    0.35, 0.36, 0.88, 512 * KiB,  0.91, 0.15,
+                0.30),
+        profile("gcc",      0.34, 0.42, 0.90, 512 * KiB,  0.93, 0.10,
+                0.40),
+        profile("gzip",     0.30, 0.38, 0.93, 256 * KiB,  0.96, 0.10,
+                0.50),
+        l2profile("lucas",  0.30, 0.22, 0.75, 64 * MiB,   0.68, 0.10,
+                0.95, 0.55, 512 * KiB),
+        profile("equake",   0.35, 0.05, 0.60, 64 * MiB,   0.68, 0.20,
+                0.95),
+        profile("swim",     0.35, 0.05, 0.60, 128 * MiB,  0.78, 0.10,
+                0.95),
+        profile("wupwise",  0.30, 0.36, 0.94, 512 * KiB,  0.96, 0.10,
+                0.60),
+        profile("ammp",     0.30, 0.33, 0.95, 512 * KiB,  0.968, 0.15,
+                0.40),
+        profile("bzip2",    0.30, 0.30, 0.96, 256 * KiB,  0.98, 0.10,
+                0.50),
+        profile("mgrid",    0.30, 0.25, 0.97, 256 * KiB,  0.988, 0.05,
+                0.80),
+        profile("sixtrack", 0.22, 0.20, 0.98, 128 * KiB,  0.995, 0.05,
+                0.50),
+    };
+    return t;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+spec2000Names()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        v.reserve(table().size());
+        for (const SyntheticParams &p : table())
+            v.push_back(p.name);
+        return v;
+    }();
+    return names;
+}
+
+const SyntheticParams &
+spec2000Params(const std::string &name)
+{
+    for (const SyntheticParams &p : table()) {
+        if (p.name == name)
+            return p;
+    }
+    vpc_fatal("unknown SPEC 2000 benchmark '{}'", name);
+}
+
+std::unique_ptr<Workload>
+makeSpec2000(const std::string &name, Addr base_addr,
+             std::uint64_t seed)
+{
+    return std::make_unique<SyntheticWorkload>(spec2000Params(name),
+                                               base_addr, seed);
+}
+
+} // namespace vpc

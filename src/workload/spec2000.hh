@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Calibrated SPEC CPU 2000 stand-in profiles.
+ *
+ * The paper evaluates twenty 100M-instruction sampled SPEC 2000 traces;
+ * those traces are proprietary, so each benchmark named in the
+ * evaluation is modeled by a SyntheticWorkload whose parameters are
+ * calibrated against the characteristics the paper itself publishes:
+ *
+ *  - Figure 6's per-benchmark shared-resource utilizations, including
+ *    their ordering by data-array utilization (art highest, sixtrack
+ *    lowest; single-thread average ~26%);
+ *  - Figure 7's L2 write fraction (average 55% of L2 requests after
+ *    gathering) and store gathering rate (average 80%), with equake
+ *    and swim having very few L2 writes;
+ *  - the qualitative memory behaviour of well-known benchmarks (mcf's
+ *    pointer chasing, swim/lucas/equake streaming with L2 misses).
+ */
+
+#ifndef VPC_WORKLOAD_SPEC2000_HH
+#define VPC_WORKLOAD_SPEC2000_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace vpc
+{
+
+/** @return benchmark names in Figure 6 order (by data-array util). */
+const std::vector<std::string> &spec2000Names();
+
+/**
+ * Look up a benchmark's calibrated profile.
+ *
+ * @param name one of spec2000Names()
+ * @return the generator parameters; fatal error on unknown name
+ */
+const SyntheticParams &spec2000Params(const std::string &name);
+
+/**
+ * Construct a benchmark generator.
+ *
+ * @param name one of spec2000Names()
+ * @param base_addr thread-private address-space base
+ * @param seed RNG seed
+ */
+std::unique_ptr<Workload> makeSpec2000(const std::string &name,
+                                       Addr base_addr,
+                                       std::uint64_t seed);
+
+} // namespace vpc
+
+#endif // VPC_WORKLOAD_SPEC2000_HH

@@ -1,0 +1,79 @@
+#include "workload/synthetic.hh"
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticParams &params_,
+                                     Addr base_addr,
+                                     std::uint64_t seed)
+    : params(params_), base(base_addr), seed_(seed),
+      rng(seed, 0x9e3779b97f4a7c15ULL)
+{
+    if (params.workingSetBytes < kLineBytes)
+        vpc_fatal("synthetic working set smaller than one line");
+    if (params.hotBytes < kLineBytes)
+        vpc_fatal("synthetic hot region smaller than one line");
+}
+
+MicroOp
+SyntheticWorkload::next()
+{
+    MicroOp op;
+    if (!rng.chance(params.memFrac)) {
+        op.kind = MicroOp::Kind::Compute;
+        return op;
+    }
+
+    if (rng.chance(params.storeFrac)) {
+        op.kind = MicroOp::Kind::Store;
+        if (!rng.chance(params.storeLocality)) {
+            // Move to a fresh line; consecutive stores there gather.
+            std::uint64_t lines = params.workingSetBytes / kLineBytes;
+            storeLine = kLineBytes *
+                (rng.next32() % static_cast<std::uint32_t>(
+                     lines ? lines : 1));
+            storeWord = 0;
+        }
+        op.addr = base + storeLine + 4 * (storeWord % 16);
+        ++storeWord;
+        return op;
+    }
+
+    op.kind = MicroOp::Kind::Load;
+    op.dependsOnPrevLoad = rng.chance(params.depFrac);
+    if (rng.chance(params.hotFrac)) {
+        // L1-resident hot region.
+        std::uint64_t lines = params.hotBytes / kLineBytes;
+        op.addr = base + params.workingSetBytes +
+                  kLineBytes * (rng.next32() %
+                                static_cast<std::uint32_t>(lines));
+    } else if (rng.chance(params.l2Frac)) {
+        // Medium region with L2 reuse (misses the L1, hits the L2).
+        std::uint64_t lines = params.l2Bytes / kLineBytes;
+        op.addr = base + params.workingSetBytes + params.hotBytes +
+                  kLineBytes * (rng.next32() %
+                                static_cast<std::uint32_t>(lines));
+    } else if (rng.chance(params.streamFrac)) {
+        // Sequential walk through the working set.
+        op.addr = base + streamPos;
+        streamPos += kLineBytes;
+        if (streamPos >= params.workingSetBytes)
+            streamPos = 0;
+    } else {
+        // Random line in the working set.
+        std::uint64_t lines = params.workingSetBytes / kLineBytes;
+        op.addr = base + kLineBytes *
+                  (rng.next32() % static_cast<std::uint32_t>(lines));
+    }
+    return op;
+}
+
+std::unique_ptr<Workload>
+SyntheticWorkload::clone(std::uint64_t seed) const
+{
+    return std::make_unique<SyntheticWorkload>(params, base, seed);
+}
+
+} // namespace vpc

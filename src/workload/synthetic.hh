@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator.
+ *
+ * Stands in for the paper's SPEC CPU 2000 sampled traces, which are not
+ * redistributable.  Each generator emits an instruction mix shaped by a
+ * handful of parameters so that a benchmark's *pressure profile* on the
+ * shared L2 resources -- request rate, read/write mix, store-gathering
+ * rate, L2 hit/miss behaviour and memory-level parallelism -- matches
+ * the per-benchmark characteristics the paper reports (Figures 6/7).
+ * See spec2000.hh for the calibrated per-benchmark parameter table.
+ */
+
+#ifndef VPC_WORKLOAD_SYNTHETIC_HH
+#define VPC_WORKLOAD_SYNTHETIC_HH
+
+#include "sim/random.hh"
+#include "workload/workload.hh"
+
+namespace vpc
+{
+
+/** Tuning knobs for one synthetic benchmark. */
+struct SyntheticParams
+{
+    std::string name = "synthetic";
+    /** Fraction of dynamic ops that access memory. */
+    double memFrac = 0.3;
+    /** Of memory ops, fraction that are stores. */
+    double storeFrac = 0.3;
+    /**
+     * Probability a store stays on the current store line (consecutive
+     * same-line stores gather in the SGB); controls Figure 7's
+     * store-gathering rate.
+     */
+    double storeLocality = 0.8;
+    /** L2-level working set; > L2 share produces L2 misses. */
+    std::uint64_t workingSetBytes = 1 << 20;
+    /**
+     * Fraction of loads hitting a small L1-resident hot region;
+     * controls the L1 filter rate and hence L2 pressure.
+     */
+    double hotFrac = 0.5;
+    /** Hot region size (should be <= 1/2 the L1). */
+    std::uint64_t hotBytes = 4 * 1024;
+    /**
+     * Of the loads that miss the hot region, the fraction served from
+     * a medium, L2-resident region (reuse hits in the shared cache);
+     * the remainder go to the large working set (L2 misses when it
+     * exceeds the thread's share).  Gives benchmarks like mcf both
+     * L2 reuse and a memory-bound miss stream.
+     */
+    double l2Frac = 0.0;
+    /** L2-resident region size. */
+    std::uint64_t l2Bytes = 256 * 1024;
+    /**
+     * Probability a load depends on the previous load (pointer
+     * chasing); limits memory-level parallelism and increases
+     * sensitivity to L2 latency.
+     */
+    double depFrac = 0.1;
+    /**
+     * Fraction of working-set loads that walk sequentially (streaming)
+     * rather than jumping to a random line.
+     */
+    double streamFrac = 0.5;
+};
+
+/** An infinite instruction stream synthesized from SyntheticParams. */
+class SyntheticWorkload : public Workload
+{
+  public:
+    /**
+     * @param params benchmark profile
+     * @param base_addr start of this thread's private address space
+     * @param seed RNG seed (determines the exact op sequence)
+     */
+    SyntheticWorkload(const SyntheticParams &params, Addr base_addr,
+                      std::uint64_t seed);
+
+    MicroOp next() override;
+    std::string name() const override { return params.name; }
+    std::unique_ptr<Workload> clone(std::uint64_t seed) const override;
+
+    /** @return the generator's parameters. */
+    const SyntheticParams &parameters() const { return params; }
+
+  private:
+    static constexpr Addr kLineBytes = 64;
+
+    SyntheticParams params;
+    Addr base;
+    std::uint64_t seed_;
+    Rng rng;
+    Addr streamPos = 0;    //!< sequential walk position (bytes)
+    Addr storeLine = 0;    //!< current store target line offset
+    unsigned storeWord = 0;//!< next word within the store line
+};
+
+} // namespace vpc
+
+#endif // VPC_WORKLOAD_SYNTHETIC_HH

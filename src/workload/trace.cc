@@ -1,0 +1,189 @@
+#include "workload/trace.hh"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+namespace
+{
+
+/** Strip leading blanks and trailing comment/newline. */
+std::string
+cleaned(const std::string &raw)
+{
+    std::string s = raw;
+    std::size_t hash = s.find('#');
+    if (hash != std::string::npos)
+        s.erase(hash);
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+TraceWorkload::TraceWorkload(const std::string &path, Addr base_addr)
+    : path_(path), base(base_addr)
+{
+    // Display name: the file's basename.
+    std::size_t slash = path.find_last_of('/');
+    name_ = "trace:" +
+            (slash == std::string::npos ? path
+                                        : path.substr(slash + 1));
+
+    std::ifstream in(path);
+    if (!in)
+        vpc_fatal("cannot open trace file '{}'", path);
+
+    std::string raw;
+    unsigned line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string s = cleaned(raw);
+        if (s.empty())
+            continue;
+        std::istringstream ss(s);
+        std::string kind;
+        ss >> kind;
+        if (kind == "L" || kind == "S") {
+            std::string hex;
+            ss >> hex;
+            if (hex.empty())
+                vpc_fatal("{}:{}: missing address", path, line_no);
+            MicroOp op;
+            op.kind = kind == "L" ? MicroOp::Kind::Load
+                                  : MicroOp::Kind::Store;
+            try {
+                op.addr = base + std::stoull(hex, nullptr, 16);
+            } catch (const std::exception &) {
+                vpc_fatal("{}:{}: bad address '{}'", path, line_no,
+                          hex);
+            }
+            std::string dep;
+            ss >> dep;
+            if (dep == "d") {
+                if (kind != "L")
+                    vpc_fatal("{}:{}: dependence flag on a store",
+                              path, line_no);
+                op.dependsOnPrevLoad = true;
+            } else if (!dep.empty()) {
+                vpc_fatal("{}:{}: trailing junk '{}'", path, line_no,
+                          dep);
+            }
+            ops.push_back(op);
+        } else if (kind == "C") {
+            std::uint64_t n = 1;
+            std::string count;
+            ss >> count;
+            if (!count.empty()) {
+                try {
+                    n = std::stoull(count);
+                } catch (const std::exception &) {
+                    vpc_fatal("{}:{}: bad compute count '{}'", path,
+                              line_no, count);
+                }
+            }
+            for (std::uint64_t i = 0; i < n; ++i)
+                ops.push_back(MicroOp{});
+        } else {
+            vpc_fatal("{}:{}: unknown op '{}'", path, line_no, kind);
+        }
+    }
+    if (ops.empty())
+        vpc_fatal("trace file '{}' contains no operations", path);
+}
+
+MicroOp
+TraceWorkload::next()
+{
+    MicroOp op = ops[pos];
+    pos = (pos + 1) % ops.size();
+    return op;
+}
+
+std::unique_ptr<Workload>
+TraceWorkload::clone(std::uint64_t seed) const
+{
+    (void)seed; // a trace replays identically regardless of seed
+    return std::make_unique<TraceWorkload>(path_, base);
+}
+
+TraceRecorder::TraceRecorder(std::unique_ptr<Workload> inner_,
+                             const std::string &path,
+                             std::uint64_t max_ops)
+    : inner(std::move(inner_)), path_(path), maxOps(max_ops)
+{
+    if (!inner)
+        vpc_panic("TraceRecorder without inner workload");
+    file = std::fopen(path.c_str(), "w");
+    if (!file)
+        vpc_fatal("cannot open trace output '{}'", path);
+    std::fprintf(file, "# recorded from %s\n", inner->name().c_str());
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    if (file) {
+        flushComputes();
+        std::fclose(file);
+    }
+}
+
+void
+TraceRecorder::flushComputes()
+{
+    if (pendingComputes == 0 || !file)
+        return;
+    std::fprintf(file, "C %llu\n",
+                 static_cast<unsigned long long>(pendingComputes));
+    pendingComputes = 0;
+}
+
+MicroOp
+TraceRecorder::next()
+{
+    MicroOp op = inner->next();
+    if (file && written < maxOps) {
+        ++written;
+        switch (op.kind) {
+          case MicroOp::Kind::Compute:
+            ++pendingComputes;
+            break;
+          case MicroOp::Kind::Load:
+            flushComputes();
+            std::fprintf(file, "L %llx%s\n",
+                         static_cast<unsigned long long>(op.addr),
+                         op.dependsOnPrevLoad ? " d" : "");
+            break;
+          case MicroOp::Kind::Store:
+            flushComputes();
+            std::fprintf(file, "S %llx\n",
+                         static_cast<unsigned long long>(op.addr));
+            break;
+        }
+        if (written == maxOps) {
+            flushComputes();
+            std::fclose(file);
+            file = nullptr;
+        }
+    }
+    return op;
+}
+
+std::unique_ptr<Workload>
+TraceRecorder::clone(std::uint64_t seed) const
+{
+    // Clones replay the generator without re-recording (the file is
+    // owned by the original).
+    return inner->clone(seed);
+}
+
+} // namespace vpc

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Trace-driven workloads: capture and replay.
+ *
+ * The paper's methodology is trace-driven ("twenty 100 million
+ * instruction sampled traces").  These classes let users bring their
+ * own traces: TraceWorkload replays a simple text format, and
+ * TraceRecorder tees any generator's op stream to a file so synthetic
+ * runs can be captured once and replayed exactly.
+ *
+ * Trace format (one op per line, '#' starts a comment):
+ *
+ *   L <hex addr> [d]    load; optional 'd' marks a dependence on the
+ *                       previous load
+ *   S <hex addr>        store
+ *   C [n]               n compute ops (default 1)
+ *
+ * Replay loops back to the beginning at end of trace (benchmarks are
+ * modeled as infinite streams).
+ */
+
+#ifndef VPC_WORKLOAD_TRACE_HH
+#define VPC_WORKLOAD_TRACE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace vpc
+{
+
+/** Replays a recorded op trace in a loop. */
+class TraceWorkload : public Workload
+{
+  public:
+    /**
+     * Parse @p path eagerly; fatal error on malformed input.
+     *
+     * @param path trace file
+     * @param base_addr offset added to every traced address (thread
+     *        address-space placement)
+     */
+    explicit TraceWorkload(const std::string &path,
+                           Addr base_addr = 0);
+
+    MicroOp next() override;
+    std::string name() const override { return name_; }
+    std::unique_ptr<Workload> clone(std::uint64_t seed) const override;
+
+    /** @return parsed ops per loop iteration. */
+    std::size_t length() const { return ops.size(); }
+
+  private:
+    std::string path_;
+    std::string name_;
+    Addr base;
+    std::vector<MicroOp> ops;
+    std::size_t pos = 0;
+};
+
+/** Wraps a workload and writes every op it produces to a file. */
+class TraceRecorder : public Workload
+{
+  public:
+    /**
+     * @param inner generator to record; takes ownership
+     * @param path output trace file (truncated)
+     * @param max_ops stop recording (but keep forwarding) after this
+     *        many ops so endless runs do not fill the disk
+     */
+    TraceRecorder(std::unique_ptr<Workload> inner,
+                  const std::string &path,
+                  std::uint64_t max_ops = 1'000'000);
+
+    ~TraceRecorder() override;
+
+    MicroOp next() override;
+    std::string name() const override { return inner->name(); }
+    std::unique_ptr<Workload> clone(std::uint64_t seed) const override;
+
+    /** @return ops written so far. */
+    std::uint64_t recorded() const { return written; }
+
+  private:
+    std::unique_ptr<Workload> inner;
+    std::string path_;
+    std::FILE *file = nullptr;
+    std::uint64_t maxOps;
+    std::uint64_t written = 0;
+    std::uint64_t pendingComputes = 0;
+
+    /** Flush the run-length-encoded compute counter. */
+    void flushComputes();
+};
+
+} // namespace vpc
+
+#endif // VPC_WORKLOAD_TRACE_HH

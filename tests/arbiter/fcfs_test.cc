@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the FCFS arbiter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arbiter/fcfs_arbiter.hh"
+
+namespace vpc
+{
+namespace
+{
+
+ArbRequest
+makeReq(ThreadId t, SeqNum seq, bool write = false)
+{
+    ArbRequest r;
+    r.thread = t;
+    r.seq = seq;
+    r.isWrite = write;
+    return r;
+}
+
+TEST(FcfsArbiter, GrantsInArrivalOrderAcrossThreads)
+{
+    FcfsArbiter arb(3);
+    arb.enqueue(makeReq(2, 1), 0);
+    arb.enqueue(makeReq(0, 2), 0);
+    arb.enqueue(makeReq(1, 3), 1);
+    for (SeqNum expect = 1; expect <= 3; ++expect) {
+        auto r = arb.select(10);
+        ASSERT_TRUE(r);
+        EXPECT_EQ(r->seq, expect);
+    }
+    EXPECT_FALSE(arb.hasPending());
+}
+
+TEST(FcfsArbiter, IgnoresRequestType)
+{
+    FcfsArbiter arb(1);
+    arb.enqueue(makeReq(0, 1, true), 0);
+    arb.enqueue(makeReq(0, 2, false), 0);
+    auto r = arb.select(0);
+    ASSERT_TRUE(r);
+    EXPECT_TRUE(r->isWrite); // no read priority under FCFS
+}
+
+TEST(FcfsArbiter, PendingCountsPerThread)
+{
+    FcfsArbiter arb(2);
+    arb.enqueue(makeReq(0, 1), 0);
+    arb.enqueue(makeReq(0, 2), 0);
+    arb.enqueue(makeReq(1, 3), 0);
+    EXPECT_EQ(arb.pendingCount(), 3u);
+    EXPECT_EQ(arb.pendingCount(0), 2u);
+    EXPECT_EQ(arb.pendingCount(1), 1u);
+    arb.select(0);
+    EXPECT_EQ(arb.pendingCount(0), 1u);
+}
+
+TEST(FcfsArbiter, GrantStatsAccumulate)
+{
+    FcfsArbiter arb(2);
+    arb.enqueue(makeReq(0, 1), 0);
+    arb.enqueue(makeReq(1, 2), 0);
+    arb.select(4);
+    arb.select(4);
+    EXPECT_EQ(arb.grantCount(0), 1u);
+    EXPECT_EQ(arb.grantCount(1), 1u);
+    EXPECT_DOUBLE_EQ(arb.queueDelay().mean(), 4.0);
+}
+
+TEST(FcfsArbiter, EmptySelectReturnsNothing)
+{
+    FcfsArbiter arb(1);
+    EXPECT_EQ(arb.select(0), std::nullopt);
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the RoW-FCFS arbiter, including its starvation
+ * behaviour (the motivating flaw, Section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arbiter/row_fcfs_arbiter.hh"
+
+namespace vpc
+{
+namespace
+{
+
+ArbRequest
+makeReq(ThreadId t, SeqNum seq, bool write, Addr line = 0)
+{
+    ArbRequest r;
+    r.thread = t;
+    r.seq = seq;
+    r.isWrite = write;
+    r.lineAddr = line;
+    return r;
+}
+
+TEST(RowFcfsArbiter, ReadsBypassOlderWrites)
+{
+    RowFcfsArbiter arb(2);
+    arb.enqueue(makeReq(0, 1, true, 0x100), 0);
+    arb.enqueue(makeReq(1, 2, false, 0x200), 0);
+    auto r = arb.select(0);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->seq, 2u);
+}
+
+TEST(RowFcfsArbiter, SameLineWriteBlocksReadBypass)
+{
+    RowFcfsArbiter arb(1);
+    arb.enqueue(makeReq(0, 1, true, 0x100), 0);
+    arb.enqueue(makeReq(0, 2, false, 0x100), 0);
+    auto r = arb.select(0);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->seq, 1u); // dependence forces the write first
+}
+
+TEST(RowFcfsArbiter, FcfsAmongReads)
+{
+    RowFcfsArbiter arb(2);
+    arb.enqueue(makeReq(1, 1, false), 0);
+    arb.enqueue(makeReq(0, 2, false), 0);
+    auto r = arb.select(0);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->seq, 1u);
+}
+
+TEST(RowFcfsArbiter, ContinuousReadsStarveWrites)
+{
+    // The critical design flaw: a never-ending read stream from thread
+    // 0 starves thread 1's write indefinitely.
+    RowFcfsArbiter arb(2);
+    arb.enqueue(makeReq(1, 0, true, 0x999), 0);
+    SeqNum seq = 1;
+    for (unsigned i = 0; i < 1000; ++i) {
+        arb.enqueue(makeReq(0, seq++, false, 0x40 * i), i);
+        auto r = arb.select(i);
+        ASSERT_TRUE(r);
+        EXPECT_EQ(r->thread, 0u) << "write was serviced at round " << i;
+    }
+    EXPECT_EQ(arb.pendingCount(1), 1u); // still starving
+}
+
+TEST(RowFcfsArbiter, WritesDrainWhenNoReads)
+{
+    RowFcfsArbiter arb(1);
+    arb.enqueue(makeReq(0, 1, true), 0);
+    arb.enqueue(makeReq(0, 2, true), 0);
+    auto a = arb.select(0);
+    auto b = arb.select(0);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->seq, 1u);
+    EXPECT_EQ(b->seq, 2u);
+}
+
+} // namespace
+} // namespace vpc

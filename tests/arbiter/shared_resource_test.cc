@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the arbitrated SharedResource occupancy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "arbiter/fcfs_arbiter.hh"
+#include "arbiter/shared_resource.hh"
+
+namespace vpc
+{
+namespace
+{
+
+ArbRequest
+makeReq(std::uint32_t id, ThreadId t, bool write = false)
+{
+    ArbRequest r;
+    r.id = id;
+    r.thread = t;
+    r.isWrite = write;
+    r.seq = id;
+    return r;
+}
+
+struct Grant
+{
+    std::uint32_t id;
+    Cycle start;
+    Cycle done;
+};
+
+class SharedResourceTest : public ::testing::Test
+{
+  protected:
+    SharedResourceTest()
+        : res("test.data", std::make_unique<FcfsArbiter>(2), 8, 2)
+    {
+        res.setGrantHandler(
+            [this](const ArbRequest &req, Cycle start, Cycle done) {
+                grants.push_back(Grant{req.id, start, done});
+            });
+    }
+
+    SharedResource res;
+    std::vector<Grant> grants;
+};
+
+TEST_F(SharedResourceTest, ReadOccupiesForLatency)
+{
+    res.request(makeReq(1, 0), 0);
+    res.tick(0);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].start, 0u);
+    EXPECT_EQ(grants[0].done, 8u);
+    EXPECT_TRUE(res.busy(7));
+    EXPECT_FALSE(res.busy(8));
+}
+
+TEST_F(SharedResourceTest, WriteOccupiesTwoAccesses)
+{
+    res.request(makeReq(1, 0, true), 0);
+    res.tick(0);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].done, 16u);
+}
+
+TEST_F(SharedResourceTest, BackToBackServiceNoIdleGap)
+{
+    res.request(makeReq(1, 0), 0);
+    res.request(makeReq(2, 1), 0);
+    for (Cycle c = 0; c <= 16; ++c)
+        res.tick(c);
+    ASSERT_EQ(grants.size(), 2u);
+    EXPECT_EQ(grants[1].start, 8u);
+    EXPECT_EQ(grants[1].done, 16u);
+}
+
+TEST_F(SharedResourceTest, NonPreemptible)
+{
+    res.request(makeReq(1, 0), 0);
+    res.tick(0);
+    // A new request arriving mid-service waits for completion even
+    // though it arrived long before the resource frees.
+    res.request(makeReq(2, 1), 1);
+    for (Cycle c = 1; c < 8; ++c) {
+        res.tick(c);
+        EXPECT_EQ(grants.size(), 1u);
+    }
+    res.tick(8);
+    ASSERT_EQ(grants.size(), 2u);
+    EXPECT_EQ(grants[1].start, 8u);
+}
+
+TEST_F(SharedResourceTest, UtilizationTracksBusyCycles)
+{
+    res.request(makeReq(1, 0), 0);
+    res.request(makeReq(2, 0, true), 0);
+    for (Cycle c = 0; c <= 24; ++c)
+        res.tick(c);
+    // 8 (read) + 16 (write) busy cycles.
+    EXPECT_EQ(res.util().busyCycles(), 24u);
+    EXPECT_DOUBLE_EQ(res.util().utilization(48), 0.5);
+    EXPECT_EQ(res.accessCount(), 2u);
+}
+
+TEST_F(SharedResourceTest, OccupancyQuery)
+{
+    EXPECT_EQ(res.occupancy(makeReq(1, 0, false)), 8u);
+    EXPECT_EQ(res.occupancy(makeReq(1, 0, true)), 16u);
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the write-through L1 D-cache with MSHRs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/l1_cache.hh"
+
+namespace vpc
+{
+namespace
+{
+
+class L1CacheTest : public ::testing::Test
+{
+  protected:
+    L1CacheTest() : l1(L1Config{}, 0, events)
+    {
+        l1.setMissHandler([this](Addr line, Cycle now,
+                                 bool prefetch) {
+            (void)prefetch;
+            fetches.push_back({line, now});
+        });
+    }
+
+    EventQueue events;
+    L1DCache l1;
+    std::vector<std::pair<Addr, Cycle>> fetches;
+};
+
+TEST_F(L1CacheTest, HitAfterFill)
+{
+    bool first_done = false;
+    auto res = l1.load(0x1000, 0, [&] { first_done = true; });
+    EXPECT_EQ(res, L1DCache::LoadResult::Miss);
+    ASSERT_EQ(fetches.size(), 1u);
+    EXPECT_EQ(fetches[0].first, 0x1000u);
+
+    l1.fill(0x1000, 50);
+    EXPECT_TRUE(first_done);
+
+    bool second_done = false;
+    res = l1.load(0x1020, 100, [&] { second_done = true; });
+    EXPECT_EQ(res, L1DCache::LoadResult::Hit);
+    EXPECT_FALSE(second_done); // hit latency not yet elapsed
+    events.runDue(100 + L1Config{}.hitLatency);
+    EXPECT_TRUE(second_done);
+}
+
+TEST_F(L1CacheTest, SecondaryMissMerges)
+{
+    int done = 0;
+    l1.load(0x1000, 0, [&] { ++done; });
+    l1.load(0x1010, 0, [&] { ++done; });
+    EXPECT_EQ(fetches.size(), 1u); // one L2 fetch for both
+    EXPECT_EQ(l1.mergedMissCount(), 1u);
+    l1.fill(0x1000, 10);
+    EXPECT_EQ(done, 2);
+}
+
+TEST_F(L1CacheTest, BlocksWhenMshrsExhausted)
+{
+    L1Config cfg;
+    for (unsigned i = 0; i < cfg.mshrs; ++i) {
+        auto res = l1.load(0x10000 + 64 * i, 0, [] {});
+        EXPECT_EQ(res, L1DCache::LoadResult::Miss);
+    }
+    EXPECT_EQ(l1.mshrsInUse(), cfg.mshrs);
+    auto res = l1.load(0x90000, 0, [] {});
+    EXPECT_EQ(res, L1DCache::LoadResult::Blocked);
+    EXPECT_EQ(l1.blockedCount(), 1u);
+    l1.fill(0x10000, 10);
+    EXPECT_EQ(l1.mshrsInUse(), cfg.mshrs - 1);
+}
+
+TEST_F(L1CacheTest, StoreDoesNotAllocate)
+{
+    l1.store(0x2000, 0);
+    auto res = l1.load(0x2000, 1, [] {});
+    EXPECT_EQ(res, L1DCache::LoadResult::Miss); // no write allocate
+}
+
+TEST_F(L1CacheTest, StoreUpdatesResidentLine)
+{
+    l1.load(0x3000, 0, [] {});
+    l1.fill(0x3000, 10);
+    l1.store(0x3004, 20); // hits; keeps the line warm
+    auto res = l1.load(0x3000, 30, [] {});
+    EXPECT_EQ(res, L1DCache::LoadResult::Hit);
+}
+
+TEST_F(L1CacheTest, FillWithoutMshrPanics)
+{
+    EXPECT_DEATH(l1.fill(0x5000, 0), "no matching MSHR");
+}
+
+TEST_F(L1CacheTest, CapacityEviction)
+{
+    // 16KB 4-way: 64 sets.  Fill five lines mapping to the same set.
+    L1Config cfg;
+    std::uint64_t sets =
+        cfg.sizeBytes / (cfg.ways * cfg.lineBytes);
+    Addr stride = sets * cfg.lineBytes;
+    for (unsigned i = 0; i < 5; ++i) {
+        l1.load(stride * i, 0, [] {});
+        l1.fill(stride * i, 1);
+    }
+    // The first line was LRU and must have been evicted.
+    EXPECT_EQ(l1.load(0, 10, [] {}), L1DCache::LoadResult::Miss);
+    EXPECT_EQ(l1.load(stride, 10, [] {}),
+              L1DCache::LoadResult::Hit);
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the VPC Capacity Manager (Section 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+
+namespace vpc
+{
+namespace
+{
+
+CacheLine
+line(ThreadId owner, std::uint64_t last_use, bool valid = true)
+{
+    CacheLine l;
+    l.valid = valid;
+    l.owner = owner;
+    l.lastUse = last_use;
+    return l;
+}
+
+TEST(VpcCapacityManager, QuotasFromBetas)
+{
+    VpcCapacityManager mgr({0.25, 0.25, 0.25, 0.25}, 32);
+    for (ThreadId t = 0; t < 4; ++t)
+        EXPECT_EQ(mgr.quota(t), 8u);
+    VpcCapacityManager uneven({0.5, 0.1, 0.1, 0.1}, 32);
+    EXPECT_EQ(uneven.quota(0), 16u);
+    EXPECT_EQ(uneven.quota(1), 3u);
+}
+
+TEST(VpcCapacityManager, InvalidLinesUsedFirst)
+{
+    VpcCapacityManager mgr({0.5, 0.5}, 4);
+    std::vector<CacheLine> set = {line(0, 1), line(0, 2),
+                                  line(1, 3, false), line(1, 4)};
+    EXPECT_EQ(mgr.victim(set, 0), 2u);
+}
+
+TEST(VpcCapacityManager, Condition1TakesFromOverQuotaThread)
+{
+    // Quotas: 1 way each of 4.  Thread 1 holds 3 ways (over quota);
+    // thread 0 requests: the victim must be thread 1's LRU line.
+    VpcCapacityManager mgr({0.25, 0.25, 0.25, 0.25}, 4);
+    std::vector<CacheLine> set = {line(0, 10), line(1, 5), line(1, 2),
+                                  line(1, 7)};
+    EXPECT_EQ(mgr.victim(set, 0), 2u); // lastUse 2 is thread 1's LRU
+}
+
+TEST(VpcCapacityManager, Condition1NeverDropsThreadBelowQuota)
+{
+    // Thread 1 exactly at quota (2 of 4 with beta=.5): its lines are
+    // protected; requester (over quota itself) loses its own LRU.
+    VpcCapacityManager mgr({0.5, 0.5}, 4);
+    std::vector<CacheLine> set = {line(0, 1), line(0, 9), line(1, 2),
+                                  line(1, 3)};
+    // Thread 0 at quota too -> condition 2: requester's own LRU.
+    EXPECT_EQ(mgr.victim(set, 0), 0u);
+}
+
+TEST(VpcCapacityManager, Condition2MatchesPrivateCacheReplacement)
+{
+    VpcCapacityManager mgr({0.5, 0.5}, 4);
+    std::vector<CacheLine> set = {line(0, 8), line(0, 4), line(1, 1),
+                                  line(1, 2)};
+    // All at quota; thread 1 requests -> its own LRU (index 2),
+    // exactly what a 2-way private cache would replace.
+    EXPECT_EQ(mgr.victim(set, 1), 2u);
+}
+
+TEST(VpcCapacityManager, FairnessPicksGloballyLruAmongOverQuota)
+{
+    // Both threads over a 1-way quota; the globally LRU over-quota
+    // line goes, regardless of owner.
+    VpcCapacityManager mgr({0.25, 0.25, 0.25, 0.25}, 4);
+    std::vector<CacheLine> set = {line(0, 5), line(0, 9), line(1, 3),
+                                  line(1, 8)};
+    EXPECT_EQ(mgr.victim(set, 2), 2u);
+}
+
+TEST(VpcCapacityManager, RequesterOverQuotaReplacesItself)
+{
+    // Requester holds 3 of 4 ways with quota 2; other thread within
+    // quota.  Condition 1 applies to the requester itself.
+    VpcCapacityManager mgr({0.5, 0.25, 0.25, 0.0}, 4);
+    std::vector<CacheLine> set = {line(0, 5), line(0, 1), line(0, 9),
+                                  line(1, 3)};
+    EXPECT_EQ(mgr.victim(set, 0), 1u);
+}
+
+TEST(VpcCapacityManager, ZeroShareThreadAlwaysOverQuota)
+{
+    // A thread with beta=0 occupying any way is over quota, so its
+    // lines are always reclaimable.
+    VpcCapacityManager mgr({1.0, 0.0}, 4);
+    std::vector<CacheLine> set = {line(0, 1), line(0, 2), line(0, 3),
+                                  line(1, 99)};
+    EXPECT_EQ(mgr.victim(set, 0), 3u);
+}
+
+TEST(VpcCapacityManager, UnallocatedWaysDistributedByLru)
+{
+    // betas sum to 0.5 of 4 ways: 2 ways unallocated.  Whoever uses
+    // them is over quota and competes by recency.
+    VpcCapacityManager mgr({0.25, 0.25}, 4);
+    std::vector<CacheLine> set = {line(0, 4), line(0, 6), line(1, 2),
+                                  line(1, 8)};
+    // Both over quota (2 > 1); globally LRU over-quota line is idx 2.
+    EXPECT_EQ(mgr.victim(set, 0), 2u);
+}
+
+TEST(VpcCapacityManager, ShareUpdate)
+{
+    VpcCapacityManager mgr({0.5, 0.5}, 8);
+    EXPECT_EQ(mgr.quota(0), 4u);
+    mgr.setShare(0, 0.25);
+    EXPECT_EQ(mgr.quota(0), 2u);
+}
+
+TEST(VpcCapacityManager, OverAllocationFatal)
+{
+    EXPECT_EXIT((VpcCapacityManager{{0.7, 0.7}, 8}),
+                testing::ExitedWithCode(1), "over-allocated");
+}
+
+TEST(LruReplacement, PrefersInvalidThenLru)
+{
+    LruReplacement lru;
+    std::vector<CacheLine> set = {line(0, 5), line(1, 2, false),
+                                  line(0, 1)};
+    EXPECT_EQ(lru.victim(set, 0), 1u);
+    set[1].valid = true;
+    EXPECT_EQ(lru.victim(set, 0), 2u);
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the store gathering buffer policies (Section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/store_gather_buffer.hh"
+
+namespace vpc
+{
+namespace
+{
+
+void
+deliver(StoreGatherBuffer &sgb, Addr line, Cycle now = 0)
+{
+    sgb.reserve();
+    sgb.addStore(line, now);
+}
+
+TEST(StoreGatherBuffer, GathersSameLineStores)
+{
+    StoreGatherBuffer sgb(8, 6);
+    deliver(sgb, 0x100);
+    deliver(sgb, 0x100);
+    deliver(sgb, 0x140);
+    EXPECT_EQ(sgb.occupancy(), 2u);
+    EXPECT_EQ(sgb.storesTotal(), 3u);
+    EXPECT_EQ(sgb.storesGathered(), 1u);
+}
+
+TEST(StoreGatherBuffer, ReservationsCountAgainstCapacity)
+{
+    StoreGatherBuffer sgb(2, 2);
+    sgb.reserve();
+    sgb.reserve();
+    EXPECT_TRUE(sgb.full());
+    sgb.addStore(0x0, 0);
+    EXPECT_TRUE(sgb.full()); // 1 entry + 1 reservation of 2
+    sgb.addStore(0x0, 0);    // gathered: releases the reservation
+    EXPECT_EQ(sgb.occupancy(), 1u);
+    EXPECT_FALSE(sgb.full());
+}
+
+TEST(StoreGatherBuffer, RetireAtNPolicy)
+{
+    StoreGatherBuffer sgb(8, 6);
+    for (unsigned i = 0; i < 5; ++i)
+        deliver(sgb, 0x40 * i);
+    EXPECT_FALSE(sgb.hasRetirable());
+    EXPECT_TRUE(sgb.loadsMayBypass());
+    deliver(sgb, 0x40 * 5); // occupancy hits the high-water mark
+    EXPECT_TRUE(sgb.hasRetirable());
+    EXPECT_FALSE(sgb.loadsMayBypass()); // RoW inversion
+    sgb.popRetire();
+    EXPECT_FALSE(sgb.hasRetirable()); // back below the mark
+    EXPECT_TRUE(sgb.loadsMayBypass());
+}
+
+TEST(StoreGatherBuffer, RetiresInFifoOrder)
+{
+    StoreGatherBuffer sgb(4, 2);
+    deliver(sgb, 0x100);
+    deliver(sgb, 0x200);
+    ASSERT_TRUE(sgb.hasRetirable());
+    EXPECT_EQ(*sgb.peekRetire(), 0x100u);
+    sgb.popRetire();
+    EXPECT_EQ(*sgb.peekRetire(), 0x200u);
+}
+
+TEST(StoreGatherBuffer, LoadConflictDetection)
+{
+    StoreGatherBuffer sgb(8, 6);
+    deliver(sgb, 0x100);
+    EXPECT_TRUE(sgb.loadConflict(0x100));
+    EXPECT_FALSE(sgb.loadConflict(0x140));
+}
+
+TEST(StoreGatherBuffer, PartialFlushRetiresConflictorAndElders)
+{
+    StoreGatherBuffer sgb(8, 6);
+    deliver(sgb, 0x100);
+    deliver(sgb, 0x200);
+    deliver(sgb, 0x300);
+    sgb.flushThrough(0x200);
+    // Entries 0x100 and 0x200 must drain; 0x300 may stay gathered.
+    EXPECT_TRUE(sgb.hasRetirable());
+    sgb.popRetire();
+    EXPECT_TRUE(sgb.hasRetirable());
+    sgb.popRetire();
+    EXPECT_FALSE(sgb.hasRetirable());
+    EXPECT_EQ(sgb.occupancy(), 1u);
+    EXPECT_FALSE(sgb.loadConflict(0x200));
+}
+
+TEST(StoreGatherBuffer, FlushOfUnknownLineIsNoOp)
+{
+    StoreGatherBuffer sgb(8, 6);
+    deliver(sgb, 0x100);
+    sgb.flushThrough(0x999);
+    EXPECT_FALSE(sgb.hasRetirable());
+}
+
+TEST(StoreGatherBuffer, PanicsOnProtocolViolations)
+{
+    StoreGatherBuffer sgb(2, 2);
+    EXPECT_DEATH(sgb.addStore(0x0, 0), "reservation");
+    EXPECT_DEATH(sgb.popRetire(), "empty");
+}
+
+TEST(StoreGatherBuffer, BadConfigIsFatal)
+{
+    EXPECT_EXIT((StoreGatherBuffer{4, 5}), testing::ExitedWithCode(1),
+                "high-water");
+    EXPECT_EXIT((StoreGatherBuffer{0, 0}), testing::ExitedWithCode(1),
+                "entry");
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the simplified out-of-order core model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/cpu.hh"
+#include "system/cmp_system.hh"
+#include "system/experiment.hh"
+#include "workload/microbench.hh"
+#include "workload/workload.hh"
+
+namespace vpc
+{
+namespace
+{
+
+/** Emits only single-cycle compute ops. */
+struct ComputeOnly : Workload
+{
+    MicroOp next() override { return MicroOp{}; }
+    std::string name() const override { return "compute"; }
+    std::unique_ptr<Workload> clone(std::uint64_t) const override
+    {
+        return std::make_unique<ComputeOnly>();
+    }
+};
+
+/** Emits loads to one L1-resident line, optionally dependent. */
+struct HotLoads : Workload
+{
+    explicit HotLoads(bool dep_) : dep(dep_) {}
+
+    MicroOp
+    next() override
+    {
+        MicroOp op;
+        op.kind = MicroOp::Kind::Load;
+        op.addr = 0x1000;
+        op.dependsOnPrevLoad = dep;
+        return op;
+    }
+
+    std::string name() const override { return "hotloads"; }
+
+    std::unique_ptr<Workload>
+    clone(std::uint64_t) const override
+    {
+        return std::make_unique<HotLoads>(dep);
+    }
+
+    bool dep;
+};
+
+IntervalStats
+runSingle(std::unique_ptr<Workload> wl, Cycle warm = 5'000,
+          Cycle measure = 20'000)
+{
+    SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::RowFcfs);
+    std::vector<std::unique_ptr<Workload>> v;
+    v.push_back(std::move(wl));
+    CmpSystem sys(cfg, std::move(v));
+    return sys.runAndMeasure(warm, measure);
+}
+
+TEST(Cpu, ComputeIpcBoundedByRetireWidth)
+{
+    IntervalStats s = runSingle(std::make_unique<ComputeOnly>());
+    CoreConfig core;
+    EXPECT_LE(s.ipc.at(0), static_cast<double>(core.retireWidth));
+    EXPECT_GT(s.ipc.at(0), 0.9 * core.retireWidth);
+}
+
+TEST(Cpu, IndependentHotLoadsSustainLsuThroughput)
+{
+    // L1 hits are never LSU-rejected, so two loads issue per cycle;
+    // retire-width and in-order-retire effects keep IPC near 2.
+    IntervalStats s = runSingle(std::make_unique<HotLoads>(false));
+    EXPECT_GT(s.ipc.at(0), 1.5);
+}
+
+TEST(Cpu, DependentLoadsSerializeOnHitLatency)
+{
+    // Each load waits for the previous one: one load per (hit
+    // latency) cycles at best.
+    IntervalStats s = runSingle(std::make_unique<HotLoads>(true));
+    L1Config l1;
+    double bound = 1.0 / static_cast<double>(l1.hitLatency);
+    EXPECT_LE(s.ipc.at(0), 1.05 * bound);
+    EXPECT_GT(s.ipc.at(0), 0.5 * bound);
+}
+
+TEST(Cpu, StoresThrottledByGatheringBufferDrain)
+{
+    // The Stores microbenchmark is limited by data-array writes (2
+    // banks / 16 cycles = 0.125 stores/cycle), reached only through
+    // retire-stall backpressure on full gathering buffers.
+    SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::RowFcfs);
+    std::vector<std::unique_ptr<Workload>> v;
+    v.push_back(std::make_unique<StoresBenchmark>(0));
+    CmpSystem sys(cfg, std::move(v));
+    IntervalStats s = sys.runAndMeasure(20'000, 40'000);
+    EXPECT_GT(sys.cpu(0).storeStallCycles(), 0u);
+    EXPECT_NEAR(s.ipc.at(0), 0.15625, 0.01);
+}
+
+TEST(Cpu, CountsLoadsAndStoresSeparately)
+{
+    SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::RowFcfs);
+    std::vector<std::unique_ptr<Workload>> v;
+    v.push_back(std::make_unique<LoadsBenchmark>(0));
+    CmpSystem sys(cfg, std::move(v));
+    sys.run(30'000);
+    Cpu &cpu = sys.cpu(0);
+    EXPECT_GT(cpu.loadsRetired(), 0u);
+    EXPECT_EQ(cpu.storesRetired(), 0u);
+    // 4 loads per 5 instructions in the unrolled loop.
+    EXPECT_NEAR(static_cast<double>(cpu.loadsRetired()) /
+                    static_cast<double>(cpu.instrsRetired()),
+                0.8, 0.01);
+}
+
+TEST(Cpu, DeterministicInstructionCounts)
+{
+    auto run = [] {
+        SystemConfig cfg = makeBaselineConfig(1,
+                                              ArbiterPolicy::RowFcfs);
+        std::vector<std::unique_ptr<Workload>> v;
+        v.push_back(std::make_unique<LoadsBenchmark>(0));
+        CmpSystem sys(cfg, std::move(v));
+        sys.run(25'000);
+        return sys.cpu(0).instrsRetired();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the per-thread-channel memory controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_controller.hh"
+#include "sim/simulator.hh"
+
+namespace vpc
+{
+namespace
+{
+
+class MemoryControllerTest : public ::testing::Test
+{
+  protected:
+    MemoryControllerTest() : mc(MemConfig{}, 2, 64, sim.events())
+    {
+        sim.addTicking(&mc);
+    }
+
+    Simulator sim;
+    MemoryController mc;
+};
+
+TEST_F(MemoryControllerTest, ReadCompletesWithCallback)
+{
+    bool done = false;
+    Cycle done_at = 0;
+    mc.read(0, 0x1000, 0, [&](Addr a, Cycle c) {
+        EXPECT_EQ(a, 0x1000u);
+        done = true;
+        done_at = c;
+    });
+    sim.run(500);
+    EXPECT_TRUE(done);
+    MemConfig m;
+    // ctrl + tRCD + tCL + burst + ctrl.
+    EXPECT_EQ(done_at, 2 * m.ctrlLatency + m.tRcd + m.tCl + m.tBurst);
+}
+
+TEST_F(MemoryControllerTest, TransactionBufferLimitsOutstanding)
+{
+    MemConfig m;
+    for (unsigned i = 0; i < m.transactionEntries; ++i) {
+        ASSERT_TRUE(mc.canAcceptRead(0));
+        mc.read(0, 0x1000 + 64 * i, 0, [](Addr, Cycle) {});
+    }
+    EXPECT_FALSE(mc.canAcceptRead(0));
+    // The other thread's private channel is unaffected.
+    EXPECT_TRUE(mc.canAcceptRead(1));
+    sim.run(5000);
+    EXPECT_TRUE(mc.canAcceptRead(0));
+    EXPECT_EQ(mc.readCount(0), m.transactionEntries);
+}
+
+TEST_F(MemoryControllerTest, WriteBufferLimit)
+{
+    MemConfig m;
+    for (unsigned i = 0; i < m.writeEntries; ++i) {
+        ASSERT_TRUE(mc.canAcceptWrite(0));
+        mc.write(0, 64 * i, 0);
+    }
+    EXPECT_FALSE(mc.canAcceptWrite(0));
+    sim.run(2000);
+    EXPECT_TRUE(mc.canAcceptWrite(0));
+    EXPECT_EQ(mc.writeCount(0), m.writeEntries);
+}
+
+TEST_F(MemoryControllerTest, ReadsPrioritizedOverWrites)
+{
+    mc.write(0, 0x0, 0);
+    mc.write(0, 0x40, 0);
+    Cycle read_done = 0;
+    mc.read(0, 0x2000, 0, [&](Addr, Cycle c) { read_done = c; });
+    sim.run(2000);
+    // The read is serviced first even though the writes were queued
+    // earlier (it goes to a different bank so only queue order could
+    // delay it).
+    MemConfig m;
+    EXPECT_LE(read_done,
+              2 * m.ctrlLatency + m.tRcd + m.tCl + m.tBurst + 2);
+}
+
+TEST_F(MemoryControllerTest, ThreadsHavePrivateChannels)
+{
+    // Saturate thread 0's channel; thread 1's read latency must be
+    // unaffected (private channels isolate memory interference).
+    for (unsigned i = 0; i < 8; ++i)
+        mc.read(0, 64ull * i, 0, [](Addr, Cycle) {});
+    Cycle t1_done = 0;
+    mc.read(1, 0x0, 0, [&](Addr, Cycle c) { t1_done = c; });
+    sim.run(3000);
+    MemConfig m;
+    EXPECT_LE(t1_done,
+              2 * m.ctrlLatency + m.tRcd + m.tCl + m.tBurst + 2);
+}
+
+TEST_F(MemoryControllerTest, LatencyStatsRecorded)
+{
+    mc.read(0, 0x0, 0, [](Addr, Cycle) {});
+    sim.run(500);
+    EXPECT_EQ(mc.readLatency(0).count(), 1u);
+    EXPECT_GT(mc.readLatency(0).mean(), 0.0);
+}
+
+} // namespace
+} // namespace vpc

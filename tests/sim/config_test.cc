@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for SystemConfig validation (Table 1 defaults).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(SystemConfig, Table1Defaults)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.numProcessors, 4u);
+    EXPECT_EQ(cfg.l2.banks, 2u);
+    EXPECT_EQ(cfg.l2.sizeBytes, 16ull * 1024 * 1024);
+    EXPECT_EQ(cfg.l2.ways, 32u);
+    EXPECT_EQ(cfg.l2.tagLatency, 4u);
+    EXPECT_EQ(cfg.l2.dataLatency, 8u);
+    EXPECT_EQ(cfg.l1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.l1.ways, 4u);
+    EXPECT_EQ(cfg.core.robEntries, 100u);
+    EXPECT_EQ(cfg.l2.sgbEntriesPerThread, 8u);
+    EXPECT_EQ(cfg.l2.sgbHighWater, 6u);
+    EXPECT_EQ(cfg.l2.stateMachinesPerThread, 8u);
+}
+
+TEST(SystemConfig, SetsPerBank)
+{
+    SystemConfig cfg;
+    // 8MB per bank / (32 ways * 64B) = 4096 sets.
+    EXPECT_EQ(cfg.l2.setsPerBank(), 4096u);
+    EXPECT_EQ(cfg.l2.setsPerBank(4), 2048u);
+}
+
+TEST(SystemConfig, DefaultSharesAreEqual)
+{
+    SystemConfig cfg;
+    cfg.validate();
+    ASSERT_EQ(cfg.shares.size(), 4u);
+    for (const QosShare &s : cfg.shares) {
+        EXPECT_DOUBLE_EQ(s.phi, 0.25);
+        EXPECT_DOUBLE_EQ(s.beta, 0.25);
+    }
+}
+
+TEST(SystemConfig, OverAllocationFatal)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.shares = {QosShare{0.7, 0.5}, QosShare{0.7, 0.5}};
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "over-allocated");
+}
+
+TEST(SystemConfig, ShareCountMismatchFatal)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.shares = {QosShare{0.5, 0.5}};
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "shares");
+}
+
+TEST(SystemConfig, PartialAllocationIsLegal)
+{
+    // Figure 1b: 50% + 3 x 10% leaves 20% unallocated.
+    SystemConfig cfg;
+    cfg.shares = {QosShare{0.5, 0.5}, QosShare{0.1, 0.1},
+                  QosShare{0.1, 0.1}, QosShare{0.1, 0.1}};
+    cfg.validate();
+    EXPECT_DOUBLE_EQ(cfg.shares[0].phi, 0.5);
+}
+
+TEST(Types, LineAlignAndLog2)
+{
+    EXPECT_EQ(lineAlign(0x12345, 64), 0x12340u);
+    EXPECT_EQ(lineAlign(0x40, 64), 0x40u);
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(4096), 12u);
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the named debug-trace flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/debug.hh"
+
+namespace vpc
+{
+namespace
+{
+
+class DebugTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        using debug::Flag;
+        for (int i = 0; i < static_cast<int>(Flag::NumFlags); ++i)
+            debug::setEnabled(static_cast<Flag>(i), false);
+    }
+};
+
+TEST_F(DebugTest, FlagsOffByDefault)
+{
+    EXPECT_FALSE(debug::enabled(debug::Flag::Arbiter));
+    EXPECT_FALSE(debug::enabled(debug::Flag::L2Bank));
+}
+
+TEST_F(DebugTest, SetEnabledToggles)
+{
+    debug::setEnabled(debug::Flag::Memory, true);
+    EXPECT_TRUE(debug::enabled(debug::Flag::Memory));
+    EXPECT_FALSE(debug::enabled(debug::Flag::Prefetch));
+    debug::setEnabled(debug::Flag::Memory, false);
+    EXPECT_FALSE(debug::enabled(debug::Flag::Memory));
+}
+
+TEST_F(DebugTest, EnableFromListParsesNames)
+{
+    EXPECT_TRUE(debug::enableFromList("Arbiter,Prefetch"));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Arbiter));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Prefetch));
+    EXPECT_FALSE(debug::enabled(debug::Flag::Cpu));
+}
+
+TEST_F(DebugTest, AllEnablesEverything)
+{
+    EXPECT_TRUE(debug::enableFromList("All"));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Arbiter));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Cpu));
+}
+
+TEST_F(DebugTest, UnknownNamesReportedButOthersApply)
+{
+    EXPECT_FALSE(debug::enableFromList("Bogus,L2Bank"));
+    EXPECT_TRUE(debug::enabled(debug::Flag::L2Bank));
+}
+
+TEST_F(DebugTest, EmptySegmentsIgnored)
+{
+    EXPECT_TRUE(debug::enableFromList(",Memory,,"));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Memory));
+}
+
+TEST_F(DebugTest, FlagNamesRoundTrip)
+{
+    using debug::Flag;
+    for (int i = 0; i < static_cast<int>(Flag::NumFlags); ++i) {
+        Flag f = static_cast<Flag>(i);
+        EXPECT_TRUE(debug::enableFromList(debug::flagName(f)));
+        EXPECT_TRUE(debug::enabled(f)) << debug::flagName(f);
+    }
+}
+
+TEST_F(DebugTest, DprintfIsSilentWhenDisabled)
+{
+    testing::internal::CaptureStderr();
+    VPC_DPRINTF(Arbiter, "should not appear {}", 1);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(DebugTest, DprintfEmitsWhenEnabled)
+{
+    debug::setEnabled(debug::Flag::Arbiter, true);
+    testing::internal::CaptureStderr();
+    VPC_DPRINTF(Arbiter, "grant t{} F={:.1f}", 3, 2.5);
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("Arbiter: grant t3 F=2.5"), std::string::npos)
+        << out;
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(EventQueue, RunsDueEventsInOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(3, [&] { order.push_back(1); });
+    q.schedule(9, [&] { order.push_back(3); });
+    EXPECT_EQ(q.runDue(5), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.runDue(9), 1u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleEventsFireInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(4, [&order, i] { order.push_back(i); });
+    q.runDue(4);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(1, [&] { ++fired; }); // same-cycle chain
+        q.schedule(2, [&] { ++fired; });
+    });
+    q.runDue(1);
+    EXPECT_EQ(fired, 2);
+    q.runDue(2);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventCycle(), kCycleMax);
+    q.schedule(7, [] {});
+    EXPECT_EQ(q.nextEventCycle(), 7u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.runDue(10);
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueue, SizeAndEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.runDue(1);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+} // namespace
+} // namespace vpc

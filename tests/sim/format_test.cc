@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the minimal "{}"-style formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/format.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(Format, PlainPlaceholders)
+{
+    EXPECT_EQ(format("a {} c {}", 1, "b"), "a 1 c b");
+    EXPECT_EQ(format("{}", 3.5), "3.5");
+    EXPECT_EQ(format("no placeholders"), "no placeholders");
+}
+
+TEST(Format, HexSpecification)
+{
+    EXPECT_EQ(format("{:#x}", 255), "0xff");
+    EXPECT_EQ(format("{:x}", 255), "ff");
+    EXPECT_EQ(format("{:#x}", 0x40000u), "0x40000");
+}
+
+TEST(Format, FixedPointSpecification)
+{
+    EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+    EXPECT_EQ(format("{:.0f}", 2.7), "3");
+    EXPECT_EQ(format("{:.3f}", 1.0), "1.000");
+}
+
+TEST(Format, SurplusPlaceholdersRenderAsIs)
+{
+    EXPECT_EQ(format("{} {}", 1), "1 {}");
+}
+
+TEST(Format, SurplusArgumentsIgnored)
+{
+    EXPECT_EQ(format("{}", 1, 2, 3), "1");
+}
+
+TEST(Format, EscapedBrace)
+{
+    EXPECT_EQ(format("{{} {}", 7), "{} 7");
+}
+
+TEST(Format, UnterminatedPlaceholderKeptVerbatim)
+{
+    EXPECT_EQ(format("x {", 1), "x {");
+}
+
+TEST(Format, MixedTypes)
+{
+    std::string s = format("thread {} addr {:#x} share {:.2f}",
+                           3u, 0x1000, 0.25);
+    EXPECT_EQ(s, "thread 3 addr 0x1000 share 0.25");
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the deterministic PCG32 generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42, 7), b(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Rng, DifferentStreamsDiffer)
+{
+    Rng a(42, 1), b(42, 2);
+    bool differ = false;
+    for (int i = 0; i < 16 && !differ; ++i)
+        differ = a.next32() != b.next32();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(9);
+    double sum = 0.0;
+    for (int i = 0; i < 5000; ++i)
+        sum += r.geometric(4.0);
+    EXPECT_NEAR(sum / 5000.0, 4.0, 0.3);
+    EXPECT_EQ(r.geometric(0.5), 1u);
+}
+
+TEST(Rng, BelowZeroPanics)
+{
+    Rng r(1);
+    EXPECT_DEATH(r.below(0), "bound 0");
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the cycle-stepped Simulator driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace vpc
+{
+namespace
+{
+
+struct Recorder : Ticking
+{
+    explicit Recorder(std::vector<int> &log_, int id_)
+        : log(log_), id(id_)
+    {}
+
+    void tick(Cycle) override { log.push_back(id); }
+
+    std::vector<int> &log;
+    int id;
+};
+
+TEST(Simulator, TicksComponentsInRegistrationOrder)
+{
+    Simulator sim;
+    std::vector<int> log;
+    Recorder a(log, 1), b(log, 2), c(log, 3);
+    sim.addTicking(&a);
+    sim.addTicking(&b);
+    sim.addTicking(&c);
+    sim.step();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EventsRunBeforeComponentTicks)
+{
+    Simulator sim;
+    std::vector<int> log;
+    Recorder a(log, 2);
+    sim.addTicking(&a);
+    sim.events().schedule(0, [&log] { log.push_back(1); });
+    sim.step();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunAdvancesExactly)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    sim.run(17);
+    EXPECT_EQ(sim.now(), 17u);
+    sim.step();
+    EXPECT_EQ(sim.now(), 18u);
+}
+
+TEST(Simulator, TickSeesCurrentCycle)
+{
+    struct CycleCheck : Ticking
+    {
+        Cycle seen = kCycleMax;
+        void tick(Cycle now) override { seen = now; }
+    } check;
+    Simulator sim;
+    sim.addTicking(&check);
+    sim.run(5);
+    EXPECT_EQ(check.seen, 4u); // last executed cycle
+}
+
+TEST(Simulator, FutureEventsFireAtTheRightCycle)
+{
+    Simulator sim;
+    Cycle fired_at = 0;
+    sim.events().schedule(42, [&] { fired_at = sim.now(); });
+    sim.run(100);
+    EXPECT_EQ(fired_at, 42u);
+}
+
+} // namespace
+} // namespace vpc

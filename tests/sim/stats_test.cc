@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(UtilizationStat, ComputesFraction)
+{
+    UtilizationStat u;
+    u.addBusy(25);
+    u.addBusy(25);
+    EXPECT_EQ(u.busyCycles(), 50u);
+    EXPECT_DOUBLE_EQ(u.utilization(100), 0.5);
+    EXPECT_DOUBLE_EQ(u.utilization(0), 0.0);
+}
+
+TEST(UtilizationStat, ClampsToOne)
+{
+    UtilizationStat u;
+    u.addBusy(150);
+    EXPECT_DOUBLE_EQ(u.utilization(100), 1.0);
+}
+
+TEST(SampleStat, TracksMeanMinMax)
+{
+    SampleStat s;
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10, 4); // buckets [0,10) ... [30,40) + overflow
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(1000);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u); // overflow
+}
+
+TEST(StatGroup, EnumeratesRegisteredStats)
+{
+    Counter c;
+    UtilizationStat u;
+    c.inc(7);
+    u.addBusy(30);
+    StatGroup g;
+    g.addCounter("c", c);
+    g.addUtilization("u", u);
+    auto counters = g.counterValues();
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters[0].first, "c");
+    EXPECT_EQ(counters[0].second, 7u);
+    auto utils = g.utilizationValues(60);
+    ASSERT_EQ(utils.size(), 1u);
+    EXPECT_DOUBLE_EQ(utils[0].second, 0.5);
+}
+
+} // namespace
+} // namespace vpc

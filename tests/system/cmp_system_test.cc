@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Integration tests: the full CMP runs the microbenchmarks end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/cmp_system.hh"
+#include "system/experiment.hh"
+#include "workload/microbench.hh"
+
+namespace vpc
+{
+namespace
+{
+
+std::vector<std::unique_ptr<Workload>>
+twoThreadLoadsStores()
+{
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    wl.push_back(std::make_unique<StoresBenchmark>(1ull << 32));
+    return wl;
+}
+
+TEST(CmpSystem, SingleThreadLoadsMakesProgress)
+{
+    SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::RowFcfs);
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    CmpSystem sys(cfg, std::move(wl));
+    IntervalStats s = sys.runAndMeasure(20'000, 50'000);
+    // Loads is bound by the data arrays: 2 banks x 1 read / 8 cycles
+    // = 0.25 loads/cycle; with 4 loads per 5 instructions the IPC
+    // ceiling is 0.3125.
+    EXPECT_GT(s.ipc.at(0), 0.15);
+    EXPECT_LE(s.ipc.at(0), 0.32);
+    // Every load misses the L1 (32KB array vs 16KB cache) and hits
+    // the L2.
+    EXPECT_GT(s.l2Reads.at(0), 0u);
+    EXPECT_EQ(s.l2Writes.at(0), 0u);
+}
+
+TEST(CmpSystem, SingleThreadStoresMakesProgress)
+{
+    SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::RowFcfs);
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<StoresBenchmark>(0));
+    CmpSystem sys(cfg, std::move(wl));
+    IntervalStats s = sys.runAndMeasure(20'000, 50'000);
+    // Stores is bound by data-array writes: 2 banks / 16 cycles =
+    // 0.125 stores/cycle -> IPC ceiling 0.15625.
+    EXPECT_GT(s.ipc.at(0), 0.08);
+    EXPECT_LE(s.ipc.at(0), 0.16);
+    EXPECT_GT(s.l2Writes.at(0), 0u);
+    // Consecutive stores hit different lines: nothing gathers.
+    EXPECT_LT(s.gatherRate(0), 0.05);
+}
+
+TEST(CmpSystem, MicrobenchmarksDoNotMissL2)
+{
+    SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::RowFcfs);
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    CmpSystem sys(cfg, std::move(wl));
+    IntervalStats s = sys.runAndMeasure(50'000, 50'000);
+    // After warmup the 32KB array is L2 resident.
+    EXPECT_EQ(s.l2Misses.at(0), 0u);
+}
+
+TEST(CmpSystem, UtilizationsAreConsistent)
+{
+    SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Fcfs);
+    CmpSystem sys(cfg, twoThreadLoadsStores());
+    IntervalStats s = sys.runAndMeasure(20'000, 50'000);
+    EXPECT_GT(s.dataUtil, 0.5); // both benchmarks hammer the arrays
+    EXPECT_LE(s.dataUtil, 1.0);
+    EXPECT_GT(s.tagUtil, 0.0);
+    EXPECT_LE(s.tagUtil, 1.0);
+    EXPECT_GT(s.busUtil, 0.0);
+}
+
+TEST(CmpSystem, SnapshotDeltasMatchTotals)
+{
+    SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Fcfs);
+    CmpSystem sys(cfg, twoThreadLoadsStores());
+    SystemSnapshot a = sys.snapshot();
+    sys.run(10'000);
+    SystemSnapshot b = sys.snapshot();
+    IntervalStats s = CmpSystem::interval(a, b);
+    EXPECT_EQ(s.cycles, 10'000u);
+    EXPECT_EQ(s.instrs.at(0), sys.cpu(0).instrsRetired());
+    EXPECT_EQ(s.instrs.at(1), sys.cpu(1).instrsRetired());
+}
+
+TEST(CmpSystem, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Fcfs);
+        CmpSystem sys(cfg, twoThreadLoadsStores());
+        sys.run(30'000);
+        return std::make_pair(sys.cpu(0).instrsRetired(),
+                              sys.cpu(1).instrsRetired());
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(CmpSystem, WorkloadCountMustMatchProcessors)
+{
+    SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Fcfs);
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    EXPECT_EXIT((CmpSystem{cfg, std::move(wl)}),
+                testing::ExitedWithCode(1), "workloads");
+}
+
+TEST(CmpSystem, FourThreadStoresAllMakeProgress)
+{
+    SystemConfig cfg = makeBaselineConfig(4, ArbiterPolicy::Fcfs);
+    std::vector<std::unique_ptr<Workload>> wl;
+    for (unsigned t = 0; t < 4; ++t) {
+        wl.push_back(std::make_unique<StoresBenchmark>(
+            (1ull << 32) * t));
+    }
+    CmpSystem sys(cfg, std::move(wl));
+    IntervalStats s = sys.runAndMeasure(20'000, 50'000);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_GT(s.ipc.at(t), 0.01) << "thread " << t;
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the experiment helpers (target IPC machinery,
+ * aggregate metrics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/experiment.hh"
+#include "workload/microbench.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(Experiment, CeilEven)
+{
+    EXPECT_EQ(ceilEven(4.0), 4u);
+    EXPECT_EQ(ceilEven(5.0), 6u);
+    EXPECT_EQ(ceilEven(5.33), 6u);
+    EXPECT_EQ(ceilEven(4.01), 6u);
+    EXPECT_EQ(ceilEven(0.5), 2u);
+}
+
+TEST(Experiment, HarmonicMean)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.5}), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(Experiment, Minimum)
+{
+    EXPECT_DOUBLE_EQ(minimum({0.7, 0.2, 0.9}), 0.2);
+    EXPECT_DOUBLE_EQ(minimum({}), 0.0);
+}
+
+TEST(Experiment, PrivateConfigScalesResources)
+{
+    SystemConfig base = makeBaselineConfig(4, ArbiterPolicy::Vpc);
+    SystemConfig priv = makePrivateConfig(base, 0.5, 0.25);
+    EXPECT_EQ(priv.numProcessors, 1u);
+    EXPECT_EQ(priv.arbiterPolicy, ArbiterPolicy::RowFcfs);
+    // Latencies scale by 1/phi = 2.
+    EXPECT_EQ(priv.l2.tagLatency, 8u);
+    EXPECT_EQ(priv.l2.dataLatency, 16u);
+    EXPECT_EQ(priv.l2.busBeatCycles, 4u);
+    // beta * 32 = 8 ways; same sets per bank as the shared cache.
+    EXPECT_EQ(priv.l2.ways, 8u);
+    EXPECT_EQ(priv.l2.setsPerBank(), base.l2.setsPerBank());
+}
+
+TEST(Experiment, PrivateConfigFullShareIsIdentityOnLatency)
+{
+    SystemConfig base = makeBaselineConfig(4, ArbiterPolicy::Vpc);
+    SystemConfig priv = makePrivateConfig(base, 1.0, 1.0);
+    EXPECT_EQ(priv.l2.tagLatency, base.l2.tagLatency);
+    EXPECT_EQ(priv.l2.dataLatency, base.l2.dataLatency);
+    EXPECT_EQ(priv.l2.ways, base.l2.ways);
+}
+
+TEST(Experiment, ZeroPhiHasZeroTarget)
+{
+    SystemConfig base = makeBaselineConfig(2, ArbiterPolicy::Vpc);
+    LoadsBenchmark wl(0);
+    EXPECT_DOUBLE_EQ(targetIpc(base, wl, 0.0, 0.5), 0.0);
+}
+
+TEST(Experiment, TargetIpcScalesWithBandwidthShare)
+{
+    SystemConfig base = makeBaselineConfig(2, ArbiterPolicy::Vpc);
+    LoadsBenchmark wl(0);
+    RunLengths lens{20'000, 50'000};
+    double full = targetIpc(base, wl, 1.0, 0.5, lens);
+    double half = targetIpc(base, wl, 0.5, 0.5, lens);
+    // Loads is bandwidth-bound: halving the bandwidth roughly halves
+    // the target.
+    EXPECT_GT(full, 0.2);
+    EXPECT_LT(half, 0.65 * full);
+    EXPECT_GT(half, 0.3 * full);
+}
+
+TEST(Experiment, BaselineConfigEqualShares)
+{
+    SystemConfig cfg = makeBaselineConfig(4, ArbiterPolicy::Vpc);
+    EXPECT_EQ(cfg.shares.size(), 4u);
+    EXPECT_DOUBLE_EQ(cfg.shares[2].phi, 0.25);
+    EXPECT_EQ(cfg.arbiterPolicy, ArbiterPolicy::Vpc);
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the hierarchical statistics dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/experiment.hh"
+#include "system/stats_report.hh"
+#include "workload/microbench.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(StatsReport, ContainsEveryComponentSection)
+{
+    SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Vpc);
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    wl.push_back(std::make_unique<StoresBenchmark>(1ull << 32));
+    CmpSystem sys(cfg, std::move(wl));
+    sys.run(20'000);
+
+    std::ostringstream os;
+    dumpStats(sys, os, sys.now());
+    std::string out = os.str();
+
+    for (const char *needle :
+         {"sim.cycles", "cpu0.ipc", "cpu1.instrs", "l1d0.misses",
+          "l1d1.hits", "l2.bank0.data.util", "l2.bank1.tag.accesses",
+          "l2.bank0.thread1.writes", "l2.bank1.thread0.sgbStores",
+          "mem.thread0.readLatencyMean", "mem.thread1.writes"}) {
+        EXPECT_NE(out.find(needle), std::string::npos)
+            << "missing stat " << needle;
+    }
+}
+
+TEST(StatsReport, ValuesReflectActivity)
+{
+    SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::RowFcfs);
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    CmpSystem sys(cfg, std::move(wl));
+    sys.run(20'000);
+
+    std::ostringstream os;
+    dumpStats(sys, os, sys.now());
+    std::string out = os.str();
+
+    // The Loads benchmark misses the L1 constantly; the dump must
+    // show non-zero L1 misses.
+    std::size_t pos = out.find("l1d0.misses");
+    ASSERT_NE(pos, std::string::npos);
+    std::istringstream field(out.substr(pos + 44));
+    std::uint64_t misses = 0;
+    field >> misses;
+    EXPECT_GT(misses, 100u);
+}
+
+TEST(StatsReport, EveryLineHasDescription)
+{
+    SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::Vpc);
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    CmpSystem sys(cfg, std::move(wl));
+    sys.run(1'000);
+
+    std::ostringstream os;
+    dumpStats(sys, os, sys.now());
+    std::istringstream lines(os.str());
+    std::string line;
+    unsigned stat_lines = 0;
+    while (std::getline(lines, line)) {
+        if (line.rfind("----------", 0) == 0)
+            continue;
+        EXPECT_NE(line.find('#'), std::string::npos) << line;
+        ++stat_lines;
+    }
+    EXPECT_GT(stat_lines, 20u);
+}
+
+} // namespace
+} // namespace vpc

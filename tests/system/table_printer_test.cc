@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unit tests for the bench table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/table_printer.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(TablePrinter, NumFormatsFixedPoint)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159), "3.142");
+    EXPECT_EQ(TablePrinter::num(3.14159, 1), "3.1");
+    EXPECT_EQ(TablePrinter::num(0.0, 2), "0.00");
+    EXPECT_EQ(TablePrinter::num(-1.5, 0), "-2");
+}
+
+TEST(TablePrinter, PctFormatsPercentages)
+{
+    EXPECT_EQ(TablePrinter::pct(0.5), "50.0%");
+    EXPECT_EQ(TablePrinter::pct(1.0), "100.0%");
+    EXPECT_EQ(TablePrinter::pct(0.123), "12.3%");
+    EXPECT_EQ(TablePrinter::pct(0.0), "0.0%");
+}
+
+TEST(TablePrinter, PrintsWithoutCrashing)
+{
+    // Output goes to stdout; gtest captures it.  Exercise the API,
+    // including short rows and over-long cells.
+    testing::internal::CaptureStdout();
+    TablePrinter t("Title", {"A", "LongerHeading"}, 6);
+    t.row({"x", "y"});
+    t.row({"only-one-cell"});
+    t.row({"a-cell-longer-than-its-column", "z"});
+    t.rule();
+    std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("LongerHeading"), std::string::npos);
+    EXPECT_NE(out.find("only-one-cell"), std::string::npos);
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the Table 2 microbenchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/microbench.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(MicroBenchmark, LoadsEmitsUnrolledRowWalk)
+{
+    LoadsBenchmark wl(0x1000000);
+    // Pattern: 4 loads (stride 64) then one compute.
+    for (unsigned iter = 0; iter < 3; ++iter) {
+        for (unsigned i = 0; i < 4; ++i) {
+            MicroOp op = wl.next();
+            EXPECT_EQ(op.kind, MicroOp::Kind::Load);
+            EXPECT_EQ(op.addr,
+                      0x1000000 + 64ull * (iter * 4 + i));
+            EXPECT_FALSE(op.dependsOnPrevLoad);
+        }
+        EXPECT_EQ(wl.next().kind, MicroOp::Kind::Compute);
+    }
+}
+
+TEST(MicroBenchmark, StoresEmitsStores)
+{
+    StoresBenchmark wl(0);
+    MicroOp op = wl.next();
+    EXPECT_EQ(op.kind, MicroOp::Kind::Store);
+}
+
+TEST(MicroBenchmark, WrapsAt32KB)
+{
+    LoadsBenchmark wl(0);
+    Addr max_addr = 0;
+    // One full pass: 512 rows -> 512 loads + 128 computes.
+    for (unsigned i = 0; i < 512 + 128; ++i) {
+        MicroOp op = wl.next();
+        if (op.kind == MicroOp::Kind::Load)
+            max_addr = std::max(max_addr, op.addr);
+    }
+    EXPECT_EQ(max_addr, MicroBenchmark::kArrayBytes - 64);
+    // Next load restarts at the base.
+    MicroOp op = wl.next();
+    EXPECT_EQ(op.kind, MicroOp::Kind::Load);
+    EXPECT_EQ(op.addr, 0u);
+}
+
+TEST(MicroBenchmark, ArrayIsTwiceTheL1)
+{
+    EXPECT_EQ(MicroBenchmark::kArrayBytes, 2u * 16 * 1024);
+}
+
+TEST(MicroBenchmark, CloneRestartsTheStream)
+{
+    LoadsBenchmark wl(0);
+    wl.next();
+    wl.next();
+    auto fresh = wl.clone(7);
+    MicroOp op = fresh->next();
+    EXPECT_EQ(op.addr, 0u);
+    EXPECT_EQ(fresh->name(), "Loads");
+}
+
+TEST(MicroBenchmark, MemoryOpFractionIs80Percent)
+{
+    StoresBenchmark wl(0);
+    unsigned mem_ops = 0;
+    for (unsigned i = 0; i < 1000; ++i) {
+        if (wl.next().kind != MicroOp::Kind::Compute)
+            ++mem_ops;
+    }
+    EXPECT_EQ(mem_ops, 800u);
+}
+
+} // namespace
+} // namespace vpc

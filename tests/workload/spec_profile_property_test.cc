@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Parameterized property tests over every SPEC 2000 stand-in profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/spec2000.hh"
+
+namespace vpc
+{
+namespace
+{
+
+class SpecProfileSweep
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SpecProfileSweep, MemFractionMatchesProfile)
+{
+    const SyntheticParams &p = spec2000Params(GetParam());
+    auto wl = makeSpec2000(GetParam(), 0, 17);
+    unsigned mem = 0;
+    const unsigned n = 30000;
+    for (unsigned i = 0; i < n; ++i) {
+        if (wl->next().kind != MicroOp::Kind::Compute)
+            ++mem;
+    }
+    EXPECT_NEAR(mem / double(n), p.memFrac, 0.02);
+}
+
+TEST_P(SpecProfileSweep, StoreFractionMatchesProfile)
+{
+    const SyntheticParams &p = spec2000Params(GetParam());
+    auto wl = makeSpec2000(GetParam(), 0, 23);
+    unsigned mem = 0, stores = 0;
+    for (unsigned i = 0; i < 40000; ++i) {
+        MicroOp op = wl->next();
+        if (op.kind == MicroOp::Kind::Store) {
+            ++stores;
+            ++mem;
+        } else if (op.kind == MicroOp::Kind::Load) {
+            ++mem;
+        }
+    }
+    ASSERT_GT(mem, 0u);
+    EXPECT_NEAR(stores / double(mem), p.storeFrac, 0.03);
+}
+
+TEST_P(SpecProfileSweep, AddressesStayInsideTheThreadRegion)
+{
+    const SyntheticParams &p = spec2000Params(GetParam());
+    Addr base = 0x7ull << 40;
+    auto wl = makeSpec2000(GetParam(), base, 31);
+    Addr limit = base + p.workingSetBytes + p.hotBytes + p.l2Bytes +
+                 64;
+    for (unsigned i = 0; i < 20000; ++i) {
+        MicroOp op = wl->next();
+        if (op.kind == MicroOp::Kind::Compute)
+            continue;
+        EXPECT_GE(op.addr, base);
+        EXPECT_LT(op.addr, limit);
+    }
+}
+
+TEST_P(SpecProfileSweep, DeterministicForFixedSeed)
+{
+    auto a = makeSpec2000(GetParam(), 0x1000, 5);
+    auto b = makeSpec2000(GetParam(), 0x1000, 5);
+    for (unsigned i = 0; i < 2000; ++i) {
+        MicroOp x = a->next(), y = b->next();
+        ASSERT_EQ(x.kind, y.kind);
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(x.dependsOnPrevLoad, y.dependsOnPrevLoad);
+    }
+}
+
+TEST_P(SpecProfileSweep, OnlyLoadsCarryDependences)
+{
+    auto wl = makeSpec2000(GetParam(), 0, 41);
+    for (unsigned i = 0; i < 10000; ++i) {
+        MicroOp op = wl->next();
+        if (op.dependsOnPrevLoad)
+            EXPECT_EQ(op.kind, MicroOp::Kind::Load);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SpecProfileSweep,
+                         ::testing::ValuesIn(spec2000Names()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generator and the SPEC 2000
+ * calibration table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/spec2000.hh"
+#include "workload/synthetic.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(SyntheticWorkload, MemFractionMatchesParameter)
+{
+    SyntheticParams p;
+    p.memFrac = 0.4;
+    SyntheticWorkload wl(p, 0, 1);
+    unsigned mem = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; ++i) {
+        if (wl.next().kind != MicroOp::Kind::Compute)
+            ++mem;
+    }
+    EXPECT_NEAR(mem / double(n), 0.4, 0.02);
+}
+
+TEST(SyntheticWorkload, StoreFractionOfMemOps)
+{
+    SyntheticParams p;
+    p.memFrac = 1.0;
+    p.storeFrac = 0.3;
+    SyntheticWorkload wl(p, 0, 2);
+    unsigned stores = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; ++i) {
+        if (wl.next().kind == MicroOp::Kind::Store)
+            ++stores;
+    }
+    EXPECT_NEAR(stores / double(n), 0.3, 0.02);
+}
+
+TEST(SyntheticWorkload, AddressesStayInThreadSpace)
+{
+    SyntheticParams p;
+    p.workingSetBytes = 1 << 20;
+    Addr base = 1ull << 40;
+    SyntheticWorkload wl(p, base, 3);
+    for (unsigned i = 0; i < 5000; ++i) {
+        MicroOp op = wl.next();
+        if (op.kind != MicroOp::Kind::Compute) {
+            EXPECT_GE(op.addr, base);
+            EXPECT_LT(op.addr,
+                      base + (1 << 20) + p.hotBytes + p.l2Bytes +
+                          64);
+        }
+    }
+}
+
+TEST(SyntheticWorkload, StoreLocalityDrivesGatherableRuns)
+{
+    SyntheticParams p;
+    p.memFrac = 1.0;
+    p.storeFrac = 1.0;
+    p.storeLocality = 0.8;
+    SyntheticWorkload wl(p, 0, 4);
+    Addr prev_line = ~0ull;
+    unsigned same = 0, total = 0;
+    for (unsigned i = 0; i < 10000; ++i) {
+        MicroOp op = wl.next();
+        Addr line = lineAlign(op.addr, 64);
+        if (prev_line != ~0ull) {
+            ++total;
+            same += line == prev_line ? 1 : 0;
+        }
+        prev_line = line;
+    }
+    EXPECT_NEAR(same / double(total), 0.8, 0.03);
+}
+
+TEST(SyntheticWorkload, DeterministicForSameSeed)
+{
+    SyntheticParams p = spec2000Params("gcc");
+    SyntheticWorkload a(p, 0, 42), b(p, 0, 42);
+    for (unsigned i = 0; i < 1000; ++i) {
+        MicroOp x = a.next(), y = b.next();
+        EXPECT_EQ(x.kind, y.kind);
+        EXPECT_EQ(x.addr, y.addr);
+    }
+}
+
+TEST(SyntheticWorkload, CloneReseedsButKeepsProfile)
+{
+    SyntheticParams p = spec2000Params("art");
+    SyntheticWorkload wl(p, 0x100, 1);
+    auto c = wl.clone(99);
+    EXPECT_EQ(c->name(), "art");
+}
+
+TEST(Spec2000, AllEighteenBenchmarksPresent)
+{
+    const auto &names = spec2000Names();
+    EXPECT_EQ(names.size(), 18u);
+    EXPECT_EQ(names.front(), "art");      // highest data-array util
+    EXPECT_EQ(names.back(), "sixtrack");  // lowest
+}
+
+TEST(Spec2000, ProfilesFollowThePapersCharacterization)
+{
+    // equake and swim have very few L2 writes (Figure 7).
+    EXPECT_LT(spec2000Params("equake").storeFrac, 0.1);
+    EXPECT_LT(spec2000Params("swim").storeFrac, 0.1);
+    // mcf is the canonical pointer chaser: the most dependence-bound
+    // profile in the table.
+    double mcf_dep = spec2000Params("mcf").depFrac;
+    for (const std::string &name : spec2000Names())
+        EXPECT_LE(spec2000Params(name).depFrac, mcf_dep) << name;
+    // mcf/swim/lucas/equake working sets exceed the 16MB L2.
+    EXPECT_GT(spec2000Params("mcf").workingSetBytes, 16ull << 20);
+    EXPECT_GT(spec2000Params("swim").workingSetBytes, 16ull << 20);
+    // sixtrack is L1-resident.
+    EXPECT_GT(spec2000Params("sixtrack").hotFrac, 0.8);
+}
+
+TEST(Spec2000, UnknownBenchmarkIsFatal)
+{
+    EXPECT_EXIT(spec2000Params("nosuch"), testing::ExitedWithCode(1),
+                "unknown");
+}
+
+TEST(Spec2000, FactoryBuildsWorkload)
+{
+    auto wl = makeSpec2000("gzip", 0x1000, 5);
+    EXPECT_EQ(wl->name(), "gzip");
+    wl->next();
+}
+
+} // namespace
+} // namespace vpc

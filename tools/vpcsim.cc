@@ -1,0 +1,65 @@
+/**
+ * @file
+ * vpcsim: command-line driver for the Virtual Private Caches
+ * simulator.  See --help (system/options.hh) for the flag reference.
+ *
+ * Examples:
+ *
+ *   # the paper's Figure 8, VPC 25% point:
+ *   vpcsim --arbiter=vpc --workload=loads,stores \
+ *          --phi=0.75,0.25 --beta=0.5,0.5
+ *
+ *   # four SPEC stand-ins under FCFS with the full stats report:
+ *   vpcsim --workload=art,mcf,gzip,sixtrack --stats
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "system/cmp_system.hh"
+#include "system/options.hh"
+#include "system/stats_report.hh"
+#include "system/table_printer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpc;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string error;
+    std::optional<SimOptions> opts = parseSimOptions(args, error);
+    if (!opts) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+
+    CmpSystem sys(opts->config, opts->buildWorkloads());
+    IntervalStats stats = sys.runAndMeasure(opts->warmup,
+                                            opts->measure);
+
+    TablePrinter t(format("vpcsim: {} cycles measured after {} "
+                          "warmup",
+                          opts->measure, opts->warmup),
+                   {"Thread", "Workload", "phi", "beta", "IPC",
+                    "L2 reads", "L2 writes", "L2 misses"});
+    for (unsigned i = 0; i < opts->config.numProcessors; ++i) {
+        t.row({std::to_string(i), opts->workloadSpecs[i],
+               TablePrinter::num(opts->config.shares[i].phi, 2),
+               TablePrinter::num(opts->config.shares[i].beta, 2),
+               TablePrinter::num(stats.ipc[i]),
+               std::to_string(stats.l2Reads[i]),
+               std::to_string(stats.l2Writes[i]),
+               std::to_string(stats.l2Misses[i])});
+    }
+    t.rule();
+    std::printf("L2 utilization: tag %.1f%%  data %.1f%%  bus "
+                "%.1f%%\n", stats.tagUtil * 100.0,
+                stats.dataUtil * 100.0, stats.busUtil * 100.0);
+
+    if (opts->dumpStats)
+        dumpStats(sys, std::cout, sys.now());
+    return 0;
+}
