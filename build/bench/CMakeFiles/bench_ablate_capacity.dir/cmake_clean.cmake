@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_capacity.dir/bench_ablate_capacity.cc.o"
+  "CMakeFiles/bench_ablate_capacity.dir/bench_ablate_capacity.cc.o.d"
+  "bench_ablate_capacity"
+  "bench_ablate_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

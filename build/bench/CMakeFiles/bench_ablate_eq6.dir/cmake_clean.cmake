@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_eq6.dir/bench_ablate_eq6.cc.o"
+  "CMakeFiles/bench_ablate_eq6.dir/bench_ablate_eq6.cc.o.d"
+  "bench_ablate_eq6"
+  "bench_ablate_eq6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_eq6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

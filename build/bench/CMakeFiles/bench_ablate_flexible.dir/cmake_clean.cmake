@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_flexible.dir/bench_ablate_flexible.cc.o"
+  "CMakeFiles/bench_ablate_flexible.dir/bench_ablate_flexible.cc.o.d"
+  "bench_ablate_flexible"
+  "bench_ablate_flexible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_flexible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablate_prefetch.cc" "bench/CMakeFiles/bench_ablate_prefetch.dir/bench_ablate_prefetch.cc.o" "gcc" "bench/CMakeFiles/bench_ablate_prefetch.dir/bench_ablate_prefetch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/vpc_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vpc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arbiter/CMakeFiles/vpc_arbiter.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_row.dir/bench_ablate_row.cc.o"
+  "CMakeFiles/bench_ablate_row.dir/bench_ablate_row.cc.o.d"
+  "bench_ablate_row"
+  "bench_ablate_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_wc.dir/bench_ablate_wc.cc.o"
+  "CMakeFiles/bench_ablate_wc.dir/bench_ablate_wc.cc.o.d"
+  "bench_ablate_wc"
+  "bench_ablate_wc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_wc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vpm_memory.dir/bench_vpm_memory.cc.o"
+  "CMakeFiles/bench_vpm_memory.dir/bench_vpm_memory.cc.o.d"
+  "bench_vpm_memory"
+  "bench_vpm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vpm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_mix.dir/heterogeneous_mix.cpp.o"
+  "CMakeFiles/heterogeneous_mix.dir/heterogeneous_mix.cpp.o.d"
+  "heterogeneous_mix"
+  "heterogeneous_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malicious_neighbor.dir/malicious_neighbor.cpp.o"
+  "CMakeFiles/malicious_neighbor.dir/malicious_neighbor.cpp.o.d"
+  "malicious_neighbor"
+  "malicious_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malicious_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arbiter/arbiter_factory.cc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/arbiter_factory.cc.o" "gcc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/arbiter_factory.cc.o.d"
+  "/root/repo/src/arbiter/fcfs_arbiter.cc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/fcfs_arbiter.cc.o" "gcc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/fcfs_arbiter.cc.o.d"
+  "/root/repo/src/arbiter/round_robin_arbiter.cc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/round_robin_arbiter.cc.o" "gcc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/round_robin_arbiter.cc.o.d"
+  "/root/repo/src/arbiter/row_fcfs_arbiter.cc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/row_fcfs_arbiter.cc.o" "gcc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/row_fcfs_arbiter.cc.o.d"
+  "/root/repo/src/arbiter/shared_resource.cc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/shared_resource.cc.o" "gcc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/shared_resource.cc.o.d"
+  "/root/repo/src/arbiter/vpc_arbiter.cc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/vpc_arbiter.cc.o" "gcc" "src/arbiter/CMakeFiles/vpc_arbiter.dir/vpc_arbiter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

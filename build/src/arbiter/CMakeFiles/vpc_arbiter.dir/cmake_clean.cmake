@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_arbiter.dir/arbiter_factory.cc.o"
+  "CMakeFiles/vpc_arbiter.dir/arbiter_factory.cc.o.d"
+  "CMakeFiles/vpc_arbiter.dir/fcfs_arbiter.cc.o"
+  "CMakeFiles/vpc_arbiter.dir/fcfs_arbiter.cc.o.d"
+  "CMakeFiles/vpc_arbiter.dir/round_robin_arbiter.cc.o"
+  "CMakeFiles/vpc_arbiter.dir/round_robin_arbiter.cc.o.d"
+  "CMakeFiles/vpc_arbiter.dir/row_fcfs_arbiter.cc.o"
+  "CMakeFiles/vpc_arbiter.dir/row_fcfs_arbiter.cc.o.d"
+  "CMakeFiles/vpc_arbiter.dir/shared_resource.cc.o"
+  "CMakeFiles/vpc_arbiter.dir/shared_resource.cc.o.d"
+  "CMakeFiles/vpc_arbiter.dir/vpc_arbiter.cc.o"
+  "CMakeFiles/vpc_arbiter.dir/vpc_arbiter.cc.o.d"
+  "libvpc_arbiter.a"
+  "libvpc_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

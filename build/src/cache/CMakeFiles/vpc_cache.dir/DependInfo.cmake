@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_array.cc" "src/cache/CMakeFiles/vpc_cache.dir/cache_array.cc.o" "gcc" "src/cache/CMakeFiles/vpc_cache.dir/cache_array.cc.o.d"
+  "/root/repo/src/cache/l1_cache.cc" "src/cache/CMakeFiles/vpc_cache.dir/l1_cache.cc.o" "gcc" "src/cache/CMakeFiles/vpc_cache.dir/l1_cache.cc.o.d"
+  "/root/repo/src/cache/l2_bank.cc" "src/cache/CMakeFiles/vpc_cache.dir/l2_bank.cc.o" "gcc" "src/cache/CMakeFiles/vpc_cache.dir/l2_bank.cc.o.d"
+  "/root/repo/src/cache/l2_cache.cc" "src/cache/CMakeFiles/vpc_cache.dir/l2_cache.cc.o" "gcc" "src/cache/CMakeFiles/vpc_cache.dir/l2_cache.cc.o.d"
+  "/root/repo/src/cache/prefetcher.cc" "src/cache/CMakeFiles/vpc_cache.dir/prefetcher.cc.o" "gcc" "src/cache/CMakeFiles/vpc_cache.dir/prefetcher.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/cache/CMakeFiles/vpc_cache.dir/replacement.cc.o" "gcc" "src/cache/CMakeFiles/vpc_cache.dir/replacement.cc.o.d"
+  "/root/repo/src/cache/store_gather_buffer.cc" "src/cache/CMakeFiles/vpc_cache.dir/store_gather_buffer.cc.o" "gcc" "src/cache/CMakeFiles/vpc_cache.dir/store_gather_buffer.cc.o.d"
+  "/root/repo/src/cache/vpc_controller.cc" "src/cache/CMakeFiles/vpc_cache.dir/vpc_controller.cc.o" "gcc" "src/cache/CMakeFiles/vpc_cache.dir/vpc_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arbiter/CMakeFiles/vpc_arbiter.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vpc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_cache.dir/cache_array.cc.o"
+  "CMakeFiles/vpc_cache.dir/cache_array.cc.o.d"
+  "CMakeFiles/vpc_cache.dir/l1_cache.cc.o"
+  "CMakeFiles/vpc_cache.dir/l1_cache.cc.o.d"
+  "CMakeFiles/vpc_cache.dir/l2_bank.cc.o"
+  "CMakeFiles/vpc_cache.dir/l2_bank.cc.o.d"
+  "CMakeFiles/vpc_cache.dir/l2_cache.cc.o"
+  "CMakeFiles/vpc_cache.dir/l2_cache.cc.o.d"
+  "CMakeFiles/vpc_cache.dir/prefetcher.cc.o"
+  "CMakeFiles/vpc_cache.dir/prefetcher.cc.o.d"
+  "CMakeFiles/vpc_cache.dir/replacement.cc.o"
+  "CMakeFiles/vpc_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/vpc_cache.dir/store_gather_buffer.cc.o"
+  "CMakeFiles/vpc_cache.dir/store_gather_buffer.cc.o.d"
+  "CMakeFiles/vpc_cache.dir/vpc_controller.cc.o"
+  "CMakeFiles/vpc_cache.dir/vpc_controller.cc.o.d"
+  "libvpc_cache.a"
+  "libvpc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_core.dir/cpu.cc.o"
+  "CMakeFiles/vpc_core.dir/cpu.cc.o.d"
+  "libvpc_core.a"
+  "libvpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

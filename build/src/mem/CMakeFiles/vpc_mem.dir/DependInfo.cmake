@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram_channel.cc" "src/mem/CMakeFiles/vpc_mem.dir/dram_channel.cc.o" "gcc" "src/mem/CMakeFiles/vpc_mem.dir/dram_channel.cc.o.d"
+  "/root/repo/src/mem/memory_controller.cc" "src/mem/CMakeFiles/vpc_mem.dir/memory_controller.cc.o" "gcc" "src/mem/CMakeFiles/vpc_mem.dir/memory_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arbiter/CMakeFiles/vpc_arbiter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_mem.dir/dram_channel.cc.o"
+  "CMakeFiles/vpc_mem.dir/dram_channel.cc.o.d"
+  "CMakeFiles/vpc_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/vpc_mem.dir/memory_controller.cc.o.d"
+  "libvpc_mem.a"
+  "libvpc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

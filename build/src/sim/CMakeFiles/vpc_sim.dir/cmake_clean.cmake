@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_sim.dir/debug.cc.o"
+  "CMakeFiles/vpc_sim.dir/debug.cc.o.d"
+  "CMakeFiles/vpc_sim.dir/logging.cc.o"
+  "CMakeFiles/vpc_sim.dir/logging.cc.o.d"
+  "libvpc_sim.a"
+  "libvpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

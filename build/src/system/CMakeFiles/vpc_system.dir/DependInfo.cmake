@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/cmp_system.cc" "src/system/CMakeFiles/vpc_system.dir/cmp_system.cc.o" "gcc" "src/system/CMakeFiles/vpc_system.dir/cmp_system.cc.o.d"
+  "/root/repo/src/system/experiment.cc" "src/system/CMakeFiles/vpc_system.dir/experiment.cc.o" "gcc" "src/system/CMakeFiles/vpc_system.dir/experiment.cc.o.d"
+  "/root/repo/src/system/options.cc" "src/system/CMakeFiles/vpc_system.dir/options.cc.o" "gcc" "src/system/CMakeFiles/vpc_system.dir/options.cc.o.d"
+  "/root/repo/src/system/stats_report.cc" "src/system/CMakeFiles/vpc_system.dir/stats_report.cc.o" "gcc" "src/system/CMakeFiles/vpc_system.dir/stats_report.cc.o.d"
+  "/root/repo/src/system/table_printer.cc" "src/system/CMakeFiles/vpc_system.dir/table_printer.cc.o" "gcc" "src/system/CMakeFiles/vpc_system.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arbiter/CMakeFiles/vpc_arbiter.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vpc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vpc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_system.dir/cmp_system.cc.o"
+  "CMakeFiles/vpc_system.dir/cmp_system.cc.o.d"
+  "CMakeFiles/vpc_system.dir/experiment.cc.o"
+  "CMakeFiles/vpc_system.dir/experiment.cc.o.d"
+  "CMakeFiles/vpc_system.dir/options.cc.o"
+  "CMakeFiles/vpc_system.dir/options.cc.o.d"
+  "CMakeFiles/vpc_system.dir/stats_report.cc.o"
+  "CMakeFiles/vpc_system.dir/stats_report.cc.o.d"
+  "CMakeFiles/vpc_system.dir/table_printer.cc.o"
+  "CMakeFiles/vpc_system.dir/table_printer.cc.o.d"
+  "libvpc_system.a"
+  "libvpc_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_workload.dir/microbench.cc.o"
+  "CMakeFiles/vpc_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/vpc_workload.dir/spec2000.cc.o"
+  "CMakeFiles/vpc_workload.dir/spec2000.cc.o.d"
+  "CMakeFiles/vpc_workload.dir/synthetic.cc.o"
+  "CMakeFiles/vpc_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/vpc_workload.dir/trace.cc.o"
+  "CMakeFiles/vpc_workload.dir/trace.cc.o.d"
+  "libvpc_workload.a"
+  "libvpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arbiter.dir/arbiter/arbiter_property_test.cc.o"
+  "CMakeFiles/test_arbiter.dir/arbiter/arbiter_property_test.cc.o.d"
+  "CMakeFiles/test_arbiter.dir/arbiter/fcfs_test.cc.o"
+  "CMakeFiles/test_arbiter.dir/arbiter/fcfs_test.cc.o.d"
+  "CMakeFiles/test_arbiter.dir/arbiter/round_robin_test.cc.o"
+  "CMakeFiles/test_arbiter.dir/arbiter/round_robin_test.cc.o.d"
+  "CMakeFiles/test_arbiter.dir/arbiter/row_fcfs_test.cc.o"
+  "CMakeFiles/test_arbiter.dir/arbiter/row_fcfs_test.cc.o.d"
+  "CMakeFiles/test_arbiter.dir/arbiter/shared_resource_test.cc.o"
+  "CMakeFiles/test_arbiter.dir/arbiter/shared_resource_test.cc.o.d"
+  "CMakeFiles/test_arbiter.dir/arbiter/vpc_arbiter_test.cc.o"
+  "CMakeFiles/test_arbiter.dir/arbiter/vpc_arbiter_test.cc.o.d"
+  "test_arbiter"
+  "test_arbiter.pdb"
+  "test_arbiter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

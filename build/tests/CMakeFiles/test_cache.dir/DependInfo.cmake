@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/cache_array_test.cc" "tests/CMakeFiles/test_cache.dir/cache/cache_array_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/cache_array_test.cc.o.d"
+  "/root/repo/tests/cache/capacity_property_test.cc" "tests/CMakeFiles/test_cache.dir/cache/capacity_property_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/capacity_property_test.cc.o.d"
+  "/root/repo/tests/cache/global_occupancy_test.cc" "tests/CMakeFiles/test_cache.dir/cache/global_occupancy_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/global_occupancy_test.cc.o.d"
+  "/root/repo/tests/cache/l1_cache_test.cc" "tests/CMakeFiles/test_cache.dir/cache/l1_cache_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/l1_cache_test.cc.o.d"
+  "/root/repo/tests/cache/l2_bank_test.cc" "tests/CMakeFiles/test_cache.dir/cache/l2_bank_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/l2_bank_test.cc.o.d"
+  "/root/repo/tests/cache/l2_cache_test.cc" "tests/CMakeFiles/test_cache.dir/cache/l2_cache_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/l2_cache_test.cc.o.d"
+  "/root/repo/tests/cache/prefetcher_test.cc" "tests/CMakeFiles/test_cache.dir/cache/prefetcher_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/prefetcher_test.cc.o.d"
+  "/root/repo/tests/cache/replacement_test.cc" "tests/CMakeFiles/test_cache.dir/cache/replacement_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/replacement_test.cc.o.d"
+  "/root/repo/tests/cache/store_gather_buffer_test.cc" "tests/CMakeFiles/test_cache.dir/cache/store_gather_buffer_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/store_gather_buffer_test.cc.o.d"
+  "/root/repo/tests/cache/vpc_controller_test.cc" "tests/CMakeFiles/test_cache.dir/cache/vpc_controller_test.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/vpc_controller_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/vpc_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vpc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arbiter/CMakeFiles/vpc_arbiter.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

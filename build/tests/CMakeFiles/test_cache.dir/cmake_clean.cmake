@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/cache_array_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/cache_array_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/capacity_property_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/capacity_property_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/global_occupancy_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/global_occupancy_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/l1_cache_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/l1_cache_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/l2_bank_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/l2_bank_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/l2_cache_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/l2_cache_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/prefetcher_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/prefetcher_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/replacement_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/replacement_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/store_gather_buffer_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/store_gather_buffer_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/vpc_controller_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/vpc_controller_test.cc.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

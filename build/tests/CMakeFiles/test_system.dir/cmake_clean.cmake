@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/system/cmp_system_test.cc.o"
+  "CMakeFiles/test_system.dir/system/cmp_system_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/experiment_test.cc.o"
+  "CMakeFiles/test_system.dir/system/experiment_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/options_test.cc.o"
+  "CMakeFiles/test_system.dir/system/options_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/prefetch_system_test.cc.o"
+  "CMakeFiles/test_system.dir/system/prefetch_system_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/qos_property_test.cc.o"
+  "CMakeFiles/test_system.dir/system/qos_property_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/stats_report_test.cc.o"
+  "CMakeFiles/test_system.dir/system/stats_report_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/table_printer_test.cc.o"
+  "CMakeFiles/test_system.dir/system/table_printer_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/vpm_memory_test.cc.o"
+  "CMakeFiles/test_system.dir/system/vpm_memory_test.cc.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpcsim.dir/vpcsim.cc.o"
+  "CMakeFiles/vpcsim.dir/vpcsim.cc.o.d"
+  "vpcsim"
+  "vpcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vpcsim.
+# This may be replaced when dependencies are built.
