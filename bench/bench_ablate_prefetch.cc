@@ -60,6 +60,7 @@ runPair(bool prefetch, double phi0)
     PrefetchConfig pf;
     pf.enable = prefetch;
     cfg.l1PrefetchPerThread = {pf, PrefetchConfig{}};
+    cfg.allowUnallocatedShares = true; // phi0 = 1.0 endpoint
     cfg.shares = {QosShare{phi0, 0.5}, QosShare{1.0 - phi0, 0.5}};
     cfg.validate();
     std::vector<std::unique_ptr<Workload>> wl;

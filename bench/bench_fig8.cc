@@ -42,6 +42,7 @@ runConfig(ArbiterPolicy policy, double phi_stores,
 {
     SystemConfig cfg = makeBaselineConfig(2, policy);
     if (policy == ArbiterPolicy::Vpc) {
+        cfg.allowUnallocatedShares = true; // sweep endpoints
         cfg.shares = {QosShare{1.0 - phi_stores, 0.5},
                       QosShare{phi_stores, 0.5}};
         cfg.validate();

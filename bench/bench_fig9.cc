@@ -36,6 +36,7 @@ runSubject(const std::string &name, ArbiterPolicy policy, double phi1)
     SystemConfig cfg = makeBaselineConfig(4, policy);
     if (policy == ArbiterPolicy::Vpc) {
         double rest = (1.0 - phi1) / 3.0;
+        cfg.allowUnallocatedShares = true; // phi1 = 1.0 endpoint
         cfg.shares = {QosShare{phi1, 0.25}, QosShare{rest, 0.25},
                       QosShare{rest, 0.25}, QosShare{rest, 0.25}};
         cfg.validate();

@@ -33,7 +33,8 @@ class Arbiter
   public:
     /** @param num_threads number of hardware threads sharing us. */
     explicit Arbiter(unsigned num_threads)
-        : numThreads_(num_threads), grants_(num_threads)
+        : numThreads_(num_threads), grants_(num_threads),
+          enqueues_(num_threads)
     {}
 
     virtual ~Arbiter() = default;
@@ -44,10 +45,21 @@ class Arbiter
     /**
      * Add a request to arbitration.
      *
+     * Non-virtual so the base class can count per-thread admissions;
+     * together with grantCount() and pendingCount() this lets the
+     * verify layer prove request conservation (nothing is lost or
+     * duplicated between enqueue and grant).  Policies implement
+     * doEnqueue().
+     *
      * @param req the request; req.thread must be < numThreads()
      * @param now current cycle (the arrival time a_i^k)
      */
-    virtual void enqueue(const ArbRequest &req, Cycle now) = 0;
+    void
+    enqueue(const ArbRequest &req, Cycle now)
+    {
+        ++enqueues_.at(req.thread);
+        doEnqueue(req, now);
+    }
 
     /**
      * Choose the request that accesses the resource next and remove it
@@ -83,10 +95,24 @@ class Arbiter
     /** @return grants issued so far to thread @p t. */
     std::uint64_t grantCount(ThreadId t) const { return grants_.at(t); }
 
+    /** @return requests admitted so far for thread @p t. */
+    std::uint64_t enqueueCount(ThreadId t) const { return enqueues_.at(t); }
+
     /** Queueing delay (enqueue to grant) statistics. */
     const SampleStat &queueDelay() const { return queueDelay_; }
 
+    /**
+     * Fault-injection hook: silently discard thread @p t's oldest
+     * pending request without recording a grant, breaking request
+     * conservation on purpose so the auditors can be proven live.
+     *
+     * @return true if a request was dropped
+     */
+    virtual bool faultDropOldest(ThreadId t) { (void)t; return false; }
+
   protected:
+    /** Policy-specific admission; called by enqueue(). */
+    virtual void doEnqueue(const ArbRequest &req, Cycle now) = 0;
     /** Record a grant for stats; call from select() implementations. */
     void
     recordGrant(const ArbRequest &req, Cycle now)
@@ -98,6 +124,7 @@ class Arbiter
   private:
     unsigned numThreads_;
     std::vector<std::uint64_t> grants_;
+    std::vector<std::uint64_t> enqueues_;
     SampleStat queueDelay_;
 };
 

@@ -10,13 +10,26 @@ FcfsArbiter::FcfsArbiter(unsigned num_threads)
 {}
 
 void
-FcfsArbiter::enqueue(const ArbRequest &req, Cycle now)
+FcfsArbiter::doEnqueue(const ArbRequest &req, Cycle now)
 {
     (void)now;
     if (req.thread >= numThreads())
         vpc_panic("FCFS enqueue from invalid thread {}", req.thread);
     queue.push_back(req);
     ++perThread[req.thread];
+}
+
+bool
+FcfsArbiter::faultDropOldest(ThreadId t)
+{
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->thread == t) {
+            queue.erase(it);
+            --perThread[t];
+            return true;
+        }
+    }
+    return false;
 }
 
 std::optional<ArbRequest>

@@ -26,12 +26,15 @@ class FcfsArbiter : public Arbiter
   public:
     explicit FcfsArbiter(unsigned num_threads);
 
-    void enqueue(const ArbRequest &req, Cycle now) override;
     std::optional<ArbRequest> select(Cycle now) override;
     bool hasPending() const override;
     std::size_t pendingCount() const override;
     std::size_t pendingCount(ThreadId t) const override;
     std::string name() const override { return "FCFS"; }
+    bool faultDropOldest(ThreadId t) override;
+
+  protected:
+    void doEnqueue(const ArbRequest &req, Cycle now) override;
 
   private:
     std::deque<ArbRequest> queue;

@@ -10,13 +10,23 @@ RoundRobinArbiter::RoundRobinArbiter(unsigned num_threads)
 {}
 
 void
-RoundRobinArbiter::enqueue(const ArbRequest &req, Cycle now)
+RoundRobinArbiter::doEnqueue(const ArbRequest &req, Cycle now)
 {
     (void)now;
     if (req.thread >= numThreads())
         vpc_panic("RR enqueue from invalid thread {}", req.thread);
     queues[req.thread].push_back(req);
     ++total;
+}
+
+bool
+RoundRobinArbiter::faultDropOldest(ThreadId t)
+{
+    if (queues.at(t).empty())
+        return false;
+    queues[t].pop_front();
+    --total;
+    return true;
 }
 
 std::optional<ArbRequest>

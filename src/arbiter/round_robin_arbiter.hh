@@ -24,12 +24,15 @@ class RoundRobinArbiter : public Arbiter
   public:
     explicit RoundRobinArbiter(unsigned num_threads);
 
-    void enqueue(const ArbRequest &req, Cycle now) override;
     std::optional<ArbRequest> select(Cycle now) override;
     bool hasPending() const override;
     std::size_t pendingCount() const override;
     std::size_t pendingCount(ThreadId t) const override;
     std::string name() const override { return "RoundRobin"; }
+    bool faultDropOldest(ThreadId t) override;
+
+  protected:
+    void doEnqueue(const ArbRequest &req, Cycle now) override;
 
   private:
     std::vector<std::deque<ArbRequest>> queues;

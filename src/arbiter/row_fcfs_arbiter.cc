@@ -12,13 +12,26 @@ RowFcfsArbiter::RowFcfsArbiter(unsigned num_threads)
 {}
 
 void
-RowFcfsArbiter::enqueue(const ArbRequest &req, Cycle now)
+RowFcfsArbiter::doEnqueue(const ArbRequest &req, Cycle now)
 {
     (void)now;
     if (req.thread >= numThreads())
         vpc_panic("RoW-FCFS enqueue from invalid thread {}", req.thread);
     queue.push_back(req);
     ++perThread[req.thread];
+}
+
+bool
+RowFcfsArbiter::faultDropOldest(ThreadId t)
+{
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->thread == t) {
+            queue.erase(it);
+            --perThread[t];
+            return true;
+        }
+    }
+    return false;
 }
 
 std::optional<ArbRequest>

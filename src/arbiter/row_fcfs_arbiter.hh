@@ -30,12 +30,15 @@ class RowFcfsArbiter : public Arbiter
   public:
     explicit RowFcfsArbiter(unsigned num_threads);
 
-    void enqueue(const ArbRequest &req, Cycle now) override;
     std::optional<ArbRequest> select(Cycle now) override;
     bool hasPending() const override;
     std::size_t pendingCount() const override;
     std::size_t pendingCount(ThreadId t) const override;
     std::string name() const override { return "RoW-FCFS"; }
+    bool faultDropOldest(ThreadId t) override;
+
+  protected:
+    void doEnqueue(const ArbRequest &req, Cycle now) override;
 
   private:
     std::deque<ArbRequest> queue;

@@ -33,10 +33,17 @@ SharedResource::tick(Cycle now)
     std::optional<ArbRequest> granted = arb->select(now);
     if (!granted)
         return; // non-work-conserving arbiter with no eligible thread
-    Cycle occ = occupancy(*granted);
+    Cycle occ = occupancy(*granted) + delayNextGrant;
+    delayNextGrant = 0;
     freeAt = now + occ;
     util_.addBusy(occ);
     accesses.inc();
+    if (dropNextGrant) {
+        // Injected fault: the grant disappears into the void and the
+        // downstream state machine waiting on it never advances.
+        dropNextGrant = false;
+        return;
+    }
     if (onGrant)
         onGrant(*granted, now, freeAt);
     if (onGrantTap)

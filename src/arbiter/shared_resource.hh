@@ -93,12 +93,31 @@ class SharedResource
     /** @return this resource's name. */
     const std::string &name() const { return name_; }
 
+    /**
+     * @name Fault-injection hooks
+     *
+     * Deliberately perturb the next grant so the verify layer can be
+     * proven live.  Dropping a grant consumes the request (the arbiter
+     * has already accounted it) but never invokes the downstream
+     * handlers, leaking whatever controller state machine was waiting
+     * on it -- the forward-progress watchdog must catch the stall.
+     * Delaying a grant stretches its occupancy without telling the
+     * handlers, so completion events fire while the resource is still
+     * formally busy.
+     */
+    /// @{
+    void faultDropNextGrant() { dropNextGrant = true; }
+    void faultDelayNextGrant(Cycle extra) { delayNextGrant = extra; }
+    /// @}
+
   private:
     std::string name_;
     std::unique_ptr<Arbiter> arb;
     Cycle readLatency;
     unsigned writeAccesses;
     Cycle freeAt = 0;
+    bool dropNextGrant = false;
+    Cycle delayNextGrant = 0;
     GrantHandler onGrant;
     GrantHandler onGrantTap;
     UtilizationStat util_;

@@ -51,8 +51,19 @@ VpcArbiter::setShare(ThreadId t, double phi)
     ts.rl = phi > 0.0 ? static_cast<double>(latency) / phi : kInf;
 }
 
+bool
+VpcArbiter::faultDropOldest(ThreadId t)
+{
+    ThreadState &ts = threads.at(t);
+    if (ts.buffer.empty())
+        return false;
+    ts.buffer.pop_front();
+    --total;
+    return true;
+}
+
 void
-VpcArbiter::enqueue(const ArbRequest &req, Cycle now)
+VpcArbiter::doEnqueue(const ArbRequest &req, Cycle now)
 {
     if (req.thread >= numThreads())
         vpc_panic("VPC enqueue from invalid thread {}", req.thread);

@@ -102,13 +102,13 @@ class VpcArbiter : public Arbiter
                const std::vector<double> &shares,
                const VpcArbiterOptions &opts = {});
 
-    void enqueue(const ArbRequest &req, Cycle now) override;
     std::optional<ArbRequest> select(Cycle now) override;
     bool hasPending() const override;
     std::size_t pendingCount() const override;
     std::size_t pendingCount(ThreadId t) const override;
     void setShare(ThreadId t, double phi) override;
     std::string name() const override { return "VPC"; }
+    bool faultDropOldest(ThreadId t) override;
 
     /** @return thread @p t's current share phi_t. */
     double share(ThreadId t) const { return threads.at(t).phi; }
@@ -121,6 +121,35 @@ class VpcArbiter : public Arbiter
      * the thread has no pending request.  Exposed for tests.
      */
     double nextVirtualFinish(ThreadId t) const;
+
+    /** @return the ablation switches this arbiter was built with. */
+    const VpcArbiterOptions &vpcOptions() const { return options; }
+
+    /** @return start tag of the last granted request (system V(t)). */
+    double systemVirtualTime() const { return vclock; }
+
+    /** @return back-to-back accesses per write (2 for data array). */
+    unsigned writeMultiplier() const { return writeMult; }
+
+    /** @return R.L_t = L / phi_t (+infinity when phi_t = 0). */
+    double virtualServiceTime(ThreadId t) const
+    {
+        return threads.at(t).rl;
+    }
+
+    /**
+     * Fault-injection hook: rewind thread @p t's R.S_i register by
+     * @p delta, violating virtual-time monotonicity on purpose so the
+     * VpcArbiterAuditor can be proven live.
+     */
+    void
+    faultCorruptVirtualTime(ThreadId t, double delta)
+    {
+        threads.at(t).rs -= delta;
+    }
+
+  protected:
+    void doEnqueue(const ArbRequest &req, Cycle now) override;
 
   private:
     struct ThreadState

@@ -68,13 +68,53 @@ CacheArray::lookup(Addr addr, bool touch, ThreadId t)
     return false;
 }
 
+void
+CacheArray::bumpOcc(ThreadId t, std::int64_t delta)
+{
+    if (t == kInvalidThread)
+        return;
+    if (t >= occTracked_.size())
+        occTracked_.resize(t + 1, 0);
+    if (delta < 0 && occTracked_[t] == 0)
+        vpc_panic("tracked occupancy for thread {} underflowed", t);
+    occTracked_[t] += static_cast<std::uint64_t>(delta);
+}
+
+std::uint64_t
+CacheArray::trackedOccupancy(ThreadId t) const
+{
+    return t < occTracked_.size() ? occTracked_[t] : 0;
+}
+
+bool
+CacheArray::faultFlipOwner(ThreadId to)
+{
+    for (auto &set : data) {
+        for (CacheLine &line : set) {
+            if (line.valid && line.owner != to) {
+                line.owner = to;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
 Eviction
 CacheArray::insert(Addr addr, ThreadId t, bool dirty)
 {
     std::vector<CacheLine> &set = setOf(addr);
     unsigned w = policy_->victim(set, t);
+    if (forcedVictim != kNoForcedVictim) {
+        // Injected fault: override the policy's choice so the victim
+        // audit can be shown to catch illegal replacement decisions.
+        w = forcedVictim;
+        forcedVictim = kNoForcedVictim;
+    }
     if (w >= ways_)
         vpc_panic("replacement policy returned way {} of {}", w, ways_);
+    if (victimAudit)
+        victimAudit(set, t, w);
 
     CacheLine &line = set[w];
     Eviction ev;
@@ -90,6 +130,7 @@ CacheArray::insert(Addr addr, ThreadId t, bool dirty)
         ev.lineAddr = (((line.tag * sets_ + setIndex(addr))
                         << indexShift_) | low) * lineBytes_;
         policy_->onEvict(line.owner);
+        bumpOcc(line.owner, -1);
     }
     line.tag = tagOf(addr);
     line.valid = true;
@@ -97,6 +138,7 @@ CacheArray::insert(Addr addr, ThreadId t, bool dirty)
     line.owner = t;
     line.lastUse = ++useClock;
     policy_->onInsert(t);
+    bumpOcc(t, +1);
     return ev;
 }
 
@@ -124,6 +166,7 @@ CacheArray::invalidate(Addr addr)
             line.valid = false;
             line.dirty = false;
             policy_->onEvict(line.owner);
+            bumpOcc(line.owner, -1);
             return;
         }
     }

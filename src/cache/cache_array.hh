@@ -12,6 +12,7 @@
 #define VPC_CACHE_CACHE_ARRAY_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -101,6 +102,51 @@ class CacheArray
     /** @return total valid lines owned by thread @p t. */
     std::uint64_t occupancy(ThreadId t) const;
 
+    /**
+     * @return the incrementally tracked line count for thread @p t.
+     *
+     * Maintained alongside every insert/evict/invalidate; the verify
+     * layer cross-checks it against occupancy()'s full array walk to
+     * prove the bookkeeping never drifts from the actual ownership
+     * state (capacity conservation).
+     */
+    std::uint64_t trackedOccupancy(ThreadId t) const;
+
+    /** @return the lines of set @p index (verify-layer inspection). */
+    const std::vector<CacheLine> &
+    setLines(std::uint64_t index) const
+    {
+        return data.at(index);
+    }
+
+    /**
+     * Observe-only tap invoked on every insert, before the victim
+     * line is overwritten: (set lines, requesting thread, victim
+     * way).  The VPC capacity auditor uses it to check conditions
+     * 1 and 2 of Section 4.2 on each replacement decision.
+     */
+    using VictimAudit =
+        std::function<void(const std::vector<CacheLine> &, ThreadId,
+                           unsigned)>;
+
+    /** Install (or clear, with nullptr) the victim audit tap. */
+    void setVictimAudit(VictimAudit fn) { victimAudit = std::move(fn); }
+
+    /**
+     * @name Fault-injection hooks
+     *
+     * faultFlipOwner() reassigns the first valid line found to thread
+     * @p to without touching the tracked occupancy counters, breaking
+     * capacity conservation on purpose.  faultForceNextVictim() makes
+     * the next insert evict way @p way regardless of what the
+     * replacement policy says, violating the Section 4.2 victim
+     * conditions.  Both exist so the auditors can be proven live.
+     */
+    /// @{
+    bool faultFlipOwner(ThreadId to);
+    void faultForceNextVictim(unsigned way) { forcedVictim = way; }
+    /// @}
+
     /** @return number of sets. */
     std::uint64_t numSets() const { return sets_; }
 
@@ -125,6 +171,7 @@ class CacheArray
     Addr tagOf(Addr addr) const;
     std::vector<CacheLine> &setOf(Addr addr);
     const std::vector<CacheLine> &setOf(Addr addr) const;
+    void bumpOcc(ThreadId t, std::int64_t delta);
 
     std::uint64_t sets_;
     unsigned ways_;
@@ -133,6 +180,10 @@ class CacheArray
     std::unique_ptr<ReplacementPolicy> policy_;
     std::vector<std::vector<CacheLine>> data;
     std::uint64_t useClock = 0;
+    std::vector<std::uint64_t> occTracked_;
+    VictimAudit victimAudit;
+    static constexpr unsigned kNoForcedVictim = ~0u;
+    unsigned forcedVictim = kNoForcedVictim;
     Counter hits;
     Counter misses;
 };

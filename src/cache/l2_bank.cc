@@ -462,6 +462,19 @@ L2Bank::quiesced() const
            !busRes->arbiter().hasPending();
 }
 
+bool
+L2Bank::threadHasWork(ThreadId t) const
+{
+    const ThreadPort &port = ports.at(t);
+    if (!port.loadQueue.empty() || !port.sgb->empty())
+        return true;
+    if (smsInUse.at(t) > 0)
+        return true;
+    return tagRes->arbiter().pendingCount(t) > 0 ||
+           dataRes->arbiter().pendingCount(t) > 0 ||
+           busRes->arbiter().pendingCount(t) > 0;
+}
+
 std::uint64_t
 L2Bank::readCount(ThreadId t) const
 {

@@ -96,6 +96,15 @@ class L2Bank
     /** @return true once every queue, buffer and state machine is idle.*/
     bool quiesced() const;
 
+    /**
+     * @return true while thread @p t has work anywhere in this bank:
+     *         a queued load, gathered stores, an active controller
+     *         state machine, or a request pending in any arbiter.
+     *         The forward-progress watchdog uses this to tell a
+     *         stalled thread from an idle one.
+     */
+    bool threadHasWork(ThreadId t) const;
+
     /** @name Resources (stats / tests) */
     /// @{
     SharedResource &tagArray() { return *tagRes; }
@@ -108,6 +117,7 @@ class L2Bank
 
     /** @return the functional tag/data state. */
     const CacheArray &array() const { return tags; }
+    CacheArray &array() { return tags; }
 
     /** @return thread @p t's store gathering buffer. */
     const StoreGatherBuffer &sgb(ThreadId t) const { return sgbs.at(t); }

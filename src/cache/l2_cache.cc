@@ -81,6 +81,16 @@ L2Cache::quiesced() const
     return true;
 }
 
+bool
+L2Cache::threadHasWork(ThreadId t) const
+{
+    for (const auto &bank : banks) {
+        if (bank->threadHasWork(t))
+            return true;
+    }
+    return false;
+}
+
 double
 L2Cache::tagUtilization(Cycle window) const
 {

@@ -70,6 +70,9 @@ class L2Cache : public Ticking
     /** @return true when all banks are idle. */
     bool quiesced() const;
 
+    /** @return true while any bank holds work for thread @p t. */
+    bool threadHasWork(ThreadId t) const;
+
     /** Mean utilization of a resource across banks over @p window. */
     double tagUtilization(Cycle window) const;
     double dataUtilization(Cycle window) const;

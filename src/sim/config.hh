@@ -164,6 +164,45 @@ struct QosShare
     double beta = 0.0; //!< capacity share in [0, 1]
 };
 
+/**
+ * Runtime verification layer configuration (src/verify/): invariant
+ * auditing, fault injection and the forward-progress watchdog.  All
+ * off by default; when everything is off no auditor is installed and
+ * the simulator hot path pays a single predictable branch.
+ */
+struct VerifyConfig
+{
+    /**
+     * Paranoia level: 0 = off, 1 = audit every auditInterval cycles,
+     * >= 2 = audit every cycle.
+     */
+    unsigned paranoid = 0;
+    /** Cycles between audits at paranoid level 1. */
+    Cycle auditInterval = 64;
+    /**
+     * Forward-progress watchdog: panic (with a structured state dump)
+     * when a thread with outstanding requests retires nothing for this
+     * many cycles.  0 disables the watchdog.
+     */
+    Cycle watchdogCycles = 0;
+    /**
+     * Fault-injection rate in expected faults per cycle (0 disables).
+     * Faults deterministically perturb live state -- dropped grants,
+     * corrupted virtual-time registers, flipped line ownership -- to
+     * prove the auditors fire.
+     */
+    double faultRate = 0.0;
+    /** Seed for the fault injector's private RNG. */
+    std::uint64_t faultSeed = 1;
+
+    /** @return true when any verify machinery must be built. */
+    bool
+    enabled() const
+    {
+        return paranoid > 0 || watchdogCycles > 0 || faultRate > 0.0;
+    }
+};
+
 /** Full system configuration. */
 struct SystemConfig
 {
@@ -175,6 +214,22 @@ struct SystemConfig
 
     ArbiterPolicy arbiterPolicy = ArbiterPolicy::Fcfs;
     CapacityPolicy capacityPolicy = CapacityPolicy::Vpc;
+
+    /** Runtime verification layer (auditing / faults / watchdog). */
+    VerifyConfig verify;
+
+    /**
+     * Permit zero QoS shares under the VPC policies.  A thread with
+     * phi = 0 (or a beta whose way quota rounds to zero) holds no
+     * guarantee at all -- it is served purely from excess bandwidth /
+     * capacity, and the private-equivalent machine L_i = L / phi_i it
+     * is measured against is undefined.  validate() rejects such
+     * shares for active threads unless this flag is set by callers
+     * that deliberately model unallocated threads (the VPC controller
+     * starts all threads unallocated; Figure 8's sweep endpoints give
+     * one thread everything).
+     */
+    bool allowUnallocatedShares = false;
 
     /** Allow RoW reordering inside each thread's VPC arbiter buffer. */
     bool vpcIntraThreadRow = true;
@@ -203,6 +258,32 @@ struct SystemConfig
             vpc_fatal("numProcessors must be > 0");
         if (!isPowerOf2(l2.lineBytes) || !isPowerOf2(l2.banks))
             vpc_fatal("L2 line size and bank count must be powers of 2");
+        if (l2.ways == 0)
+            vpc_fatal("L2 must have at least one way");
+        // The size must factor exactly into banks x sets x ways x
+        // lines; a remainder silently truncates capacity, and a
+        // non-power-of-2 set count breaks the mask-based set index.
+        std::uint64_t l2_divisor = static_cast<std::uint64_t>(l2.banks) *
+                                   l2.ways * l2.lineBytes;
+        if (l2.sizeBytes % l2_divisor != 0)
+            vpc_fatal("L2 size {} not divisible by banks*ways*line "
+                      "({})", l2.sizeBytes, l2_divisor);
+        if (!isPowerOf2(l2.setsPerBank()))
+            vpc_fatal("L2 geometry gives {} sets per bank; must be a "
+                      "non-zero power of 2", l2.setsPerBank());
+        // The L1 uses the same mask-based indexing; check it the same
+        // way.
+        if (!isPowerOf2(l1.lineBytes))
+            vpc_fatal("L1 line size must be a power of 2");
+        if (l1.ways == 0)
+            vpc_fatal("L1 must have at least one way");
+        std::uint64_t l1_divisor =
+            static_cast<std::uint64_t>(l1.ways) * l1.lineBytes;
+        if (l1.sizeBytes % l1_divisor != 0 ||
+            !isPowerOf2(l1.sizeBytes / l1_divisor)) {
+            vpc_fatal("L1 geometry gives {} sets; must be a non-zero "
+                      "power of 2", l1.sizeBytes / l1_divisor);
+        }
         if (shares.empty()) {
             // Default: equal allocation of everything.
             shares.assign(numProcessors,
@@ -213,10 +294,34 @@ struct SystemConfig
             vpc_fatal("shares.size() ({}) != numProcessors ({})",
                       shares.size(), numProcessors);
         double phi_sum = 0.0, beta_sum = 0.0;
-        for (const QosShare &s : shares) {
+        for (std::size_t t = 0; t < shares.size(); ++t) {
+            const QosShare &s = shares[t];
             if (s.phi < 0.0 || s.phi > 1.0 ||
                 s.beta < 0.0 || s.beta > 1.0) {
                 vpc_fatal("QoS shares must lie in [0, 1]");
+            }
+            // A zero share under the VPC policies gives the thread no
+            // guarantee at all, and its private-equivalent reference
+            // machine (L_i = L / phi_i) is undefined -- almost always
+            // a configuration mistake rather than an intent.
+            if (!allowUnallocatedShares &&
+                arbiterPolicy == ArbiterPolicy::Vpc && s.phi == 0.0) {
+                vpc_fatal("thread {} has phi = 0 under the VPC "
+                          "arbiter: its bandwidth guarantee and "
+                          "private-equivalent latency L/phi are "
+                          "undefined (set allowUnallocatedShares to "
+                          "model deliberately unallocated threads)",
+                          t);
+            }
+            if (!allowUnallocatedShares &&
+                capacityPolicy == CapacityPolicy::Vpc &&
+                s.beta * l2.ways < 1.0) {
+                vpc_fatal("thread {} has beta = {} under the VPC "
+                          "capacity manager: its way quota "
+                          "floor(beta * {}) rounds to zero ways (set "
+                          "allowUnallocatedShares to model "
+                          "deliberately unallocated threads)",
+                          t, s.beta, l2.ways);
             }
             phi_sum += s.phi;
             beta_sum += s.beta;

@@ -53,6 +53,12 @@ class EventQueue
     std::size_t
     runDue(Cycle now)
     {
+        // Time only moves forward.  Running the queue backward would
+        // re-arm the schedule() past-check against an earlier cycle,
+        // quietly re-admitting events scheduled before now().
+        if (now < lastRun_)
+            vpc_panic("event queue run backward ({} < {})", now,
+                      lastRun_);
         lastRun_ = now;
         std::size_t n = 0;
         while (!heap.empty() && heap.top().when <= now) {
@@ -72,6 +78,9 @@ class EventQueue
     {
         return heap.empty() ? kCycleMax : heap.top().when;
     }
+
+    /** @return the cycle passed to the most recent runDue() call. */
+    Cycle lastRunCycle() const { return lastRun_; }
 
     /** @return true if no events are pending. */
     bool empty() const { return heap.empty(); }

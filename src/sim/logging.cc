@@ -1,7 +1,75 @@
 #include "sim/logging.hh"
 
+#include <utility>
+#include <vector>
+
 namespace vpc
 {
+
+namespace
+{
+
+struct DumpEntry
+{
+    std::size_t id = 0;
+    std::string name;
+    PanicDumpFn fn;
+};
+
+/**
+ * Registry storage.  Function-local static so registration from any
+ * translation unit's static initializers is safe.
+ */
+std::vector<DumpEntry> &
+dumpRegistry()
+{
+    static std::vector<DumpEntry> entries;
+    return entries;
+}
+
+std::size_t nextDumpId = 1;
+
+/** Print every registered dump section; recursion-guarded. */
+void
+runPanicDumps()
+{
+    static bool dumping = false;
+    if (dumping)
+        return; // a dump callback panicked; do not recurse
+    dumping = true;
+    for (const DumpEntry &e : dumpRegistry()) {
+        std::string body = e.fn ? e.fn() : std::string();
+        std::fprintf(stderr,
+                     "==== panic state dump: %s ====\n%s%s",
+                     e.name.c_str(), body.c_str(),
+                     (!body.empty() && body.back() == '\n') ? "" : "\n");
+    }
+    dumping = false;
+}
+
+} // namespace
+
+std::size_t
+registerPanicDump(std::string name, PanicDumpFn fn)
+{
+    std::size_t id = nextDumpId++;
+    dumpRegistry().push_back(DumpEntry{id, std::move(name),
+                                       std::move(fn)});
+    return id;
+}
+
+void
+unregisterPanicDump(std::size_t id)
+{
+    auto &entries = dumpRegistry();
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+        if (it->id == id) {
+            entries.erase(it);
+            return;
+        }
+    }
+}
+
 namespace detail
 {
 
@@ -10,6 +78,7 @@ panicExit(std::string_view msg, const char *file, int line)
 {
     std::fprintf(stderr, "panic: %.*s\n  at %s:%d\n",
                  static_cast<int>(msg.size()), msg.data(), file, line);
+    runPanicDumps();
     std::abort();
 }
 

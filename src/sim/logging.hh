@@ -15,6 +15,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <string>
 #include <string_view>
 
 #include "sim/format.hh"
@@ -33,6 +35,54 @@ void warnPrint(std::string_view msg);
 void informPrint(std::string_view msg);
 
 } // namespace detail
+
+/**
+ * @name Panic-time state dumps
+ *
+ * Components (the verify layer, primarily) can register a callback
+ * that renders their state as text.  When vpc_panic fires, every
+ * registered dump is printed to stderr before abort(), turning "the
+ * simulator died" into a diagnosed machine snapshot: arbiter queues,
+ * virtual clocks, per-thread occupancy, MSHRs.
+ *
+ * Dumps run for panics only -- fatal() is a user error and the machine
+ * state is not interesting.  A dump callback that itself panics is
+ * suppressed (no recursion).
+ */
+/// @{
+
+/** A callback rendering one component's state for the panic report. */
+using PanicDumpFn = std::function<std::string()>;
+
+/**
+ * Register @p fn under section heading @p name.
+ *
+ * @return an id for unregisterPanicDump(); callers must unregister
+ *         before the captured state dies (see ScopedPanicDump)
+ */
+std::size_t registerPanicDump(std::string name, PanicDumpFn fn);
+
+/** Remove a previously registered dump callback. */
+void unregisterPanicDump(std::size_t id);
+
+/** RAII registration of a panic dump section. */
+class ScopedPanicDump
+{
+  public:
+    ScopedPanicDump(std::string name, PanicDumpFn fn)
+        : id_(registerPanicDump(std::move(name), std::move(fn)))
+    {}
+
+    ~ScopedPanicDump() { unregisterPanicDump(id_); }
+
+    ScopedPanicDump(const ScopedPanicDump &) = delete;
+    ScopedPanicDump &operator=(const ScopedPanicDump &) = delete;
+
+  private:
+    std::size_t id_;
+};
+
+/// @}
 
 /** Abort with a formatted message; use for internal invariant failures. */
 #define vpc_panic(...) \

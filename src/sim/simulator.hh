@@ -30,6 +30,24 @@ class Ticking
     virtual void tick(Cycle now) = 0;
 };
 
+/**
+ * Interface for runtime invariant auditing (see src/verify/).
+ *
+ * An auditor is invoked at the end of every step(), after all events
+ * and ticks for the cycle have run, so it observes a settled snapshot
+ * of the machine state.  Auditors check invariants and vpc_panic on
+ * violation; they must not mutate model state (fault injection, which
+ * deliberately does, is the one sanctioned exception).
+ */
+class Auditable
+{
+  public:
+    virtual ~Auditable() = default;
+
+    /** Audit the machine state at the end of cycle @p now. */
+    virtual void audit(Cycle now) = 0;
+};
+
 /** Owns simulated time; steps registered components and the event queue. */
 class Simulator
 {
@@ -45,8 +63,16 @@ class Simulator
      */
     void addTicking(Ticking *t) { components.push_back(t); }
 
+    /**
+     * Install the audit hook (nullptr to remove).  The auditor does
+     * not become owned; it runs after every step.  Disabled auditing
+     * costs one predictable branch per cycle.
+     */
+    void setAuditor(Auditable *a) { auditor_ = a; }
+
     /** @return the shared event queue. */
     EventQueue &events() { return queue; }
+    const EventQueue &events() const { return queue; }
 
     /** @return the current cycle. */
     Cycle now() const { return cycle_; }
@@ -58,6 +84,8 @@ class Simulator
         queue.runDue(cycle_);
         for (Ticking *t : components)
             t->tick(cycle_);
+        if (auditor_)
+            auditor_->audit(cycle_);
         ++cycle_;
     }
 
@@ -65,7 +93,10 @@ class Simulator
     void
     run(Cycle cycles)
     {
-        Cycle end = cycle_ + cycles;
+        // Saturate instead of wrapping: an overflowed end marker would
+        // sit *behind* cycle_ and silently run zero cycles.
+        Cycle end = cycles > kCycleMax - cycle_ ? kCycleMax
+                                                : cycle_ + cycles;
         while (cycle_ < end)
             step();
     }
@@ -74,6 +105,7 @@ class Simulator
     EventQueue queue;
     std::vector<Ticking *> components;
     Cycle cycle_ = 0;
+    Auditable *auditor_ = nullptr;
 };
 
 } // namespace vpc

@@ -1,6 +1,13 @@
 #include "system/cmp_system.hh"
 
+#include <memory>
+#include <utility>
+
+#include "arbiter/vpc_arbiter.hh"
+#include "cache/replacement.hh"
+#include "sim/format.hh"
 #include "sim/logging.hh"
+#include "verify/auditors.hh"
 
 namespace vpc
 {
@@ -48,6 +55,172 @@ CmpSystem::CmpSystem(SystemConfig cfg_,
         sim.addTicking(cpu.get());
     sim.addTicking(l2_.get());
     sim.addTicking(mem_.get());
+
+    if (cfg.verify.enabled())
+        buildVerifier();
+}
+
+void
+CmpSystem::buildVerifier()
+{
+    verifier_ = std::make_unique<Verifier>(cfg.verify);
+    unsigned n = cfg.numProcessors;
+
+    // Invariant checkers over every arbitrated resource and every
+    // bank's line-ownership state.  They are registered even when
+    // paranoid == 0 (the Verifier gates their execution) so a
+    // fault-injection or watchdog run can be upgraded to a paranoid
+    // one purely through VerifyConfig.
+    for (unsigned b = 0; b < l2_->numBanks(); ++b) {
+        L2Bank &bank = l2_->bank(b);
+        struct NamedRes { const char *tag; SharedResource *res; };
+        const NamedRes resources[] = {
+            {"tag", &bank.tagArray()},
+            {"data", &bank.dataArray()},
+            {"bus", &bank.dataBus()},
+        };
+        for (const NamedRes &r : resources) {
+            std::string label = format("bank{}.{}", b, r.tag);
+            verifier_->addChecker(
+                std::make_unique<ArbiterConservationAuditor>(
+                    r.res->arbiter(), label));
+            if (const auto *vpc_arb = dynamic_cast<const VpcArbiter *>(
+                    &r.res->arbiter())) {
+                verifier_->addChecker(
+                    std::make_unique<VpcArbiterAuditor>(*vpc_arb,
+                                                        label));
+            }
+        }
+        verifier_->addChecker(std::make_unique<CapacityAuditor>(
+            bank.array(), n, format("bank{}", b)));
+        if (const auto *mgr = dynamic_cast<const VpcCapacityManager *>(
+                &bank.array().policy())) {
+            bank.array().setVictimAudit(
+                makeVpcVictimAudit(*mgr, format("bank{}", b)));
+        }
+    }
+    if (mem_->sharedChannel()) {
+        verifier_->addChecker(
+            std::make_unique<ArbiterConservationAuditor>(
+                mem_->scheduler(), "mem.sched"));
+        if (const auto *vpc_arb = dynamic_cast<const VpcArbiter *>(
+                &mem_->scheduler())) {
+            verifier_->addChecker(std::make_unique<VpcArbiterAuditor>(
+                *vpc_arb, "mem.sched"));
+        }
+    }
+    verifier_->addChecker(
+        std::make_unique<EventQueueAuditor>(sim.events()));
+
+    if (cfg.verify.watchdogCycles > 0) {
+        auto wd = std::make_unique<Watchdog>(cfg.verify.watchdogCycles);
+        for (ThreadId t = 0; t < n; ++t) {
+            Cpu *cpu = cpus[t].get();
+            L1DCache *l1 = l1s[t].get();
+            L2Cache *l2 = l2_.get();
+            wd->addThread(Watchdog::Source{
+                [cpu] { return cpu->instrsRetired(); },
+                [l1, l2, t] {
+                    return l1->mshrsInUse() > 0 || l2->threadHasWork(t);
+                }});
+        }
+        verifier_->setWatchdog(std::move(wd));
+    }
+
+    if (FaultInjector *inj = verifier_->injector()) {
+        // All faults target bank 0: one bank suffices to prove every
+        // auditor live, and keeping the blast radius small makes the
+        // injected-vs-detected correspondence easy to read in logs.
+        L2Bank &bank = l2_->bank(0);
+        Arbiter *tag_arb = &bank.tagArray().arbiter();
+        inj->addFault("drop-oldest-request", [tag_arb, n, t = 0u]()
+                      mutable {
+            bool dropped = tag_arb->faultDropOldest(t);
+            t = (t + 1) % n;
+            return dropped;
+        });
+        if (auto *vpc_arb = dynamic_cast<VpcArbiter *>(tag_arb)) {
+            inj->addFault("corrupt-virtual-time", [vpc_arb, n, t = 0u]()
+                          mutable {
+                vpc_arb->faultCorruptVirtualTime(t, 1e6);
+                t = (t + 1) % n;
+                return true;
+            });
+        }
+        SharedResource *tag_res = &bank.tagArray();
+        inj->addFault("drop-grant", [tag_res] {
+            tag_res->faultDropNextGrant();
+            return true;
+        });
+        CacheArray *array = &bank.array();
+        inj->addFault("flip-line-owner", [array, n, t = 0u]() mutable {
+            bool flipped = array->faultFlipOwner(t);
+            t = (t + 1) % n;
+            return flipped;
+        });
+        if (dynamic_cast<const VpcCapacityManager *>(&array->policy())) {
+            inj->addFault("force-victim-way",
+                          [array, w = 0u, ways = array->numWays()]()
+                          mutable {
+                array->faultForceNextVictim(w);
+                w = (w + 1) % ways;
+                return true;
+            });
+        }
+    }
+
+    panicDump_ = std::make_unique<ScopedPanicDump>(
+        "cmp-system", [this] { return dumpState(); });
+    sim.setAuditor(verifier_.get());
+}
+
+std::string
+CmpSystem::dumpState() const
+{
+    std::string out = format("cycle {}\n", sim.now());
+    for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+        out += format(
+            "thread {}: instrs {} l1-mshrs {} l2-work {}\n", t,
+            cpus[t]->instrsRetired(), l1s[t]->mshrsInUse(),
+            l2_->threadHasWork(t) ? "yes" : "no");
+    }
+    for (unsigned b = 0; b < l2_->numBanks(); ++b) {
+        const L2Bank &bank = l2_->bank(b);
+        struct NamedRes { const char *tag; const SharedResource *res; };
+        const NamedRes resources[] = {
+            {"tag", &bank.tagArray()},
+            {"data", &bank.dataArray()},
+            {"bus", &bank.dataBus()},
+        };
+        for (const NamedRes &r : resources) {
+            const Arbiter &arb = r.res->arbiter();
+            out += format("bank{}.{} [{}]:", b, r.tag, arb.name());
+            for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+                out += format(" t{}={}q/{}g", t, arb.pendingCount(t),
+                              arb.grantCount(t));
+            }
+            if (const auto *vpc_arb =
+                    dynamic_cast<const VpcArbiter *>(&arb)) {
+                out += format(" vclock={:.1f}",
+                              vpc_arb->systemVirtualTime());
+                for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+                    out += format(" rs{}={:.1f}", t,
+                                  vpc_arb->virtualTime(t));
+                }
+            }
+            out += "\n";
+        }
+        out += format("bank{} occupancy:", b);
+        for (ThreadId t = 0; t < cfg.numProcessors; ++t)
+            out += format(" t{}={}", t,
+                          bank.array().trackedOccupancy(t));
+        out += format("  sgb:");
+        for (ThreadId t = 0; t < cfg.numProcessors; ++t)
+            out += format(" t{}={}", t, bank.sgb(t).occupancy());
+        out += "\n";
+    }
+    out += format("event queue: {} pending\n", sim.events().size());
+    return out;
 }
 
 void

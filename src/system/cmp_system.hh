@@ -19,7 +19,9 @@
 #include "core/cpu.hh"
 #include "mem/memory_controller.hh"
 #include "sim/config.hh"
+#include "sim/logging.hh"
 #include "sim/simulator.hh"
+#include "verify/verifier.hh"
 #include "workload/workload.hh"
 
 namespace vpc
@@ -116,7 +118,20 @@ class CmpSystem
     const SystemConfig &config() const { return cfg; }
     /// @}
 
+    /**
+     * @return the verify layer, or nullptr when cfg.verify is fully
+     *         disabled (no audit hook installed, zero per-cycle cost
+     *         beyond the simulator's null-auditor branch).
+     */
+    Verifier *verifier() { return verifier_.get(); }
+
+    /** Render the machine state for the panic dump (also tests). */
+    std::string dumpState() const;
+
   private:
+    /** Build the verify layer from cfg.verify and install it. */
+    void buildVerifier();
+
     SystemConfig cfg;
     Simulator sim;
     std::vector<std::unique_ptr<Workload>> workloads;
@@ -124,6 +139,11 @@ class CmpSystem
     std::unique_ptr<L2Cache> l2_;
     std::vector<std::unique_ptr<L1DCache>> l1s;
     std::vector<std::unique_ptr<Cpu>> cpus;
+
+    // Declared after the components so they are destroyed first:
+    // the checkers and the dump callback hold references into them.
+    std::unique_ptr<Verifier> verifier_;
+    std::unique_ptr<ScopedPanicDump> panicDump_;
 };
 
 } // namespace vpc

@@ -124,6 +124,15 @@ simUsage()
         "  --shared-memory      one shared DDR2 channel (FQ when\n"
         "                       --arbiter=vpc, else FCFS)\n"
         "  --stats              dump the full statistics report\n"
+        "  --paranoid[=L]       runtime invariant auditing: level 1\n"
+        "                       audits every 64 cycles, level >= 2\n"
+        "                       every cycle (default off)\n"
+        "  --watchdog=N         panic with a state dump when a thread\n"
+        "                       with outstanding requests retires\n"
+        "                       nothing for N cycles (default off)\n"
+        "  --inject-faults=R[,S]  deterministically inject faults at\n"
+        "                       expected rate R per cycle with seed S\n"
+        "                       (proves the auditors fire)\n"
         "  --help               this text\n";
 }
 
@@ -196,6 +205,44 @@ parseSimOptions(const std::vector<std::string> &args,
             opts.config.mem.sharedChannel = true;
         } else if (key == "--stats") {
             opts.dumpStats = true;
+        } else if (key == "--paranoid") {
+            if (value.empty()) {
+                opts.config.verify.paranoid = 1;
+            } else {
+                std::uint64_t level;
+                if (!parseU64(value, level, error_out))
+                    return std::nullopt;
+                opts.config.verify.paranoid =
+                    static_cast<unsigned>(level);
+            }
+        } else if (key == "--watchdog") {
+            if (!parseU64(value, opts.config.verify.watchdogCycles,
+                          error_out)) {
+                return std::nullopt;
+            }
+        } else if (key == "--inject-faults") {
+            std::vector<std::string> parts = splitCommas(value);
+            if (parts.empty() || parts.size() > 2) {
+                error_out = "--inject-faults takes rate[,seed]";
+                return std::nullopt;
+            }
+            try {
+                opts.config.verify.faultRate = std::stod(parts[0]);
+            } catch (const std::exception &) {
+                error_out = format("bad fault rate '{}'", parts[0]);
+                return std::nullopt;
+            }
+            if (opts.config.verify.faultRate < 0.0 ||
+                opts.config.verify.faultRate > 1.0) {
+                error_out = format("fault rate {} out of [0, 1]",
+                                   parts[0]);
+                return std::nullopt;
+            }
+            if (parts.size() == 2 &&
+                !parseU64(parts[1], opts.config.verify.faultSeed,
+                          error_out)) {
+                return std::nullopt;
+            }
         } else if (key == "--help") {
             error_out = simUsage();
             return std::nullopt;

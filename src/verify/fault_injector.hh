@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * The auditors only earn trust by being shown to fire.  The injector
+ * holds a set of named fault callbacks -- each perturbs live machine
+ * state through a sanctioned hook (drop a queued request, corrupt a
+ * virtual-time register, flip a line's owner, swallow a grant) -- and
+ * fires them at a configured expected rate per cycle from a private
+ * seeded PCG32 stream, so any run is bit-reproducible from
+ * (rate, seed).
+ */
+
+#ifndef VPC_VERIFY_FAULT_INJECTOR_HH
+#define VPC_VERIFY_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** Injects seeded random faults through registered hooks. */
+class FaultInjector
+{
+  public:
+    /**
+     * A fault attempt; returns true if the fault was actually
+     * applied (a drop hook finds nothing to drop in an empty queue
+     * and reports false).
+     */
+    using FaultFn = std::function<bool()>;
+
+    /**
+     * @param rate expected faults per cycle, in [0, 1]
+     * @param seed RNG seed; equal (rate, seed, machine) runs inject
+     *        identically
+     */
+    FaultInjector(double rate, std::uint64_t seed);
+
+    /** Register fault @p fn under @p name. */
+    void addFault(std::string name, FaultFn fn);
+
+    /**
+     * Roll the dice for cycle @p now; on a hit, pick one registered
+     * fault uniformly and apply it.  Call exactly once per cycle.
+     */
+    void maybeInject(Cycle now);
+
+    /** @return faults successfully applied so far. */
+    std::uint64_t injectedCount() const { return injected; }
+
+    /** @return registered fault count. */
+    std::size_t faultCount() const { return faults.size(); }
+
+  private:
+    struct Fault
+    {
+        std::string name;
+        FaultFn fn;
+    };
+
+    double rate_;
+    Rng rng;
+    std::vector<Fault> faults;
+    std::uint64_t injected = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_VERIFY_FAULT_INJECTOR_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Interface for runtime invariant checkers.
+ *
+ * A checker observes one component (through const accessors) and
+ * vpc_panic()s the moment the component's state contradicts an
+ * invariant the paper's equations or the implementation's bookkeeping
+ * guarantee.  Checkers run from the Verifier's audit hook at the end
+ * of a cycle, so they always see a settled machine state.
+ */
+
+#ifndef VPC_VERIFY_INVARIANT_HH
+#define VPC_VERIFY_INVARIANT_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** One auditable invariant over a live component. */
+class InvariantChecker
+{
+  public:
+    virtual ~InvariantChecker() = default;
+
+    InvariantChecker() = default;
+    InvariantChecker(const InvariantChecker &) = delete;
+    InvariantChecker &operator=(const InvariantChecker &) = delete;
+
+    /**
+     * Verify the invariant against the current machine state; calls
+     * vpc_panic on violation and returns normally otherwise.
+     *
+     * @param now the cycle being audited
+     */
+    virtual void check(Cycle now) = 0;
+
+    /** @return a short label naming the checker and its subject. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_VERIFY_INVARIANT_HH

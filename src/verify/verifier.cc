@@ -1,0 +1,53 @@
+#include "verify/verifier.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+Verifier::Verifier(const VerifyConfig &cfg_)
+    : cfg(cfg_)
+{
+    if (cfg.faultRate > 0.0) {
+        injector_ = std::make_unique<FaultInjector>(cfg.faultRate,
+                                                    cfg.faultSeed);
+    }
+}
+
+void
+Verifier::addChecker(std::unique_ptr<InvariantChecker> checker)
+{
+    if (!checker)
+        vpc_panic("null invariant checker registered");
+    checkers.push_back(std::move(checker));
+}
+
+void
+Verifier::setWatchdog(std::unique_ptr<Watchdog> watchdog)
+{
+    watchdog_ = std::move(watchdog);
+}
+
+void
+Verifier::audit(Cycle now)
+{
+    // Faults perturb state *before* this cycle's checks so an
+    // injected corruption is observable at the earliest audit.
+    if (injector_)
+        injector_->maybeInject(now);
+    if (watchdog_)
+        watchdog_->check(now);
+    if (cfg.paranoid == 0)
+        return;
+    if (cfg.paranoid == 1 && cfg.auditInterval > 1 &&
+        now % cfg.auditInterval != 0) {
+        return;
+    }
+    ++audits;
+    for (auto &checker : checkers)
+        checker->check(now);
+}
+
+} // namespace vpc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The audit hook implementation: owns the invariant checkers, the
+ * watchdog and the fault injector, and schedules them from the
+ * simulator's per-cycle audit callback.
+ *
+ * Cost model: with verification disabled no Verifier exists and the
+ * simulator pays one null-pointer branch per cycle.  With paranoid
+ * level 1 the checkers run every auditInterval cycles; level >= 2
+ * runs them every cycle.  The watchdog and fault injector are cheap
+ * and run every cycle whenever configured, independent of the
+ * paranoia level.
+ */
+
+#ifndef VPC_VERIFY_VERIFIER_HH
+#define VPC_VERIFY_VERIFIER_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "verify/fault_injector.hh"
+#include "verify/invariant.hh"
+#include "verify/watchdog.hh"
+
+namespace vpc
+{
+
+/** Runs registered checkers from the simulator audit hook. */
+class Verifier : public Auditable
+{
+  public:
+    explicit Verifier(const VerifyConfig &cfg);
+
+    /** Register an invariant checker; the Verifier takes ownership. */
+    void addChecker(std::unique_ptr<InvariantChecker> checker);
+
+    /** Install the forward-progress watchdog. */
+    void setWatchdog(std::unique_ptr<Watchdog> watchdog);
+
+    /**
+     * @return the fault injector, or nullptr when faultRate == 0;
+     *         callers register their fault hooks on it.
+     */
+    FaultInjector *injector() { return injector_.get(); }
+
+    void audit(Cycle now) override;
+
+    /** @return full checker sweeps completed (tests). */
+    std::uint64_t auditsRun() const { return audits; }
+
+  private:
+    VerifyConfig cfg;
+    std::vector<std::unique_ptr<InvariantChecker>> checkers;
+    std::unique_ptr<Watchdog> watchdog_;
+    std::unique_ptr<FaultInjector> injector_;
+    std::uint64_t audits = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_VERIFY_VERIFIER_HH

@@ -1,0 +1,50 @@
+#include "verify/watchdog.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+Watchdog::Watchdog(Cycle limit)
+    : limit_(limit)
+{
+    if (limit_ == 0)
+        vpc_fatal("watchdog limit must be > 0 cycles");
+}
+
+void
+Watchdog::addThread(Source src)
+{
+    if (!src.progress || !src.outstanding)
+        vpc_panic("watchdog thread registered without callbacks");
+    threads.push_back(ThreadWatch{std::move(src), 0, 0});
+}
+
+void
+Watchdog::check(Cycle now)
+{
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        ThreadWatch &w = threads[t];
+        std::uint64_t p = w.src.progress();
+        if (p != w.lastProgress) {
+            w.lastProgress = p;
+            w.quietSince = now;
+            continue;
+        }
+        if (now - w.quietSince < limit_)
+            continue;
+        // Only a thread the memory system still owes work to is
+        // starved; a thread with nothing outstanding is just idle.
+        if (!w.src.outstanding()) {
+            w.quietSince = now;
+            continue;
+        }
+        vpc_panic("watchdog: thread {} retired nothing for {} cycles "
+                  "with outstanding requests (starvation) at cycle {}",
+                  t, now - w.quietSince, now);
+    }
+}
+
+} // namespace vpc

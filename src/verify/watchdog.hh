@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Forward-progress watchdog.
+ *
+ * Starvation in this machine is silent: a thread whose stores never
+ * win arbitration (the RoW-FCFS pathology of Section 3.1 / Figure 8)
+ * simply retires nothing, forever, while the simulation keeps
+ * running.  The watchdog turns that silence into a diagnosed panic:
+ * a thread that has outstanding work anywhere in the memory system
+ * yet retires no instruction for a configured number of cycles
+ * trips, and the panic-dump registry prints the machine snapshot
+ * (arbiter queues, virtual clocks, occupancy, MSHRs) that explains
+ * who was starving whom.
+ */
+
+#ifndef VPC_VERIFY_WATCHDOG_HH
+#define VPC_VERIFY_WATCHDOG_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/invariant.hh"
+
+namespace vpc
+{
+
+/** Panics when a thread with outstanding work stops retiring. */
+class Watchdog : public InvariantChecker
+{
+  public:
+    /** How the watchdog observes one thread. */
+    struct Source
+    {
+        /** Monotonic progress counter (instructions retired). */
+        std::function<std::uint64_t()> progress;
+        /**
+         * True while the thread is waiting on the memory system
+         * (outstanding L1 misses or work queued in the L2).  A
+         * thread that is idle by choice never trips the watchdog.
+         */
+        std::function<bool()> outstanding;
+    };
+
+    /** @param limit cycles without progress before panicking. */
+    explicit Watchdog(Cycle limit);
+
+    /** Register one thread; threads are numbered in call order. */
+    void addThread(Source src);
+
+    void check(Cycle now) override;
+    std::string name() const override { return "watchdog"; }
+
+  private:
+    struct ThreadWatch
+    {
+        Source src;
+        std::uint64_t lastProgress = 0;
+        Cycle quietSince = 0;
+    };
+
+    Cycle limit_;
+    std::vector<ThreadWatch> threads;
+};
+
+} // namespace vpc
+
+#endif // VPC_VERIFY_WATCHDOG_HH

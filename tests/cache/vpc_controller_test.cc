@@ -24,6 +24,7 @@ class VpcControllerTest : public ::testing::Test
         cfg.numProcessors = 4;
         cfg.arbiterPolicy = ArbiterPolicy::Vpc;
         // Start with nothing allocated: the controller owns shares.
+        cfg.allowUnallocatedShares = true;
         cfg.shares.assign(4, QosShare{0.0, 0.0});
         cfg.validate();
         mc = std::make_unique<MemoryController>(cfg.mem, 4, 64,

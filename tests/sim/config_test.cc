@@ -76,6 +76,104 @@ TEST(SystemConfig, PartialAllocationIsLegal)
     EXPECT_DOUBLE_EQ(cfg.shares[0].phi, 0.5);
 }
 
+TEST(SystemConfig, PhiZeroUnderVpcArbiterFatal)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.arbiterPolicy = ArbiterPolicy::Vpc;
+    cfg.shares = {QosShare{1.0, 0.5}, QosShare{0.0, 0.5}};
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "phi = 0");
+}
+
+TEST(SystemConfig, PhiZeroAllowedWithEscapeHatch)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.arbiterPolicy = ArbiterPolicy::Vpc;
+    cfg.allowUnallocatedShares = true;
+    cfg.shares = {QosShare{1.0, 0.5}, QosShare{0.0, 0.5}};
+    cfg.validate();
+}
+
+TEST(SystemConfig, PhiZeroFineUnderNonVpcArbiter)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.arbiterPolicy = ArbiterPolicy::Fcfs;
+    cfg.capacityPolicy = CapacityPolicy::Lru;
+    cfg.shares = {QosShare{1.0, 0.5}, QosShare{0.0, 0.5}};
+    cfg.validate();
+}
+
+TEST(SystemConfig, BetaQuotaRoundingToZeroWaysFatal)
+{
+    // floor(0.02 * 32) = 0 ways: the thread's virtual private cache
+    // would hold nothing.
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.capacityPolicy = CapacityPolicy::Vpc;
+    cfg.shares = {QosShare{0.5, 0.5}, QosShare{0.5, 0.02}};
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "rounds to zero");
+}
+
+TEST(SystemConfig, BetaQuotaZeroAllowedWithEscapeHatch)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.capacityPolicy = CapacityPolicy::Vpc;
+    cfg.allowUnallocatedShares = true;
+    cfg.shares = {QosShare{0.5, 0.5}, QosShare{0.5, 0.02}};
+    cfg.validate();
+}
+
+TEST(SystemConfig, L2SizeMustFactorExactly)
+{
+    SystemConfig cfg;
+    cfg.l2.sizeBytes = 16ull * 1024 * 1024 + 2048;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "not divisible");
+}
+
+TEST(SystemConfig, L2SetsPerBankMustBePowerOf2)
+{
+    SystemConfig cfg;
+    // 12MB / (2 banks * 32 ways * 64B) = 3072 sets: divisible but
+    // not a power of 2.
+    cfg.l2.sizeBytes = 12ull * 1024 * 1024;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "sets per bank");
+}
+
+TEST(SystemConfig, L2ZeroWaysFatal)
+{
+    SystemConfig cfg;
+    cfg.l2.ways = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "at least one way");
+}
+
+TEST(SystemConfig, L1GeometryMustGivePowerOf2Sets)
+{
+    SystemConfig cfg;
+    cfg.l1.sizeBytes = 48 * 1024; // 192 sets
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "power of 2");
+    SystemConfig cfg2;
+    cfg2.l1.sizeBytes = 16 * 1024 + 64; // remainder
+    EXPECT_EXIT(cfg2.validate(), testing::ExitedWithCode(1),
+                "power of 2");
+}
+
+TEST(SystemConfig, NonPowerOf2LineSizeFatal)
+{
+    SystemConfig cfg;
+    cfg.l2.lineBytes = 48;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "powers of 2");
+}
+
 TEST(Types, LineAlignAndLog2)
 {
     EXPECT_EQ(lineAlign(0x12345, 64), 0x12340u);

@@ -68,6 +68,14 @@ TEST(EventQueue, SchedulingInPastPanics)
     EXPECT_DEATH(q.schedule(5, [] {}), "past");
 }
 
+TEST(EventQueue, RunningBackwardPanics)
+{
+    EventQueue q;
+    q.runDue(10);
+    EXPECT_EQ(q.lastRunCycle(), 10u);
+    EXPECT_DEATH(q.runDue(9), "backward");
+}
+
 TEST(EventQueue, SizeAndEmpty)
 {
     EventQueue q;

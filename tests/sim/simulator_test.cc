@@ -81,5 +81,26 @@ TEST(Simulator, FutureEventsFireAtTheRightCycle)
     EXPECT_EQ(fired_at, 42u);
 }
 
+TEST(Simulator, AuditHookRunsAfterEveryCycle)
+{
+    struct CountingAuditor : Auditable
+    {
+        std::vector<Cycle> seen;
+        void audit(Cycle now) override { seen.push_back(now); }
+    } aud;
+    Simulator sim;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    sim.addTicking(&a);
+    sim.setAuditor(&aud);
+    sim.run(3);
+    // One audit per cycle, observing the cycle just executed.
+    EXPECT_EQ(aud.seen, (std::vector<Cycle>{0, 1, 2}));
+    EXPECT_EQ(log.size(), 3u);
+    sim.setAuditor(nullptr);
+    sim.run(2);
+    EXPECT_EQ(aud.seen.size(), 3u);
+}
+
 } // namespace
 } // namespace vpc

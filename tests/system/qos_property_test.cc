@@ -25,6 +25,9 @@ std::vector<double>
 runLoadsStores(ArbiterPolicy policy, double phi_stores)
 {
     SystemConfig cfg = makeBaselineConfig(2, policy);
+    // The sweep's endpoints deliberately leave one thread with no
+    // allocation at all.
+    cfg.allowUnallocatedShares = true;
     cfg.shares = {QosShare{1.0 - phi_stores, 0.5},
                   QosShare{phi_stores, 0.5}};
     cfg.validate();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/fault_injector.hh"
+
+namespace vpc
+{
+namespace
+{
+
+/** Record the cycles at which one fault fires over @p cycles. */
+std::vector<Cycle>
+injectionSchedule(double rate, std::uint64_t seed, Cycle cycles)
+{
+    FaultInjector inj(rate, seed);
+    std::vector<Cycle> fired;
+    Cycle now = 0;
+    inj.addFault("probe", [&] {
+        fired.push_back(now);
+        return true;
+    });
+    for (; now < cycles; ++now)
+        inj.maybeInject(now);
+    return fired;
+}
+
+TEST(FaultInjector, SameRateAndSeedInjectIdentically)
+{
+    std::vector<Cycle> a = injectionSchedule(0.01, 42, 20'000);
+    std::vector<Cycle> b = injectionSchedule(0.01, 42, 20'000);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjector, DifferentSeedsInjectDifferently)
+{
+    std::vector<Cycle> a = injectionSchedule(0.01, 42, 20'000);
+    std::vector<Cycle> b = injectionSchedule(0.01, 43, 20'000);
+    EXPECT_NE(a, b);
+}
+
+TEST(FaultInjector, ZeroRateNeverFires)
+{
+    EXPECT_TRUE(injectionSchedule(0.0, 42, 20'000).empty());
+}
+
+TEST(FaultInjector, RateOneFiresEveryCycle)
+{
+    EXPECT_EQ(injectionSchedule(1.0, 7, 100).size(), 100u);
+}
+
+TEST(FaultInjector, OnlyAppliedFaultsAreCounted)
+{
+    FaultInjector inj(1.0, 1);
+    bool armed = false;
+    inj.addFault("conditional", [&] { return armed; });
+    for (Cycle c = 0; c < 10; ++c)
+        inj.maybeInject(c);
+    EXPECT_EQ(inj.injectedCount(), 0u);
+    armed = true;
+    for (Cycle c = 10; c < 20; ++c)
+        inj.maybeInject(c);
+    EXPECT_EQ(inj.injectedCount(), 10u);
+}
+
+TEST(FaultInjector, PicksEveryRegisteredFaultEventually)
+{
+    FaultInjector inj(1.0, 3);
+    std::vector<unsigned> hits(3, 0);
+    for (unsigned i = 0; i < 3; ++i) {
+        inj.addFault("f" + std::to_string(i), [&hits, i] {
+            ++hits[i];
+            return true;
+        });
+    }
+    EXPECT_EQ(inj.faultCount(), 3u);
+    for (Cycle c = 0; c < 300; ++c)
+        inj.maybeInject(c);
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_GT(hits[i], 0u) << "fault " << i << " never chosen";
+}
+
+TEST(FaultInjector, NoRegisteredFaultsIsANoOp)
+{
+    FaultInjector inj(1.0, 5);
+    for (Cycle c = 0; c < 10; ++c)
+        inj.maybeInject(c);
+    EXPECT_EQ(inj.injectedCount(), 0u);
+}
+
+TEST(FaultInjectorDeath, RejectsRateOutOfRange)
+{
+    EXPECT_EXIT((FaultInjector{1.5, 0}), testing::ExitedWithCode(1),
+                "out of");
+    EXPECT_EXIT((FaultInjector{-0.1, 0}), testing::ExitedWithCode(1),
+                "out of");
+}
+
+} // namespace
+} // namespace vpc

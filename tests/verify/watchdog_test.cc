@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Watchdog tests: unit-level with synthetic progress/outstanding
+ * sources, and system-level against the RoW-FCFS store-starvation
+ * pathology of Section 3.1 / Figure 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "system/cmp_system.hh"
+#include "system/experiment.hh"
+#include "verify/watchdog.hh"
+#include "workload/microbench.hh"
+
+namespace vpc
+{
+namespace
+{
+
+struct FakeThread
+{
+    std::uint64_t progress = 0;
+    bool outstanding = false;
+
+    Watchdog::Source source()
+    {
+        return Watchdog::Source{[this] { return progress; },
+                                [this] { return outstanding; }};
+    }
+};
+
+TEST(WatchdogDeath, StalledThreadWithOutstandingWorkPanics)
+{
+    Watchdog wd(100);
+    FakeThread t;
+    t.progress = 5;
+    t.outstanding = true;
+    wd.addThread(t.source());
+    wd.check(0);
+    wd.check(50); // quiet, but under the limit
+    EXPECT_DEATH(wd.check(150), "watchdog");
+}
+
+TEST(Watchdog, IdleThreadNeverTrips)
+{
+    Watchdog wd(100);
+    FakeThread t; // never outstanding: idle by choice
+    wd.addThread(t.source());
+    wd.check(0);
+    wd.check(1'000);
+    wd.check(10'000);
+}
+
+TEST(Watchdog, ProgressingThreadNeverTrips)
+{
+    Watchdog wd(100);
+    FakeThread t;
+    t.outstanding = true;
+    wd.addThread(t.source());
+    for (Cycle now = 0; now < 2'000; now += 50) {
+        ++t.progress;
+        wd.check(now);
+    }
+}
+
+TEST(WatchdogDeath, IdleStretchDoesNotCountTowardStarvation)
+{
+    // A thread idle past the limit gets a fresh window when work
+    // appears: only time spent quiet *with* outstanding requests is
+    // starvation.
+    Watchdog wd(100);
+    FakeThread t;
+    wd.addThread(t.source());
+    wd.check(0);
+    wd.check(1'000); // long idle stretch; window resets here
+    t.outstanding = true;
+    wd.check(1'050); // only 50 quiet cycles charged: fine
+    EXPECT_DEATH(wd.check(1'200), "watchdog");
+}
+
+TEST(WatchdogDeath, ZeroLimitRejected)
+{
+    EXPECT_EXIT((Watchdog{0}), testing::ExitedWithCode(1), "limit");
+}
+
+// --------------------------------------------------------------
+// System-level: the paper's motivating starvation case
+// --------------------------------------------------------------
+
+std::vector<std::unique_ptr<Workload>>
+loadsAndStores()
+{
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(std::make_unique<LoadsBenchmark>(0));
+    wl.push_back(std::make_unique<StoresBenchmark>(1ull << 32));
+    return wl;
+}
+
+TEST(WatchdogSystemDeath, CatchesRowFcfsStoreStarvation)
+{
+    // RoW-FCFS reorders reads over writes with no aging: the Loads
+    // thread's read stream starves the Stores thread indefinitely
+    // (Figure 8 shows IPC ~= 0).  The watchdog turns that silent
+    // hang into a diagnosed panic.
+    SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::RowFcfs);
+    cfg.verify.watchdogCycles = 5'000;
+    CmpSystem sys(cfg, loadsAndStores());
+    ASSERT_NE(sys.verifier(), nullptr);
+    EXPECT_DEATH(sys.run(60'000), "watchdog");
+}
+
+TEST(WatchdogSystem, VpcSurvivesTheSameWorkloadMix)
+{
+    // Same workloads, same watchdog, VPC arbitration: the Stores
+    // thread's bandwidth share guarantees forward progress.
+    SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Vpc);
+    cfg.verify.paranoid = 1;
+    cfg.verify.watchdogCycles = 5'000;
+    CmpSystem sys(cfg, loadsAndStores());
+    sys.run(60'000);
+    EXPECT_GT(sys.cpu(0).instrsRetired(), 0u);
+    EXPECT_GT(sys.cpu(1).instrsRetired(), 0u);
+}
+
+} // namespace
+} // namespace vpc
