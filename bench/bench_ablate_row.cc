@@ -12,7 +12,9 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
+#include "system/sweep.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
 #include "workload/spec2000.hh"
@@ -26,7 +28,7 @@ constexpr Cycle kWarmup = 80'000;
 constexpr Cycle kMeasure = 200'000;
 
 IntervalStats
-run(bool row)
+run(bool row, BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Vpc);
     cfg.vpcIntraThreadRow = row;
@@ -36,7 +38,9 @@ run(bool row)
     wl.push_back(makeSpec2000("mesa", 0, 1));
     wl.push_back(makeSpec2000("mcf", 1ull << 40, 2));
     CmpSystem sys(cfg, std::move(wl));
-    return sys.runAndMeasure(kWarmup, kMeasure);
+    IntervalStats stats = sys.runAndMeasure(kWarmup, kMeasure);
+    rep.addRun(sys.now(), sys.kernelStats());
+    return stats;
 }
 
 } // namespace
@@ -44,8 +48,17 @@ run(bool row)
 int
 main()
 {
-    IntervalStats with_row = run(true);
-    IntervalStats without_row = run(false);
+    // The two configurations are independent simulations; dispatch
+    // them through the sweep harness (results land in fixed slots, so
+    // output is identical for any worker count).
+    BenchReporter rep("ablate_row");
+    std::vector<IntervalStats> results(2);
+    parallelFor(2, [&](std::size_t i) {
+        results[i] = run(i == 0, rep);
+    });
+    rep.finish();
+    const IntervalStats &with_row = results[0];
+    const IntervalStats &without_row = results[1];
 
     TablePrinter t("Ablation: VPC intra-thread RoW reordering "
                    "(mesa + mcf, equal shares)",
@@ -62,5 +75,6 @@ main()
     std::printf("mcf IPC change when partner reorders: %+.2f%% "
                 "(reordering must not shift inter-thread "
                 "bandwidth)\n", -iso);
+    rep.printSummary();
     return 0;
 }

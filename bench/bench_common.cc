@@ -1,0 +1,117 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+
+#include "sim/format.hh"
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+BenchReporter::BenchReporter(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+BenchReporter::addRun(std::uint64_t sim_cycles, const KernelStats &k)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_)
+        vpc_panic("BenchReporter::addRun after finish");
+    runs_ += 1;
+    simCycles_ += sim_cycles;
+    cyclesExecuted_ += k.cyclesExecuted.value();
+    cyclesSkipped_ += k.cyclesSkipped.value();
+    ticksExecuted_ += k.ticksExecuted.value();
+    eventsFired_ += k.eventsFired.value();
+}
+
+void
+BenchReporter::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!finished_) {
+        end_ = std::chrono::steady_clock::now();
+        finished_ = true;
+    }
+}
+
+double
+BenchReporter::wallMs() const
+{
+    auto end = finished_ ? end_ : std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start_)
+        .count();
+}
+
+double
+BenchReporter::mcyclesPerSec() const
+{
+    double ms = wallMs();
+    if (ms <= 0.0)
+        return 0.0;
+    return static_cast<double>(simCycles_) / (ms / 1e3) / 1e6;
+}
+
+double
+BenchReporter::eventsPerCycle() const
+{
+    if (cyclesExecuted_ == 0)
+        return 0.0;
+    return static_cast<double>(eventsFired_) /
+           static_cast<double>(cyclesExecuted_);
+}
+
+void
+BenchReporter::printSummary() const
+{
+    // stderr, so stdout stays bit-identical between skipping and
+    // --no-skip runs (wall time and skip counts legitimately differ).
+    std::fprintf(
+        stderr,
+        "bench %s: %.0f ms wall, %llu runs, %llu Msim-cycles, "
+        "%.2f Mcycles/s, %.2f events/cycle, %llu cycles skipped\n",
+        name_.c_str(), wallMs(),
+        static_cast<unsigned long long>(runs_),
+        static_cast<unsigned long long>(simCycles_ / 1'000'000),
+        mcyclesPerSec(), eventsPerCycle(),
+        static_cast<unsigned long long>(cyclesSkipped_));
+}
+
+void
+BenchReporter::writeJson(const std::string &path) const
+{
+    std::string file =
+        path.empty() ? format("BENCH_{}.json", name_) : path;
+    std::FILE *f = std::fopen(file.c_str(), "w");
+    if (!f) {
+        vpc_warn("cannot write {}", file);
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"wall_ms\": %.1f,\n"
+                 "  \"runs\": %llu,\n"
+                 "  \"sim_cycles\": %llu,\n"
+                 "  \"mcycles_per_sec\": %.3f,\n"
+                 "  \"cycles_executed\": %llu,\n"
+                 "  \"cycles_skipped\": %llu,\n"
+                 "  \"ticks_executed\": %llu,\n"
+                 "  \"events_fired\": %llu,\n"
+                 "  \"events_per_cycle\": %.4f\n"
+                 "}\n",
+                 name_.c_str(), wallMs(),
+                 static_cast<unsigned long long>(runs_),
+                 static_cast<unsigned long long>(simCycles_),
+                 mcyclesPerSec(),
+                 static_cast<unsigned long long>(cyclesExecuted_),
+                 static_cast<unsigned long long>(cyclesSkipped_),
+                 static_cast<unsigned long long>(ticksExecuted_),
+                 static_cast<unsigned long long>(eventsFired_),
+                 eventsPerCycle());
+    std::fclose(f);
+}
+
+} // namespace vpc

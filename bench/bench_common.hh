@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared bench instrumentation: wall-clock timing, kernel-counter
+ * aggregation and a machine-readable JSON report.
+ *
+ * Every bench binary prints a human-readable table; BenchReporter adds
+ * the numbers a perf regression harness needs -- wall time, simulated
+ * cycles, simulation rate (Mcycles/s) and event density (events per
+ * executed cycle) -- and can write them as BENCH_<name>.json so
+ * before/after comparisons are a diff, not a copy-paste exercise.
+ *
+ * Usage:
+ *
+ *   BenchReporter rep("headline");       // clock starts here
+ *   ... run simulations, after each one:
+ *   rep.addRun(sys.now(), sys.kernelStats());
+ *   rep.finish();                        // clock stops here
+ *   rep.printSummary();
+ *   rep.writeJson();                     // BENCH_headline.json
+ *
+ * addRun() is thread-safe so sweep-driven benches can report from
+ * parallelFor jobs.
+ */
+
+#ifndef VPC_BENCH_BENCH_COMMON_HH
+#define VPC_BENCH_BENCH_COMMON_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace vpc
+{
+
+/** Wall-time + kernel-counter reporter for bench binaries. */
+class BenchReporter
+{
+  public:
+    /** Start the wall clock; @p name keys the default JSON filename. */
+    explicit BenchReporter(std::string name);
+
+    /**
+     * Record one finished simulation.  Thread-safe.
+     *
+     * @param sim_cycles the simulation's final cycle count
+     * @param k its kernel counters
+     */
+    void addRun(std::uint64_t sim_cycles, const KernelStats &k);
+
+    /** Stop the wall clock (idempotent; addRun() after is an error). */
+    void finish();
+
+    /** @return wall time from construction to finish(), milliseconds. */
+    double wallMs() const;
+
+    /** @return total simulated cycles across all runs. */
+    std::uint64_t simCycles() const { return simCycles_; }
+
+    /** @return simulation rate in Mcycles per wall-clock second. */
+    double mcyclesPerSec() const;
+
+    /** @return events fired per *executed* cycle (event density). */
+    double eventsPerCycle() const;
+
+    /**
+     * Print the one-line kernel performance summary to stderr (stderr
+     * so redirected stdout stays identical between skip / --no-skip).
+     */
+    void printSummary() const;
+
+    /**
+     * Write the JSON report.
+     *
+     * @param path output file; empty = "BENCH_<name>.json" in the
+     *             current directory
+     */
+    void writeJson(const std::string &path = "") const;
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point end_;
+    bool finished_ = false;
+    mutable std::mutex mutex_;
+    std::uint64_t runs_ = 0;
+    std::uint64_t simCycles_ = 0;
+    std::uint64_t cyclesExecuted_ = 0;
+    std::uint64_t cyclesSkipped_ = 0;
+    std::uint64_t ticksExecuted_ = 0;
+    std::uint64_t eventsFired_ = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_BENCH_BENCH_COMMON_HH

@@ -15,7 +15,9 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
+#include "system/sweep.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
 #include "workload/microbench.hh"
@@ -38,7 +40,7 @@ struct Row
 
 Row
 runConfig(ArbiterPolicy policy, double phi_stores,
-          const std::string &label)
+          const std::string &label, BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(2, policy);
     if (policy == ArbiterPolicy::Vpc) {
@@ -52,6 +54,7 @@ runConfig(ArbiterPolicy policy, double phi_stores,
     wl.push_back(std::make_unique<StoresBenchmark>(1ull << 32));
     CmpSystem sys(cfg, std::move(wl));
     IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);
+    rep.addRun(sys.now(), sys.kernelStats());
 
     Row r;
     r.label = label;
@@ -68,21 +71,49 @@ runConfig(ArbiterPolicy policy, double phi_stores,
 int
 main()
 {
-    std::vector<Row> rows;
-    rows.push_back(runConfig(ArbiterPolicy::RowFcfs, 0.0, "RoW"));
-    rows.push_back(runConfig(ArbiterPolicy::Fcfs, 0.0, "FCFS"));
-
+    // Seven arbiter configurations plus the per-point private-machine
+    // targets, all independent: dispatch through the sweep harness and
+    // assemble rows in fixed order afterwards.
+    BenchReporter rep("fig8");
     SystemConfig base = makeBaselineConfig(2, ArbiterPolicy::Vpc);
     RunLengths lens{kWarmup, kMeasure};
-    LoadsBenchmark loads(0);
-    StoresBenchmark stores(1ull << 32);
-    for (double phi : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-        Row r = runConfig(ArbiterPolicy::Vpc, phi,
-                          "VPC " + TablePrinter::pct(phi));
-        r.targetLoads = targetIpc(base, loads, 1.0 - phi, 0.5, lens);
-        r.targetStores = targetIpc(base, stores, phi, 0.5, lens);
-        rows.push_back(r);
-    }
+    const std::vector<double> phis = {0.0, 0.25, 0.5, 0.75, 1.0};
+    std::vector<Row> rows(2 + phis.size());
+    parallelFor(rows.size() + 2 * phis.size(), [&](std::size_t j) {
+        if (j == 0) {
+            rows[0] = runConfig(ArbiterPolicy::RowFcfs, 0.0, "RoW",
+                                rep);
+        } else if (j == 1) {
+            rows[1] = runConfig(ArbiterPolicy::Fcfs, 0.0, "FCFS",
+                                rep);
+        } else if (j < rows.size()) {
+            double phi = phis[j - 2];
+            Row r = runConfig(ArbiterPolicy::Vpc, phi,
+                              "VPC " + TablePrinter::pct(phi), rep);
+            // The target fields of this slot belong to the targetIpc
+            // jobs below (distinct members, so no data race); copy
+            // only the measured fields.
+            rows[j].label = r.label;
+            rows[j].ipcLoads = r.ipcLoads;
+            rows[j].ipcStores = r.ipcStores;
+            rows[j].dataUtil = r.dataUtil;
+        } else {
+            std::size_t k = j - rows.size();
+            double phi = phis[k / 2];
+            KernelStats ks;
+            if (k % 2 == 0) {
+                LoadsBenchmark loads(0);
+                rows[2 + k / 2].targetLoads =
+                    targetIpc(base, loads, 1.0 - phi, 0.5, lens, &ks);
+            } else {
+                StoresBenchmark stores(1ull << 32);
+                rows[2 + k / 2].targetStores =
+                    targetIpc(base, stores, phi, 0.5, lens, &ks);
+            }
+            rep.addRun(lens.warmup + lens.measure, ks);
+        }
+    });
+    rep.finish();
 
     TablePrinter table(
         "Figure 8: Loads + Stores microbenchmarks "
@@ -97,5 +128,6 @@ main()
                    TablePrinter::pct(r.dataUtil)});
     }
     table.rule();
+    rep.printSummary();
     return 0;
 }

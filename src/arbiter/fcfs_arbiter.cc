@@ -22,9 +22,9 @@ FcfsArbiter::doEnqueue(const ArbRequest &req, Cycle now)
 bool
 FcfsArbiter::faultDropOldest(ThreadId t)
 {
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-        if (it->thread == t) {
-            queue.erase(it);
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].thread == t) {
+            queue.erase_at(i);
             --perThread[t];
             return true;
         }

@@ -13,9 +13,8 @@
 #ifndef VPC_ARBITER_FCFS_ARBITER_HH
 #define VPC_ARBITER_FCFS_ARBITER_HH
 
-#include <deque>
-
 #include "arbiter/arbiter.hh"
+#include "sim/ring.hh"
 
 namespace vpc
 {
@@ -37,7 +36,7 @@ class FcfsArbiter : public Arbiter
     void doEnqueue(const ArbRequest &req, Cycle now) override;
 
   private:
-    std::deque<ArbRequest> queue;
+    SmallRing<ArbRequest> queue;
     std::vector<std::size_t> perThread;
 };
 

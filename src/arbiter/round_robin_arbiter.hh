@@ -11,9 +11,8 @@
 #ifndef VPC_ARBITER_ROUND_ROBIN_ARBITER_HH
 #define VPC_ARBITER_ROUND_ROBIN_ARBITER_HH
 
-#include <deque>
-
 #include "arbiter/arbiter.hh"
+#include "sim/ring.hh"
 
 namespace vpc
 {
@@ -35,7 +34,7 @@ class RoundRobinArbiter : public Arbiter
     void doEnqueue(const ArbRequest &req, Cycle now) override;
 
   private:
-    std::vector<std::deque<ArbRequest>> queues;
+    std::vector<SmallRing<ArbRequest>> queues;
     ThreadId nextThread = 0;
     std::size_t total = 0;
 };

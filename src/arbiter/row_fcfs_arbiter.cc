@@ -1,7 +1,6 @@
 #include "arbiter/row_fcfs_arbiter.hh"
 
-#include <algorithm>
-
+#include "arbiter/row_scan.hh"
 #include "sim/logging.hh"
 
 namespace vpc
@@ -24,9 +23,9 @@ RowFcfsArbiter::doEnqueue(const ArbRequest &req, Cycle now)
 bool
 RowFcfsArbiter::faultDropOldest(ThreadId t)
 {
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-        if (it->thread == t) {
-            queue.erase(it);
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].thread == t) {
+            queue.erase_at(i);
             --perThread[t];
             return true;
         }
@@ -41,34 +40,12 @@ RowFcfsArbiter::select(Cycle now)
         return std::nullopt;
 
     // Oldest demand read, then oldest prefetch read, that does not
-    // bypass an older same-line write; else the oldest request.
-    auto blocked = [this](std::deque<ArbRequest>::iterator it) {
-        for (auto older = queue.begin(); older != it; ++older) {
-            if (older->isWrite && older->lineAddr == it->lineAddr)
-                return true;
-        }
-        return false;
-    };
-    auto chosen = queue.end();
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-        if (!it->isWrite && !it->isPrefetch && !blocked(it)) {
-            chosen = it;
-            break;
-        }
-    }
-    if (chosen == queue.end()) {
-        for (auto it = queue.begin(); it != queue.end(); ++it) {
-            if (!it->isWrite && !blocked(it)) {
-                chosen = it;
-                break;
-            }
-        }
-    }
-    if (chosen == queue.end())
-        chosen = queue.begin();
+    // bypass an older same-line write; else the oldest request.  One
+    // O(n) pass; see row_scan.hh for the equivalence argument.
+    std::size_t chosen = rowCandidateIndex(queue, rowScratch);
 
-    ArbRequest req = *chosen;
-    queue.erase(chosen);
+    ArbRequest req = queue[chosen];
+    queue.erase_at(chosen);
     --perThread[req.thread];
     recordGrant(req, now);
     return req;

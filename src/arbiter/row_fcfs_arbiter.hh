@@ -17,9 +17,8 @@
 #ifndef VPC_ARBITER_ROW_FCFS_ARBITER_HH
 #define VPC_ARBITER_ROW_FCFS_ARBITER_HH
 
-#include <deque>
-
 #include "arbiter/arbiter.hh"
+#include "sim/ring.hh"
 
 namespace vpc
 {
@@ -41,8 +40,10 @@ class RowFcfsArbiter : public Arbiter
     void doEnqueue(const ArbRequest &req, Cycle now) override;
 
   private:
-    std::deque<ArbRequest> queue;
+    SmallRing<ArbRequest> queue;
     std::vector<std::size_t> perThread;
+    /** Scratch for the single-pass RoW scan (capacity persists). */
+    std::vector<Addr> rowScratch;
 };
 
 } // namespace vpc

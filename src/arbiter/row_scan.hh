@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Single-pass Read-over-Write candidate scan.
+ *
+ * Both the VPC arbiter's intra-thread reordering and the RoW-FCFS
+ * baseline pick, in priority order: the oldest demand read, else the
+ * oldest prefetch read, else the oldest request — where a read may not
+ * bypass an older write to the same line address (dependence).  The
+ * original implementations re-scanned the prefix for a conflicting
+ * write per candidate, which is O(n²) in the queue depth and was the
+ * dominant cost of selection on deep buffers.
+ *
+ * rowCandidateIndex() computes the same choice in one forward pass: it
+ * accumulates the line addresses of the writes seen so far (a 64-bit
+ * Bloom word backed by an exact scratch list, so the common no-write
+ * case never searches), returns immediately at the first unblocked
+ * demand read, and otherwise remembers the first unblocked read of any
+ * kind.  Equivalence with the two-pass scan: pass 1 returned the
+ * smallest i such that buf[i] is an unblocked demand read — identical
+ * to the early return here since both walk i ascending and "blocked"
+ * depends only on writes at positions < i; pass 2's result is the
+ * first unblocked read of any kind, which is what `first_read` records
+ * (a demand read that was unblocked would have returned already, and a
+ * blocked one is equally skipped by both versions); the fallback is
+ * index 0 in both.
+ */
+
+#ifndef VPC_ARBITER_ROW_SCAN_HH
+#define VPC_ARBITER_ROW_SCAN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** Hash a line address into a 64-bit Bloom word (one bit). */
+inline std::uint64_t
+rowBloomBit(Addr line_addr)
+{
+    return 1ull << ((line_addr * 0x9E3779B97F4A7C15ull) >> 58);
+}
+
+/**
+ * Index into @p queue of the request to service next under the RoW
+ * policy.  @p queue needs size() and operator[] yielding ArbRequest
+ * (any container; SmallRing and deque both qualify).
+ *
+ * @param write_scratch caller-provided scratch for the exact write
+ *        set; cleared here, retains capacity across calls
+ * @return chosen index (0 if the queue holds no eligible read)
+ */
+template <class Queue>
+std::size_t
+rowCandidateIndex(const Queue &queue, std::vector<Addr> &write_scratch)
+{
+    write_scratch.clear();
+    std::uint64_t bloom = 0;
+    std::size_t first_read = 0;
+    bool have_read = false;
+    const std::size_t n = queue.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &req = queue[i];
+        if (req.isWrite) {
+            bloom |= rowBloomBit(req.lineAddr);
+            write_scratch.push_back(req.lineAddr);
+            continue;
+        }
+        bool blocked = false;
+        if (bloom & rowBloomBit(req.lineAddr)) {
+            for (Addr w : write_scratch) {
+                if (w == req.lineAddr) {
+                    blocked = true;
+                    break;
+                }
+            }
+        }
+        if (blocked)
+            continue;
+        if (!req.isPrefetch)
+            return i; // oldest unblocked demand read wins outright
+        if (!have_read) {
+            have_read = true;
+            first_read = i;
+        }
+    }
+    return have_read ? first_read : 0;
+}
+
+} // namespace vpc
+
+#endif // VPC_ARBITER_ROW_SCAN_HH

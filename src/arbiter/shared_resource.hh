@@ -73,6 +73,22 @@ class SharedResource
     /** @return true if the resource is servicing a request at @p now. */
     bool busy(Cycle now) const { return now < freeAt; }
 
+    /**
+     * Quiescence hint for the owning component's nextWork(): the
+     * earliest cycle >= @p now at which tick() could grant.  No
+     * pending requests: kCycleMax (arrival re-polls the hint).  Busy:
+     * the completion cycle.  Idle with work: @p now.  Conservative for
+     * a non-work-conserving arbiter (tick() may still grant nothing;
+     * that tick is a no-op, which is exactly what the contract allows).
+     */
+    Cycle
+    nextWork(Cycle now) const
+    {
+        if (!arb->hasPending())
+            return kCycleMax;
+        return busy(now) ? freeAt : now;
+    }
+
     /** @return occupancy of @p req in cycles. */
     Cycle
     occupancy(const ArbRequest &req) const

@@ -1,6 +1,9 @@
 #include "arbiter/vpc_arbiter.hh"
 
+#include <bit>
 #include <limits>
+
+#include "arbiter/row_scan.hh"
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
@@ -30,6 +33,9 @@ VpcArbiter::VpcArbiter(unsigned num_threads, Cycle service_latency,
         vpc_fatal("VpcArbiter: resource latency must be > 0");
     if (writeMult == 0)
         vpc_fatal("VpcArbiter: write multiplier must be > 0");
+    if (num_threads > kMaxThreads)
+        vpc_fatal("VpcArbiter: {} threads exceeds the {}-thread "
+                  "active-mask limit", num_threads, kMaxThreads);
     double sum = 0.0;
     for (unsigned t = 0; t < num_threads; ++t) {
         sum += shares[t];
@@ -58,6 +64,8 @@ VpcArbiter::faultDropOldest(ThreadId t)
     if (ts.buffer.empty())
         return false;
     ts.buffer.pop_front();
+    if (ts.buffer.empty())
+        activeMask &= ~(1ull << t);
     --total;
     return true;
 }
@@ -79,33 +87,20 @@ VpcArbiter::doEnqueue(const ArbRequest &req, Cycle now)
     if (options.idleReset && ts.buffer.empty() && ts.rs < reset_floor)
         ts.rs = reset_floor;
     ts.buffer.push_back(req);
+    activeMask |= 1ull << req.thread;
     ++total;
 }
 
 std::size_t
-VpcArbiter::candidateIndex(const std::deque<ArbRequest> &buf) const
+VpcArbiter::candidateIndex(const SmallRing<ArbRequest> &buf) const
 {
     if (!options.intraThreadRow)
         return 0;
     // Intra-thread reordering (Section 4.1.1): demand reads first,
     // then prefetch reads, then the oldest request -- a read may not
-    // bypass an older same-line write (dependence).
-    auto blocked = [&buf](std::size_t i) {
-        for (std::size_t j = 0; j < i; ++j) {
-            if (buf[j].isWrite && buf[j].lineAddr == buf[i].lineAddr)
-                return true;
-        }
-        return false;
-    };
-    for (std::size_t i = 0; i < buf.size(); ++i) {
-        if (!buf[i].isWrite && !buf[i].isPrefetch && !blocked(i))
-            return i;
-    }
-    for (std::size_t i = 0; i < buf.size(); ++i) {
-        if (!buf[i].isWrite && !blocked(i))
-            return i;
-    }
-    return 0;
+    // bypass an older same-line write (dependence).  One O(n) pass;
+    // see row_scan.hh for the equivalence argument.
+    return rowCandidateIndex(buf, rowScratch);
 }
 
 double
@@ -132,10 +127,11 @@ VpcArbiter::select(Cycle now)
     double best_f = kInf;
     SeqNum best_seq = 0;
 
-    for (ThreadId t = 0; t < numThreads(); ++t) {
+    // Visit backlogged threads only (ascending t, as before, so the
+    // (finish, seq) tie-break is unchanged).
+    for (std::uint64_t m = activeMask; m != 0; m &= m - 1) {
+        auto t = static_cast<ThreadId>(std::countr_zero(m));
         ThreadState &ts = threads[t];
-        if (ts.buffer.empty())
-            continue;
         if (!options.workConserving &&
             ts.rs > static_cast<double>(now)) {
             // Non-work-conserving ablation: the thread's virtual start
@@ -158,8 +154,9 @@ VpcArbiter::select(Cycle now)
 
     ThreadState &ts = threads[best_t];
     ArbRequest req = ts.buffer[best_idx];
-    ts.buffer.erase(ts.buffer.begin() +
-                    static_cast<std::ptrdiff_t>(best_idx));
+    ts.buffer.erase_at(best_idx);
+    if (ts.buffer.empty())
+        activeMask &= ~(1ull << best_t);
     --total;
     // System virtual time = start tag of the request entering
     // service (used by virtual-clock idle resets).

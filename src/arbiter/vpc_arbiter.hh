@@ -41,10 +41,11 @@
 #ifndef VPC_ARBITER_VPC_ARBITER_HH
 #define VPC_ARBITER_VPC_ARBITER_HH
 
-#include <deque>
+#include <cstdint>
 #include <vector>
 
 #include "arbiter/arbiter.hh"
+#include "sim/ring.hh"
 
 namespace vpc
 {
@@ -151,13 +152,16 @@ class VpcArbiter : public Arbiter
   protected:
     void doEnqueue(const ArbRequest &req, Cycle now) override;
 
+    /** Hard cap on threads per arbiter (the active set is a mask). */
+    static constexpr unsigned kMaxThreads = 64;
+
   private:
     struct ThreadState
     {
-        std::deque<ArbRequest> buffer; //!< pending request IDs
-        double phi = 0.0;              //!< bandwidth share
-        double rl = 0.0;               //!< R.L_i = L / phi_i
-        double rs = 0.0;               //!< R.S_i register
+        SmallRing<ArbRequest> buffer; //!< pending request IDs
+        double phi = 0.0;             //!< bandwidth share
+        double rl = 0.0;              //!< R.L_i = L / phi_i
+        double rs = 0.0;              //!< R.S_i register
     };
 
     /**
@@ -165,7 +169,7 @@ class VpcArbiter : public Arbiter
      * intra-thread reordering policy (RoW subject to same-line
      * dependences when enabled, else FIFO).
      */
-    std::size_t candidateIndex(const std::deque<ArbRequest> &buf) const;
+    std::size_t candidateIndex(const SmallRing<ArbRequest> &buf) const;
 
     /** Virtual service time of @p req for thread state @p ts. */
     double
@@ -175,6 +179,14 @@ class VpcArbiter : public Arbiter
     }
 
     std::vector<ThreadState> threads;
+    /**
+     * Bit t set iff thread t's buffer is non-empty.  EDF selection
+     * iterates set bits only, so idle threads cost nothing — with one
+     * backlogged thread out of 64, select() visits one queue, not 64.
+     */
+    std::uint64_t activeMask = 0;
+    /** Scratch for the single-pass RoW scan (capacity persists). */
+    mutable std::vector<Addr> rowScratch;
     double vclock = 0.0; //!< start tag of the last granted request
     Cycle latency;
     unsigned writeMult;

@@ -20,7 +20,7 @@ CacheArray::CacheArray(std::uint64_t sets, unsigned ways,
         vpc_fatal("cache must have at least one way");
     if (!policy_)
         vpc_panic("CacheArray constructed without replacement policy");
-    data.assign(sets_, std::vector<CacheLine>(ways_));
+    data.assign(sets_ * ways_, CacheLine{});
 }
 
 CacheArray::~CacheArray() = default;
@@ -37,16 +37,16 @@ CacheArray::tagOf(Addr addr) const
     return ((addr / lineBytes_) >> indexShift_) / sets_;
 }
 
-std::vector<CacheLine> &
+std::span<CacheLine>
 CacheArray::setOf(Addr addr)
 {
-    return data[setIndex(addr)];
+    return {data.data() + setIndex(addr) * ways_, ways_};
 }
 
-const std::vector<CacheLine> &
+std::span<const CacheLine>
 CacheArray::setOf(Addr addr) const
 {
-    return data[setIndex(addr)];
+    return {data.data() + setIndex(addr) * ways_, ways_};
 }
 
 bool
@@ -89,12 +89,10 @@ CacheArray::trackedOccupancy(ThreadId t) const
 bool
 CacheArray::faultFlipOwner(ThreadId to)
 {
-    for (auto &set : data) {
-        for (CacheLine &line : set) {
-            if (line.valid && line.owner != to) {
-                line.owner = to;
-                return true;
-            }
+    for (CacheLine &line : data) {
+        if (line.valid && line.owner != to) {
+            line.owner = to;
+            return true;
         }
     }
     return false;
@@ -103,7 +101,7 @@ CacheArray::faultFlipOwner(ThreadId to)
 Eviction
 CacheArray::insert(Addr addr, ThreadId t, bool dirty)
 {
-    std::vector<CacheLine> &set = setOf(addr);
+    std::span<CacheLine> set = setOf(addr);
     unsigned w = policy_->victim(set, t);
     if (forcedVictim != kNoForcedVictim) {
         // Injected fault: override the policy's choice so the victim
@@ -187,11 +185,9 @@ std::uint64_t
 CacheArray::occupancy(ThreadId t) const
 {
     std::uint64_t n = 0;
-    for (const auto &set : data) {
-        for (const CacheLine &line : set) {
-            if (line.valid && line.owner == t)
-                ++n;
-        }
+    for (const CacheLine &line : data) {
+        if (line.valid && line.owner == t)
+            ++n;
     }
     return n;
 }

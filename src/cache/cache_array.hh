@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/stats.hh"
@@ -113,10 +114,10 @@ class CacheArray
     std::uint64_t trackedOccupancy(ThreadId t) const;
 
     /** @return the lines of set @p index (verify-layer inspection). */
-    const std::vector<CacheLine> &
+    std::span<const CacheLine>
     setLines(std::uint64_t index) const
     {
-        return data.at(index);
+        return {data.data() + index * ways_, ways_};
     }
 
     /**
@@ -126,7 +127,7 @@ class CacheArray
      * 1 and 2 of Section 4.2 on each replacement decision.
      */
     using VictimAudit =
-        std::function<void(const std::vector<CacheLine> &, ThreadId,
+        std::function<void(std::span<const CacheLine>, ThreadId,
                            unsigned)>;
 
     /** Install (or clear, with nullptr) the victim audit tap. */
@@ -169,8 +170,8 @@ class CacheArray
   private:
     std::uint64_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
-    std::vector<CacheLine> &setOf(Addr addr);
-    const std::vector<CacheLine> &setOf(Addr addr) const;
+    std::span<CacheLine> setOf(Addr addr);
+    std::span<const CacheLine> setOf(Addr addr) const;
     void bumpOcc(ThreadId t, std::int64_t delta);
 
     std::uint64_t sets_;
@@ -178,7 +179,10 @@ class CacheArray
     unsigned lineBytes_;
     unsigned indexShift_;
     std::unique_ptr<ReplacementPolicy> policy_;
-    std::vector<std::vector<CacheLine>> data;
+    //! All lines, flat: set s occupies [s * ways_, (s + 1) * ways_).
+    //! One contiguous block keeps a set lookup to a single cache-line
+    //! touch instead of a per-set heap indirection.
+    std::vector<CacheLine> data;
     std::uint64_t useClock = 0;
     std::vector<std::uint64_t> occTracked_;
     VictimAudit victimAudit;

@@ -1,5 +1,7 @@
 #include "cache/l2_bank.hh"
 
+#include <algorithm>
+
 #include "arbiter/arbiter_factory.hh"
 #include "cache/replacement.hh"
 #include "sim/debug.hh"
@@ -443,6 +445,41 @@ L2Bank::tick(Cycle now)
     tagRes->tick(now);
     dataRes->tick(now);
     busRes->tick(now);
+}
+
+Cycle
+L2Bank::nextWork(Cycle now) const
+{
+    // The bank only acts on its even (half-frequency) cycles.
+    Cycle e = now + (now & 1);
+
+    // Deferred retries poll cheap downstream gates (memory buffer
+    // space, read-claim occupancy) every L2 cycle, exactly as the
+    // naive tick does, so a non-empty deferred queue keeps the bank
+    // due: the gates are opened by events and by the memory
+    // controller's tick, and the hint is re-polled each executed
+    // cycle, so claiming "due" here is conservative, never wrong.
+    if (!deferredWb.empty() || !deferredMem.empty() ||
+        !deferredData.empty())
+        return e;
+
+    // Admission: a queued load can admit, flush gathered stores, or
+    // at minimum mutate SGB flush state; a retirable store can admit.
+    // With no queued load and nothing retirable, tryAdmit() is a
+    // provable no-op (it reads SGB state and returns false).
+    for (const ThreadPort &port : ports) {
+        if (!port.loadQueue.empty() || port.sgb->hasRetirable())
+            return e;
+    }
+
+    // Resources grant on their own schedule; round oddness up onto
+    // the bank grid (occupancies are even, so this is a formality).
+    Cycle next = tagRes->nextWork(e);
+    next = std::min(next, dataRes->nextWork(e));
+    next = std::min(next, busRes->nextWork(e));
+    if (next == kCycleMax)
+        return kCycleMax;
+    return next + (next & 1);
 }
 
 bool

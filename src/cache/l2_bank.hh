@@ -32,7 +32,6 @@
 #ifndef VPC_CACHE_L2_BANK_HH
 #define VPC_CACHE_L2_BANK_HH
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -44,6 +43,7 @@
 #include "mem/memory_controller.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring.hh"
 #include "sim/stats.hh"
 
 namespace vpc
@@ -92,6 +92,14 @@ class L2Bank
 
     /** Advance the bank one core cycle. */
     void tick(Cycle now);
+
+    /**
+     * Quiescence hint (see Ticking::nextWork): earliest cycle >= now
+     * at which tick() could do observable work.  Always a cycle on the
+     * bank's even (half-frequency) grid, or kCycleMax when every
+     * queue is empty and every resource is drained.
+     */
+    Cycle nextWork(Cycle now) const;
 
     /** @return true once every queue, buffer and state machine is idle.*/
     bool quiesced() const;
@@ -178,7 +186,7 @@ class L2Bank
     struct ThreadPort
     {
         StoreGatherBuffer *sgb = nullptr;
-        std::deque<PendingLoad> loadQueue;
+        SmallRing<PendingLoad> loadQueue;
         Counter reads;
         Counter writes;
         Counter misses;
@@ -233,12 +241,12 @@ class L2Bank
 
     /** SM indices waiting to re-enter data-array arbitration because
      *  the read-claim queue was full. */
-    std::deque<unsigned> deferredData;
+    SmallRing<unsigned> deferredData;
     /** SM indices waiting for memory transaction-buffer space. */
-    std::deque<unsigned> deferredMem;
+    SmallRing<unsigned> deferredMem;
     /** Dirty victim addresses waiting for memory write-buffer space,
      *  with the evicting thread. */
-    std::deque<std::pair<ThreadId, Addr>> deferredWb;
+    SmallRing<std::pair<ThreadId, Addr>> deferredWb;
 
     std::size_t rcqOccupancy = 0;
     std::size_t rcqHighWater = 0;

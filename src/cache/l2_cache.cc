@@ -1,5 +1,7 @@
 #include "cache/l2_cache.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace vpc
@@ -69,6 +71,15 @@ L2Cache::tick(Cycle now)
 {
     for (auto &bank : banks)
         bank->tick(now);
+}
+
+Cycle
+L2Cache::nextWork(Cycle now) const
+{
+    Cycle next = kCycleMax;
+    for (const auto &bank : banks)
+        next = std::min(next, bank->nextWork(now));
+    return next;
 }
 
 bool

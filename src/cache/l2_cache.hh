@@ -56,6 +56,9 @@ class L2Cache : public Ticking
 
     void tick(Cycle now) override;
 
+    /** Quiescence hint: the earliest nextWork across all banks. */
+    Cycle nextWork(Cycle now) const override;
+
     /** @return bank index servicing @p addr. */
     unsigned bankOf(Addr addr) const;
 

@@ -13,7 +13,7 @@ namespace
 
 /** Index of the invalid way, or the set size if all ways are valid. */
 unsigned
-firstInvalid(const std::vector<CacheLine> &set)
+firstInvalid(std::span<const CacheLine> set)
 {
     for (unsigned w = 0; w < set.size(); ++w) {
         if (!set[w].valid)
@@ -25,7 +25,7 @@ firstInvalid(const std::vector<CacheLine> &set)
 } // namespace
 
 unsigned
-LruReplacement::victim(const std::vector<CacheLine> &set,
+LruReplacement::victim(std::span<const CacheLine> set,
                        ThreadId requester) const
 {
     (void)requester;
@@ -71,7 +71,7 @@ GlobalOccupancyManager::onEvict(ThreadId owner)
 }
 
 unsigned
-GlobalOccupancyManager::victim(const std::vector<CacheLine> &set,
+GlobalOccupancyManager::victim(std::span<const CacheLine> set,
                                ThreadId requester) const
 {
     unsigned inv = firstInvalid(set);
@@ -122,7 +122,7 @@ VpcCapacityManager::setShare(ThreadId t, double beta)
 }
 
 unsigned
-VpcCapacityManager::victim(const std::vector<CacheLine> &set,
+VpcCapacityManager::victim(std::span<const CacheLine> set,
                            ThreadId requester) const
 {
     unsigned inv = firstInvalid(set);

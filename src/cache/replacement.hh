@@ -23,8 +23,8 @@
 #ifndef VPC_CACHE_REPLACEMENT_HH
 #define VPC_CACHE_REPLACEMENT_HH
 
+#include <span>
 #include <string>
-#include <vector>
 
 #include "cache/cache_array.hh"
 #include "sim/types.hh"
@@ -45,7 +45,7 @@ class ReplacementPolicy
      * @param requester the filling thread
      * @return index of the way to replace
      */
-    virtual unsigned victim(const std::vector<CacheLine> &set,
+    virtual unsigned victim(std::span<const CacheLine> set,
                             ThreadId requester) const = 0;
 
     /**
@@ -64,7 +64,7 @@ class ReplacementPolicy
 class LruReplacement : public ReplacementPolicy
 {
   public:
-    unsigned victim(const std::vector<CacheLine> &set,
+    unsigned victim(std::span<const CacheLine> set,
                     ThreadId requester) const override;
     std::string name() const override { return "LRU"; }
 };
@@ -95,7 +95,7 @@ class GlobalOccupancyManager : public ReplacementPolicy
     GlobalOccupancyManager(const std::vector<double> &betas,
                            std::uint64_t total_lines);
 
-    unsigned victim(const std::vector<CacheLine> &set,
+    unsigned victim(std::span<const CacheLine> set,
                     ThreadId requester) const override;
     void onInsert(ThreadId owner) override;
     void onEvict(ThreadId owner) override;
@@ -125,7 +125,7 @@ class VpcCapacityManager : public ReplacementPolicy
      */
     VpcCapacityManager(const std::vector<double> &betas, unsigned ways);
 
-    unsigned victim(const std::vector<CacheLine> &set,
+    unsigned victim(std::span<const CacheLine> set,
                     ThreadId requester) const override;
     std::string name() const override { return "VPC"; }
 

@@ -11,6 +11,37 @@ Cpu::Cpu(const CoreConfig &cfg_, ThreadId thread_, Workload &workload_,
       l2(l2_), rng(0xc0ffee + thread_, 0xabcd1234 + thread_)
 {}
 
+Cycle
+Cpu::nextWork(Cycle now) const
+{
+    // Retire acts unless the ROB is empty or the head is a load still
+    // in flight (a store head attempts an L2 write-through, a Done or
+    // compute head retires — both observable).
+    if (!rob.empty()) {
+        const RobEntry &head = rob.front();
+        if (head.op.kind != MicroOp::Kind::Load ||
+            head.state == State::Done)
+            return now;
+    }
+    // Issue scans for waiting loads; any such load consumes a port
+    // and may draw from the RNG, even if it ends up rejected.
+    if (waitingLoads > 0)
+        return now;
+    // Dispatch acts unless structurally blocked with the lookahead op
+    // already fetched (fetching consumes workload state).
+    if (rob.size() < cfg.robEntries) {
+        if (!fetched)
+            return now;
+        bool lq_full = fetched->kind == MicroOp::Kind::Load &&
+                       loadsInRob >= cfg.loadQueueEntries;
+        bool sq_full = fetched->kind == MicroOp::Kind::Store &&
+                       storesInRob >= cfg.storeQueueEntries;
+        if (!lq_full && !sq_full)
+            return now;
+    }
+    return kCycleMax; // a load-completion event wakes the core
+}
+
 void
 Cpu::tick(Cycle now)
 {
@@ -60,28 +91,37 @@ Cpu::depSatisfied(const RobEntry &entry) const
         return true;
     if (entry.prevLoadSeq < oldestInRob)
         return true; // the producer already retired
-    for (const RobEntry &e : rob) {
-        if (e.seq == entry.prevLoadSeq)
-            return e.state == State::Done;
-        if (e.seq > entry.prevLoadSeq)
-            break;
-    }
-    return true; // producer no longer tracked; treat as complete
+    // ROB sequence numbers are contiguous (allocated at dispatch,
+    // released only from the front), so the producer sits exactly
+    // prevLoadSeq - front.seq slots in.
+    return rob[entry.prevLoadSeq - rob.front().seq].state ==
+           State::Done;
 }
 
 void
 Cpu::issueStage(Cycle now)
 {
+    if (waitingLoads == 0)
+        return; // nothing issuable; skip the ROB walk entirely
     unsigned ports_used = 0;
-    for (RobEntry &e : rob) {
-        if (ports_used >= cfg.lsuPorts)
+    unsigned waiting_left = waitingLoads;
+    SeqNum base = rob.front().seq;
+    std::size_t i = issueScanSeq > base ? issueScanSeq - base : 0;
+    SeqNum first_still_waiting = 0;
+    for (; i < rob.size(); ++i) {
+        if (ports_used >= cfg.lsuPorts || waiting_left == 0)
             break;
+        RobEntry &e = rob[i];
         if (e.op.kind != MicroOp::Kind::Load ||
             e.state != State::Waiting) {
             continue;
         }
-        if (!depSatisfied(e))
+        --waiting_left; // seen (whether or not it issues below)
+        if (!depSatisfied(e)) {
+            if (first_still_waiting == 0)
+                first_still_waiting = e.seq;
             continue;
+        }
         ++ports_used;
         if (!l1.wouldHit(e.op.addr) &&
             rng.chance(cfg.lsuRejectProb)) {
@@ -91,15 +131,27 @@ Cpu::issueStage(Cycle now)
             // bandwidth -- the 970 behaviour behind the Loads
             // benchmark's sub-100% utilization at >= 4 banks (Fig. 5).
             lsuRejects.inc();
+            if (first_still_waiting == 0)
+                first_still_waiting = e.seq;
             continue;
         }
         L1DCache::LoadResult res =
             l1.load(e.op.addr, now,
                     [this, seq = e.seq]() { complete(seq); });
-        if (res == L1DCache::LoadResult::Blocked)
-            continue; // all MSHRs busy; slot wasted, retry later
+        if (res == L1DCache::LoadResult::Blocked) {
+            // all MSHRs busy; slot wasted, retry later
+            if (first_still_waiting == 0)
+                first_still_waiting = e.seq;
+            continue;
+        }
         e.state = State::Issued;
+        --waitingLoads;
     }
+    // Advance the hint to the oldest load that is still Waiting, or
+    // past everything examined when none was left behind.
+    issueScanSeq = first_still_waiting != 0
+                   ? first_still_waiting
+                   : (i < rob.size() ? rob[i].seq : nextSeq);
 }
 
 void
@@ -128,6 +180,7 @@ Cpu::dispatchStage(Cycle now)
         switch (entry.op.kind) {
           case MicroOp::Kind::Load:
             ++loadsInRob;
+            ++waitingLoads;
             lastLoadSeq = entry.seq;
             break;
           case MicroOp::Kind::Store:
@@ -148,16 +201,16 @@ Cpu::dispatchStage(Cycle now)
 void
 Cpu::complete(SeqNum seq)
 {
-    for (RobEntry &e : rob) {
-        if (e.seq == seq) {
-            if (e.state != State::Issued)
-                vpc_panic("completion for seq {} in state {}", seq,
-                          static_cast<int>(e.state));
-            e.state = State::Done;
-            return;
-        }
-    }
-    vpc_panic("completion for unknown seq {}", seq);
+    // Contiguous ROB sequence numbers make completion O(1): the entry
+    // for seq, if still tracked, is exactly seq - front.seq slots in.
+    SeqNum base = rob.empty() ? nextSeq : rob.front().seq;
+    if (rob.empty() || seq < base || seq - base >= rob.size())
+        vpc_panic("completion for unknown seq {}", seq);
+    RobEntry &e = rob[seq - base];
+    if (e.state != State::Issued)
+        vpc_panic("completion for seq {} in state {}", seq,
+                  static_cast<int>(e.state));
+    e.state = State::Done;
 }
 
 } // namespace vpc

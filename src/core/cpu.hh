@@ -24,13 +24,13 @@
 #ifndef VPC_CORE_CPU_HH
 #define VPC_CORE_CPU_HH
 
-#include <deque>
 #include <optional>
 
 #include "cache/l1_cache.hh"
 #include "cache/l2_cache.hh"
 #include "sim/config.hh"
 #include "sim/random.hh"
+#include "sim/ring.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "workload/workload.hh"
@@ -53,6 +53,20 @@ class Cpu : public Ticking
         L1DCache &l1, L2Cache &l2);
 
     void tick(Cycle now) override;
+
+    /**
+     * Quiescence hint (see Ticking::nextWork).  The core sleeps only
+     * when provably stalled on memory: the ROB head is a load still in
+     * flight, no dispatched load is waiting to issue (a waiting load
+     * consumes an LSU port and may draw from the RNG even when it ends
+     * up rejected or blocked, so it keeps the core active), and
+     * dispatch is structurally blocked with its lookahead op already
+     * fetched (otherwise dispatch would consume from the workload).
+     * The load-completion event flips the head to Done, which makes
+     * the re-polled hint due again the same cycle the naive loop
+     * would have retired it.
+     */
+    Cycle nextWork(Cycle now) const override;
 
     /** @return instructions retired so far. */
     std::uint64_t instrsRetired() const { return retired.value(); }
@@ -116,13 +130,22 @@ class Cpu : public Ticking
     L2Cache &l2;
     Rng rng;
 
-    std::deque<RobEntry> rob;
+    SmallRing<RobEntry> rob;
     std::optional<MicroOp> fetched; //!< one-op dispatch lookahead
     SeqNum nextSeq = 1;
     SeqNum lastLoadSeq = 0;    //!< seq of most recently dispatched load
     SeqNum oldestInRob = 1;    //!< seq of the ROB head (retire frontier)
     unsigned loadsInRob = 0;
     unsigned storesInRob = 0;
+    unsigned waitingLoads = 0; //!< dispatched loads not yet issued
+    /**
+     * Issue-scan start hint: every ROB entry with seq below this is
+     * known not to be a Waiting load.  Exact, not heuristic: states
+     * only move Waiting -> Issued -> Done and new Waiting entries only
+     * append at the back, so once a prefix is verified waiting-free it
+     * stays waiting-free and issueStage() need never rescan it.
+     */
+    SeqNum issueScanSeq = 0;
 
     Counter retired;
     Counter loads;

@@ -223,6 +223,29 @@ MemoryController::tick(Cycle now)
         tickPrivate(now);
 }
 
+Cycle
+MemoryController::nextWork(Cycle now) const
+{
+    if (cfg.sharedChannel) {
+        if (!sched->hasPending())
+            return kCycleMax;
+        const DramChannel &ch = channels.front();
+        Cycle lookahead = cfg.ctrlLatency + cfg.tRcd + cfg.tCl +
+                          cfg.tBurst;
+        // tickShared() gates issue on busFreeAt() <= now + lookahead;
+        // busFreeAt only moves when this controller issues, so the
+        // earliest cycle the gate can open is exact, not a guess.
+        if (ch.busFreeAt() > now + lookahead)
+            return ch.busFreeAt() - lookahead;
+        return now;
+    }
+    for (const ThreadQueues &q : queues) {
+        if (!q.reads.empty() || !q.writes.empty())
+            return now;
+    }
+    return kCycleMax; // enqueues re-poll; completions are events
+}
+
 const SampleStat &
 MemoryController::readLatency(ThreadId t) const
 {

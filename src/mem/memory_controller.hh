@@ -24,7 +24,6 @@
 #ifndef VPC_MEM_MEMORY_CONTROLLER_HH
 #define VPC_MEM_MEMORY_CONTROLLER_HH
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -32,6 +31,7 @@
 #include "arbiter/arbiter.hh"
 #include "mem/dram_channel.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 
@@ -84,6 +84,17 @@ class MemoryController : public Ticking
 
     void tick(Cycle now) override;
 
+    /**
+     * Quiescence hint (see Ticking::nextWork).  Private mode: due
+     * whenever any thread's read or write queue is non-empty (issue
+     * happens every cycle), asleep otherwise — completions travel by
+     * event.  Shared mode: asleep without pending transactions; while
+     * the channel's bus is booked past the issue lookahead the next
+     * possible issue cycle is known exactly, so the controller sleeps
+     * until then.
+     */
+    Cycle nextWork(Cycle now) const override;
+
     /** @return read latency statistics (queue + DRAM), thread @p t. */
     const SampleStat &readLatency(ThreadId t) const;
 
@@ -116,8 +127,8 @@ class MemoryController : public Ticking
 
     struct ThreadQueues
     {
-        std::deque<PendingRead> reads;
-        std::deque<Addr> writes;
+        SmallRing<PendingRead> reads;
+        SmallRing<Addr> writes;
         unsigned outstandingReads = 0; //!< transaction entries in use
         unsigned outstandingWrites = 0; //!< shared-mode write slots
         Counter readsDone;

@@ -219,6 +219,16 @@ struct SystemConfig
     VerifyConfig verify;
 
     /**
+     * Let the simulation kernel fast-forward over provably quiescent
+     * spans and skip ticks of idle components (see Ticking::nextWork).
+     * Results are bit-identical either way — the differential tests
+     * assert it — so turning this off (--no-skip) is purely a
+     * verification and debugging aid.  Ignored (forced off) while an
+     * auditor is installed, since audits are defined per cycle.
+     */
+    bool kernelSkip = true;
+
+    /**
      * Permit zero QoS shares under the VPC policies.  A thread with
      * phi = 0 (or a beta whose way quota rounds to zero) holds no
      * guarantee at all -- it is served purely from excess bandwidth /

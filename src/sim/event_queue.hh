@@ -6,14 +6,32 @@
  * need "call me back in N cycles" semantics: DRAM access completion,
  * crossbar transit, data-bus beat completion.  Events scheduled for the
  * same cycle fire in scheduling order, which keeps runs reproducible.
+ *
+ * Hot-path design: the original implementation stored a std::function
+ * per event, which heap-allocates for any capture larger than two
+ * pointers — and nearly every event in the machine captures
+ * [this, thread, addr, callback].  Events are now intrusive pool nodes:
+ * the callable is constructed in-place in a fixed inline buffer inside a
+ * slab-allocated node, dispatched through a single function pointer, and
+ * the node is recycled on a free list after it fires.  The pending set
+ * itself is a binary heap of 24-byte {when, seq, node} entries in a
+ * plain vector.  Steady-state scheduling therefore touches the allocator
+ * only when the simulation reaches a new high-water mark of in-flight
+ * events; callables too large for the inline buffer (none in the tree
+ * today) fall back transparently to a heap box.
  */
 
 #ifndef VPC_SIM_EVENT_QUEUE_HH
 #define VPC_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -26,21 +44,43 @@ namespace vpc
 class EventQueue
 {
   public:
+    /**
+     * Compatibility alias: schedule() accepts any callable, including a
+     * std::function built by older call sites and tests.
+     */
     using Callback = std::function<void()>;
 
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue()
+    {
+        // Destroy callables of events that never fired.  The slabs
+        // themselves free with the vector.
+        for (const Entry &e : heap)
+            e.node->destroy(e.node->storage);
+    }
+
     /**
-     * Schedule @p cb to run at cycle @p when.
+     * Schedule a callable to run at cycle @p when.
+     *
+     * The callable is moved into pooled inline storage; captures up to
+     * kInlineBytes cost no allocation.
      *
      * @pre @p when must not be in the past relative to the last
      *      runDue() call.
      */
+    template <class F>
     void
-    schedule(Cycle when, Callback cb)
+    schedule(Cycle when, F &&cb)
     {
         if (when < lastRun_)
             vpc_panic("event scheduled in the past ({} < {})",
                       when, lastRun_);
-        heap.push(Entry{when, nextSeq++, std::move(cb)});
+        Node *node = makeNode(std::forward<F>(cb));
+        heap.push_back(Entry{when, nextSeq++, node});
+        std::push_heap(heap.begin(), heap.end(), Entry::later);
     }
 
     /**
@@ -61,12 +101,18 @@ class EventQueue
                       lastRun_);
         lastRun_ = now;
         std::size_t n = 0;
-        while (!heap.empty() && heap.top().when <= now) {
-            // Move the callback out before popping so the event may
+        while (!heap.empty() && heap.front().when <= now) {
+            // Detach the node before invoking so the callback may
             // schedule new events without invalidating the heap top.
-            Callback cb = std::move(heap.top().cb);
-            heap.pop();
-            cb();
+            // The node returns to the free list only after the call:
+            // a reschedule from inside the callback must not reuse the
+            // storage the callable still lives in.
+            Node *node = heap.front().node;
+            std::pop_heap(heap.begin(), heap.end(), Entry::later);
+            heap.pop_back();
+            node->run(node->storage);
+            node->destroy(node->storage);
+            release(node);
             ++n;
         }
         return n;
@@ -76,7 +122,7 @@ class EventQueue
     Cycle
     nextEventCycle() const
     {
-        return heap.empty() ? kCycleMax : heap.top().when;
+        return heap.empty() ? kCycleMax : heap.front().when;
     }
 
     /** @return the cycle passed to the most recent runDue() call. */
@@ -88,23 +134,108 @@ class EventQueue
     /** @return number of pending events. */
     std::size_t size() const { return heap.size(); }
 
+    /**
+     * @return peak number of simultaneously live pooled nodes (tests).
+     * Slabs are carved in batches, so this — not slab count — is the
+     * measure of "the pool grows to peak-pending, not total-scheduled".
+     */
+    std::size_t poolAllocated() const { return peakLive; }
+
+    /** @return how many of those peak nodes are currently idle (tests). */
+    std::size_t poolFree() const { return peakLive - live; }
+
+    /** Inline capture budget per event before the heap-box fallback. */
+    static constexpr std::size_t kInlineBytes = 104;
+
   private:
+    struct Node
+    {
+        void (*run)(void *storage);
+        void (*destroy)(void *storage);
+        Node *nextFree;
+        alignas(std::max_align_t) std::byte storage[kInlineBytes];
+    };
+
     struct Entry
     {
         Cycle when;
         std::uint64_t seq;
-        mutable Callback cb;
+        Node *node;
 
-        bool
-        operator>(const Entry &o) const
+        /** std::push_heap "less" giving a min-heap on (when, seq). */
+        static bool
+        later(const Entry &a, const Entry &b)
         {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    template <class F>
+    Node *
+    makeNode(F &&cb)
+    {
+        using Fn = std::decay_t<F>;
+        Node *node = acquire();
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(node->storage))
+                Fn(std::forward<F>(cb));
+            node->run = [](void *s) { (*std::launder(
+                reinterpret_cast<Fn *>(s)))(); };
+            node->destroy = [](void *s) { std::launder(
+                reinterpret_cast<Fn *>(s))->~Fn(); };
+        } else {
+            // Oversized capture: box it.  A raw pointer always fits.
+            ::new (static_cast<void *>(node->storage))
+                Fn *(new Fn(std::forward<F>(cb)));
+            node->run = [](void *s) { (**std::launder(
+                reinterpret_cast<Fn **>(s)))(); };
+            node->destroy = [](void *s) { delete *std::launder(
+                reinterpret_cast<Fn **>(s)); };
+        }
+        return node;
+    }
+
+    Node *
+    acquire()
+    {
+        if (freeList == nullptr)
+            refill();
+        Node *node = freeList;
+        freeList = node->nextFree;
+        if (++live > peakLive)
+            peakLive = live;
+        return node;
+    }
+
+    void
+    release(Node *node)
+    {
+        node->nextFree = freeList;
+        freeList = node;
+        --live;
+    }
+
+    void
+    refill()
+    {
+        slabs.push_back(std::make_unique<Node[]>(kSlabNodes));
+        Node *slab = slabs.back().get();
+        for (std::size_t i = 0; i < kSlabNodes; ++i) {
+            slab[i].nextFree = freeList;
+            freeList = &slab[i];
+        }
+    }
+
+    static constexpr std::size_t kSlabNodes = 64;
+
+    std::vector<Entry> heap;
+    std::vector<std::unique_ptr<Node[]>> slabs;
+    Node *freeList = nullptr;
+    std::size_t live = 0;     //!< nodes holding a pending or firing event
+    std::size_t peakLive = 0; //!< high-water mark of live
     std::uint64_t nextSeq = 0;
     Cycle lastRun_ = 0;
 };

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * SmallRing: a growable circular buffer for hot-path FIFO queues.
+ *
+ * The simulator's inner loops (arbiter per-thread buffers, memory
+ * controller read/write queues, L2 bank load queues) are FIFOs that
+ * previously used std::deque.  libstdc++'s deque allocates a map block
+ * plus at least one 512-byte chunk per queue and touches the allocator
+ * on steady-state churn near chunk boundaries.  SmallRing keeps a single
+ * power-of-two backing array that only ever grows, so steady-state
+ * push/pop is allocation-free and all elements are contiguous modulo the
+ * wrap point.
+ *
+ * Supported operations mirror the subset of deque the simulator uses:
+ * push_back/emplace_back, pop_front, front/back, operator[], erase_at
+ * (needed by the fault injector's drop-oldest hook and by arbiters that
+ * grant out of FIFO order), clear, and forward iteration.
+ *
+ * T must be default-constructible and move-assignable; elements are
+ * stored in a plain vector and logically dead slots simply hold
+ * moved-from values.  That is the right trade for the simulator's small
+ * POD-ish records (ArbRequest, pending-read descriptors) and keeps the
+ * implementation trivially exception-safe.
+ */
+
+#ifndef VPC_SIM_RING_HH
+#define VPC_SIM_RING_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+template <class T>
+class SmallRing
+{
+  public:
+    SmallRing() = default;
+
+    /** Reserve capacity for at least @p n elements up front. */
+    explicit SmallRing(std::size_t n) { reserve(n); }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Element @p i positions from the front (0 == oldest). */
+    T &operator[](std::size_t i)
+    {
+        return slots[wrap(head + i)];
+    }
+
+    const T &operator[](std::size_t i) const
+    {
+        return slots[wrap(head + i)];
+    }
+
+    T &front()
+    {
+        if (empty())
+            vpc_panic("SmallRing::front on empty ring");
+        return slots[head];
+    }
+
+    const T &front() const
+    {
+        if (empty())
+            vpc_panic("SmallRing::front on empty ring");
+        return slots[head];
+    }
+
+    T &back()
+    {
+        if (empty())
+            vpc_panic("SmallRing::back on empty ring");
+        return slots[wrap(head + count - 1)];
+    }
+
+    const T &back() const
+    {
+        if (empty())
+            vpc_panic("SmallRing::back on empty ring");
+        return slots[wrap(head + count - 1)];
+    }
+
+    void push_back(const T &v)
+    {
+        grow();
+        slots[wrap(head + count)] = v;
+        ++count;
+    }
+
+    void push_back(T &&v)
+    {
+        grow();
+        slots[wrap(head + count)] = std::move(v);
+        ++count;
+    }
+
+    template <class... Args>
+    T &emplace_back(Args &&...args)
+    {
+        grow();
+        T &slot = slots[wrap(head + count)];
+        slot = T(std::forward<Args>(args)...);
+        ++count;
+        return slot;
+    }
+
+    void pop_front()
+    {
+        if (empty())
+            vpc_panic("SmallRing::pop_front on empty ring");
+        slots[head] = T{}; // release resources held by the element
+        head = wrap(head + 1);
+        --count;
+    }
+
+    /**
+     * Remove the element @p i positions from the front, preserving the
+     * relative order of the survivors (equivalent to
+     * deque::erase(begin() + i)).
+     */
+    void erase_at(std::size_t i)
+    {
+        if (i >= count)
+            vpc_panic("SmallRing::erase_at({}) with size {}", i, count);
+        for (std::size_t j = i; j + 1 < count; ++j)
+            slots[wrap(head + j)] = std::move(slots[wrap(head + j + 1)]);
+        slots[wrap(head + count - 1)] = T{};
+        --count;
+    }
+
+    void clear()
+    {
+        while (!empty())
+            pop_front();
+    }
+
+    /** Grow the backing store so at least @p n elements fit. */
+    void reserve(std::size_t n)
+    {
+        if (n > slots.size())
+            rebuild(ceilPow2(n));
+    }
+
+    template <bool Const>
+    class Iter
+    {
+        using RingPtr =
+            std::conditional_t<Const, const SmallRing *, SmallRing *>;
+
+      public:
+        Iter(RingPtr r, std::size_t i) : ring(r), idx(i) {}
+
+        auto &operator*() const { return (*ring)[idx]; }
+        auto *operator->() const { return &(*ring)[idx]; }
+        Iter &operator++() { ++idx; return *this; }
+        bool operator==(const Iter &o) const { return idx == o.idx; }
+        bool operator!=(const Iter &o) const { return idx != o.idx; }
+
+      private:
+        RingPtr ring;
+        std::size_t idx;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, count}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count}; }
+
+  private:
+    std::size_t wrap(std::size_t i) const { return i & (slots.size() - 1); }
+
+    static std::size_t ceilPow2(std::size_t n)
+    {
+        std::size_t p = kMinCapacity;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
+    void grow()
+    {
+        if (count == slots.size())
+            rebuild(slots.empty() ? kMinCapacity : slots.size() * 2);
+    }
+
+    void rebuild(std::size_t new_cap)
+    {
+        std::vector<T> next(new_cap);
+        for (std::size_t i = 0; i < count; ++i)
+            next[i] = std::move(slots[wrap(head + i)]);
+        slots = std::move(next);
+        head = 0;
+    }
+
+    static constexpr std::size_t kMinCapacity = 8;
+
+    std::vector<T> slots;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_SIM_RING_HH

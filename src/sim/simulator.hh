@@ -7,6 +7,29 @@
  * registered Ticking component in registration order.  Registration order
  * is therefore part of the model: producers are registered before
  * consumers so data moves at most one pipeline stage per cycle.
+ *
+ * Quiescence-aware kernel: components may additionally implement
+ * nextWork() to tell the kernel when their next observable tick() can
+ * occur.  run() uses the hints two ways:
+ *
+ *  - active set: within an executed cycle, a component whose
+ *    nextWork(now) > now is not ticked at all (its tick() is required to
+ *    be a no-op then, so skipping the call is exact);
+ *  - fast-forward: when every component is quiescent and no event is
+ *    due, cycle_ jumps straight to min(next event, earliest nextWork).
+ *
+ * Hints are re-polled immediately before each component's tick slot in
+ * every executed cycle, so same-cycle activation by an earlier
+ * component's tick (a bank enqueueing a DRAM read that the memory
+ * controller — registered later — services the same cycle) is observed
+ * exactly as in the naive loop.  See DESIGN.md ("Kernel performance
+ * model") for the full determinism argument, and the quiescence
+ * contract on Ticking::nextWork below.
+ *
+ * Skipping is disabled whenever an auditor is installed (per-cycle
+ * audits and the forward-progress watchdog must observe every cycle)
+ * and by setSkipping(false) (the --no-skip flag), which falls back to
+ * the naive loop for bit-identical differential runs.
  */
 
 #ifndef VPC_SIM_SIMULATOR_HH
@@ -15,6 +38,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace vpc
@@ -28,6 +52,30 @@ class Ticking
 
     /** Perform this component's work for cycle @p now. */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Quiescence hint: the earliest cycle >= @p now at which this
+     * component's tick() might do observable work, assuming no new
+     * input arrives (no event fires, no earlier component feeds it).
+     *
+     * Contract for implementors:
+     *
+     *  - If nextWork(now) > now, then tick(c) for every cycle c in
+     *    [now, nextWork(now)) must be a complete no-op: no model or
+     *    statistics state may change, no random numbers may be drawn,
+     *    and no calls into other components may occur.  The kernel is
+     *    entitled to simply not make those calls.
+     *  - Being conservative is always safe: returning @p now (the
+     *    default) yields the naive always-tick loop.
+     *  - The hint must be derived from current state only.  It is
+     *    re-polled after any event fires and after earlier components
+     *    tick, so it need not anticipate external wake-ups — those are
+     *    visible as state changes by the time the hint is read again.
+     *  - Return kCycleMax for "asleep until some event or peer wakes
+     *    me" (e.g. an empty memory controller: new work only arrives
+     *    via enqueue calls, completions via events).
+     */
+    virtual Cycle nextWork(Cycle now) const { return now; }
 };
 
 /**
@@ -65,10 +113,27 @@ class Simulator
 
     /**
      * Install the audit hook (nullptr to remove).  The auditor does
-     * not become owned; it runs after every step.  Disabled auditing
-     * costs one predictable branch per cycle.
+     * not become owned; it runs after every step.  Installing an
+     * auditor forces the naive per-cycle loop: audits and the watchdog
+     * are defined per cycle, so no cycle may be skipped while one is
+     * attached.
      */
     void setAuditor(Auditable *a) { auditor_ = a; }
+
+    /**
+     * Enable or disable quiescence skipping in run() (default on).
+     * With skipping off the kernel executes the naive loop: every
+     * cycle, every component.  Results are identical either way — the
+     * differential tests assert it — so this is a verification and
+     * debugging aid (--no-skip).
+     */
+    void setSkipping(bool on) { skipping_ = on; }
+
+    /** @return whether run() may fast-forward quiescent spans. */
+    bool skipping() const { return skipping_; }
+
+    /** @return kernel work counters for this simulator's lifetime. */
+    const KernelStats &kernelStats() const { return kernel_; }
 
     /** @return the shared event queue. */
     EventQueue &events() { return queue; }
@@ -77,13 +142,15 @@ class Simulator
     /** @return the current cycle. */
     Cycle now() const { return cycle_; }
 
-    /** Advance the simulation by exactly one cycle. */
+    /** Advance the simulation by exactly one cycle (naive semantics). */
     void
     step()
     {
-        queue.runDue(cycle_);
+        kernel_.eventsFired.inc(queue.runDue(cycle_));
         for (Ticking *t : components)
             t->tick(cycle_);
+        kernel_.ticksExecuted.inc(components.size());
+        kernel_.cyclesExecuted.inc();
         if (auditor_)
             auditor_->audit(cycle_);
         ++cycle_;
@@ -97,8 +164,44 @@ class Simulator
         // sit *behind* cycle_ and silently run zero cycles.
         Cycle end = cycles > kCycleMax - cycle_ ? kCycleMax
                                                 : cycle_ + cycles;
-        while (cycle_ < end)
-            step();
+        if (!skipping_ || auditor_ != nullptr) {
+            while (cycle_ < end)
+                step();
+            return;
+        }
+        while (cycle_ < end) {
+            kernel_.eventsFired.inc(queue.runDue(cycle_));
+            // Active set: poll each hint immediately before the
+            // component's slot so feeds from events and from earlier
+            // components this cycle are already visible.
+            for (Ticking *t : components) {
+                if (t->nextWork(cycle_) <= cycle_) {
+                    t->tick(cycle_);
+                    kernel_.ticksExecuted.inc();
+                }
+            }
+            kernel_.cyclesExecuted.inc();
+            ++cycle_;
+            // Fast-forward: nothing can happen before the earliest of
+            // the next event and every component's next work cycle.
+            Cycle next = queue.nextEventCycle();
+            if (next <= cycle_)
+                continue; // an event is already due — no skip possible
+            for (Ticking *t : components) {
+                Cycle w = t->nextWork(cycle_);
+                if (w < next)
+                    next = w;
+                if (next <= cycle_)
+                    break; // already due — no skip possible
+            }
+            if (next > cycle_) {
+                Cycle target = next < end ? next : end;
+                if (target > cycle_) {
+                    kernel_.cyclesSkipped.inc(target - cycle_);
+                    cycle_ = target;
+                }
+            }
+        }
     }
 
   private:
@@ -106,6 +209,8 @@ class Simulator
     std::vector<Ticking *> components;
     Cycle cycle_ = 0;
     Auditable *auditor_ = nullptr;
+    bool skipping_ = true;
+    KernelStats kernel_;
 };
 
 } // namespace vpc

@@ -169,6 +169,39 @@ class Histogram
 };
 
 /**
+ * Per-run counters maintained by the simulation kernel itself (see
+ * Simulator): how many cycles actually executed, how many were
+ * fast-forwarded by the quiescence optimization, and how much component
+ * and event work ran.  These make kernel speedups observable — a bench
+ * can report events/cycle and skip ratios instead of anecdotes.
+ *
+ * Kernel counters are deliberately *not* part of the model statistics
+ * block (stats_report.cc): ticksExecuted and cyclesSkipped legitimately
+ * differ between a skipping and a --no-skip run of the same config,
+ * while the model stats must stay bit-identical.
+ */
+struct KernelStats
+{
+    /** Cycles stepped one-by-one (events + due ticks executed). */
+    Counter cyclesExecuted;
+    /** Cycles fast-forwarded because the whole machine was quiescent. */
+    Counter cyclesSkipped;
+    /** Total Ticking::tick() invocations. */
+    Counter ticksExecuted;
+    /** Total events fired from the EventQueue. */
+    Counter eventsFired;
+
+    void
+    reset()
+    {
+        cyclesExecuted.reset();
+        cyclesSkipped.reset();
+        ticksExecuted.reset();
+        eventsFired.reset();
+    }
+};
+
+/**
  * A named collection of statistic references for uniform reporting.
  *
  * Models register their stats with addCounter()/addUtilization(); the

@@ -56,6 +56,10 @@ CmpSystem::CmpSystem(SystemConfig cfg_,
     sim.addTicking(l2_.get());
     sim.addTicking(mem_.get());
 
+    // The simulator additionally forces the naive loop whenever an
+    // auditor is installed, so verify runs never skip a cycle.
+    sim.setSkipping(cfg.kernelSkip);
+
     if (cfg.verify.enabled())
         buildVerifier();
 }

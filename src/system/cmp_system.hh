@@ -98,6 +98,9 @@ class CmpSystem
     /** @return the current cycle. */
     Cycle now() const { return sim.now(); }
 
+    /** @return kernel work/skip counters (see KernelStats). */
+    const KernelStats &kernelStats() const { return sim.kernelStats(); }
+
     /** Capture all measurement counters. */
     SystemSnapshot snapshot() const;
 

@@ -71,7 +71,8 @@ makePrivateConfig(const SystemConfig &base, double phi, double beta)
 
 double
 targetIpc(const SystemConfig &base, const Workload &workload,
-          double phi, double beta, const RunLengths &lens)
+          double phi, double beta, const RunLengths &lens,
+          KernelStats *kernel_out)
 {
     if (phi <= 0.0)
         return 0.0;
@@ -80,6 +81,8 @@ targetIpc(const SystemConfig &base, const Workload &workload,
     wl.push_back(workload.clone(1));
     CmpSystem sys(std::move(cfg), std::move(wl));
     IntervalStats stats = sys.runAndMeasure(lens.warmup, lens.measure);
+    if (kernel_out)
+        *kernel_out = sys.kernelStats();
     return stats.ipc.at(0);
 }
 

@@ -63,9 +63,12 @@ SystemConfig makePrivateConfig(const SystemConfig &base, double phi,
  * @param phi bandwidth share of the VPC
  * @param beta capacity share of the VPC
  * @param lens run lengths
+ * @param kernel_out if non-null, receives the private run's kernel
+ *        work/skip counters (for bench reporting)
  */
 double targetIpc(const SystemConfig &base, const Workload &workload,
-                 double phi, double beta, const RunLengths &lens = {});
+                 double phi, double beta, const RunLengths &lens = {},
+                 KernelStats *kernel_out = nullptr);
 
 /** @return the harmonic mean of @p values (0 if any value is 0). */
 double harmonicMean(const std::vector<double> &values);

@@ -124,6 +124,10 @@ simUsage()
         "  --shared-memory      one shared DDR2 channel (FQ when\n"
         "                       --arbiter=vpc, else FCFS)\n"
         "  --stats              dump the full statistics report\n"
+        "  --no-skip            disable kernel quiescence skipping and\n"
+        "                       run the naive cycle loop (results are\n"
+        "                       identical; useful for differential\n"
+        "                       testing and kernel debugging)\n"
         "  --paranoid[=L]       runtime invariant auditing: level 1\n"
         "                       audits every 64 cycles, level >= 2\n"
         "                       every cycle (default off)\n"
@@ -205,6 +209,8 @@ parseSimOptions(const std::vector<std::string> &args,
             opts.config.mem.sharedChannel = true;
         } else if (key == "--stats") {
             opts.dumpStats = true;
+        } else if (key == "--no-skip") {
+            opts.config.kernelSkip = false;
         } else if (key == "--paranoid") {
             if (value.empty()) {
                 opts.config.verify.paranoid = 1;

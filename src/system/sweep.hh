@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Parallel sweep harness: run independent simulations on all cores.
+ *
+ * Every paper figure is a sweep over (arbiter, phi/beta, workload)
+ * configurations, and each configuration is a completely independent
+ * simulation — one CmpSystem, one Simulator, one EventQueue, no state
+ * shared with any other run.  parallelFor() exploits that: it executes
+ * n self-contained jobs on a small thread pool and leaves result
+ * placement to the caller, who writes into a pre-sized slot per job
+ * index.  Merge order is therefore deterministic by construction: the
+ * caller iterates its result vector in index order after the join, so
+ * output is bit-identical no matter how many workers ran or how the
+ * jobs interleaved.
+ *
+ * Thread-safety ground rules for jobs (all satisfied by CmpSystem):
+ * build every simulator object inside the job, share only immutable
+ * inputs (configs, spec strings), and never touch global mutable state.
+ * Jobs must not install ScopedPanicDump hooks or fault injectors —
+ * those are per-process debugging aids; run them single-threaded.
+ */
+
+#ifndef VPC_SYSTEM_SWEEP_HH
+#define VPC_SYSTEM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace vpc
+{
+
+/**
+ * Resolve the worker-thread count for a sweep.
+ *
+ * @param requested explicit count; 0 means auto
+ * @return @p requested if non-zero, else the VPC_SWEEP_THREADS
+ *         environment variable if set and positive, else the
+ *         hardware concurrency (at least 1)
+ */
+unsigned sweepThreads(unsigned requested = 0);
+
+/**
+ * Run @p fn(0) .. @p fn(n-1) across up to @p threads OS threads.
+ *
+ * Jobs are handed out from an atomic counter, so scheduling is
+ * dynamic; determinism comes from jobs writing only to their own
+ * index's slot.  Blocks until every job finished.  If any job throws,
+ * the remaining jobs still run to completion and the first exception
+ * (by completion order, not index) is rethrown on the caller's thread.
+ *
+ * With @p threads resolved to 1 (or n <= 1) the jobs run inline on the
+ * calling thread in index order — useful for debugging and for exact
+ * serial baselines.
+ *
+ * @param n number of jobs
+ * @param fn job body, called with the job index
+ * @param threads worker count; 0 = sweepThreads() auto detection
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn,
+                 unsigned threads = 0);
+
+} // namespace vpc
+
+#endif // VPC_SYSTEM_SWEEP_HH

@@ -1,5 +1,6 @@
 #include "verify/auditors.hh"
 
+#include <span>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -142,9 +143,9 @@ CacheArray::VictimAudit
 makeVpcVictimAudit(const VpcCapacityManager &mgr, std::string label)
 {
     return [&mgr, label = std::move(label)](
-               const std::vector<CacheLine> &set, ThreadId requester,
+               std::span<const CacheLine> set, ThreadId requester,
                unsigned way) {
-        const CacheLine &victim = set.at(way);
+        const CacheLine &victim = set[way];
         if (!victim.valid || victim.owner == requester)
             return; // empty way or condition 2: own LRU line
         if (victim.owner == kInvalidThread) {

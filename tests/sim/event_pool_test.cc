@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests of the EventQueue's pooled event storage: node reuse, ordering
+ * among same-cycle events, reschedule-from-inside-a-callback safety,
+ * the heap-box fallback for oversized captures, and destruction of
+ * never-fired events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace vpc;
+
+TEST(EventPool, NodesAreReusedAcrossScheduleRunCycles)
+{
+    EventQueue q;
+    int fired = 0;
+    for (Cycle c = 1; c <= 100; ++c) {
+        q.schedule(c, [&fired] { ++fired; });
+        q.runDue(c);
+    }
+    EXPECT_EQ(fired, 100);
+    // One node services every iteration: the pool never holds more
+    // than the peak number of simultaneously pending events.
+    EXPECT_EQ(q.poolAllocated(), 1u);
+    EXPECT_EQ(q.poolFree(), 1u);
+}
+
+TEST(EventPool, PoolGrowsToPeakPendingNotTotalScheduled)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 5; ++i) {
+            q.schedule(static_cast<Cycle>(round * 10 + i + 1),
+                       [&fired] { ++fired; });
+        }
+        q.runDue(static_cast<Cycle>(round * 10 + 9));
+    }
+    EXPECT_EQ(fired, 50);
+    EXPECT_EQ(q.poolAllocated(), 5u) << "peak pending was 5";
+    EXPECT_EQ(q.poolFree(), 5u);
+}
+
+TEST(EventPool, SameCycleEventsRunInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runDue(5);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventPool, SameCycleOrderSurvivesNodeReuse)
+{
+    EventQueue q;
+    // Churn the free list so later schedules pull recycled nodes in
+    // scrambled address order; sequence numbers must still decide.
+    int warm = 0;
+    for (int i = 0; i < 6; ++i)
+        q.schedule(1, [&warm] { ++warm; });
+    q.runDue(1);
+    std::vector<int> order;
+    for (int i = 0; i < 6; ++i)
+        q.schedule(10, [&order, i] { order.push_back(i); });
+    q.runDue(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventPool, RescheduleFromInsideCallback)
+{
+    EventQueue q;
+    std::vector<Cycle> fired;
+    // The callback re-arms itself; the pool must not hand the node's
+    // storage to the new event while the old callable is mid-flight.
+    struct SelfArm
+    {
+        EventQueue *q;
+        std::vector<Cycle> *fired;
+        Cycle at;
+        void
+        operator()() const
+        {
+            fired->push_back(at);
+            if (at < 5) {
+                q->schedule(at + 1, SelfArm{q, fired, at + 1});
+            }
+        }
+    };
+    q.schedule(1, SelfArm{&q, &fired, 1});
+    for (Cycle c = 1; c <= 5; ++c)
+        q.runDue(c);
+    EXPECT_EQ(fired, (std::vector<Cycle>{1, 2, 3, 4, 5}));
+}
+
+TEST(EventPool, RescheduleForSameCycleRunsSameRunDue)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(3, [&] {
+        ++fired;
+        q.schedule(3, [&fired] { ++fired; });
+    });
+    EXPECT_EQ(q.runDue(3), 2u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventPool, OversizedCapturesFallBackToHeapBox)
+{
+    EventQueue q;
+    std::array<char, 256> big{};
+    big[0] = 42;
+    char seen = 0;
+    q.schedule(1, [big, &seen] { seen = big[0]; });
+    q.runDue(1);
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventPool, PendingCallablesDestroyedWithQueue)
+{
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> w = token;
+    {
+        EventQueue q;
+        q.schedule(100, [t = std::move(token)] { (void)*t; });
+        ASSERT_FALSE(w.expired());
+        // q destructs with the event still pending.
+    }
+    EXPECT_TRUE(w.expired())
+        << "unfired events must release their captures";
+}
+
+TEST(EventPool, FiredCallableReleasedBeforeNextSchedule)
+{
+    EventQueue q;
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> w = token;
+    q.schedule(1, [t = std::move(token)] { (void)*t; });
+    q.runDue(1);
+    EXPECT_TRUE(w.expired())
+        << "captures must be destroyed when the event fires";
+}

@@ -1,0 +1,150 @@
+/** @file SmallRing unit tests. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/ring.hh"
+
+using namespace vpc;
+
+TEST(SmallRing, StartsEmpty)
+{
+    SmallRing<int> r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(SmallRing, FifoOrder)
+{
+    SmallRing<int> r;
+    for (int i = 0; i < 5; ++i)
+        r.push_back(i);
+    EXPECT_EQ(r.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(r.front(), i);
+        r.pop_front();
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(SmallRing, IndexingIsFrontRelative)
+{
+    SmallRing<int> r;
+    for (int i = 0; i < 4; ++i)
+        r.push_back(10 + i);
+    r.pop_front();
+    EXPECT_EQ(r[0], 11);
+    EXPECT_EQ(r[2], 13);
+    EXPECT_EQ(r.back(), 13);
+}
+
+TEST(SmallRing, WrapsAroundWithoutGrowing)
+{
+    SmallRing<int> r;
+    // Interleave pushes and pops so head walks around the backing
+    // array many times while size stays small.
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 100; ++round) {
+        r.push_back(next_in++);
+        r.push_back(next_in++);
+        EXPECT_EQ(r.front(), next_out++);
+        r.pop_front();
+    }
+    std::size_t cap = r.capacity();
+    for (int round = 0; round < 100; ++round) {
+        r.push_back(next_in++);
+        EXPECT_EQ(r.front(), next_out++);
+        r.pop_front();
+    }
+    EXPECT_EQ(r.capacity(), cap) << "steady state must not grow";
+}
+
+TEST(SmallRing, GrowsPreservingOrderAcrossWrap)
+{
+    SmallRing<int> r;
+    // Misalign head first so the growth copy has to unwrap.
+    for (int i = 0; i < 6; ++i)
+        r.push_back(i);
+    for (int i = 0; i < 6; ++i)
+        r.pop_front();
+    for (int i = 0; i < 100; ++i)
+        r.push_back(i);
+    EXPECT_EQ(r.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallRing, EraseAtPreservesSurvivorOrder)
+{
+    SmallRing<int> r;
+    for (int i = 0; i < 6; ++i)
+        r.push_back(i);
+    r.erase_at(2);
+    std::vector<int> got;
+    for (int v : r)
+        got.push_back(v);
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 3, 4, 5}));
+    r.erase_at(0);
+    EXPECT_EQ(r.front(), 1);
+    r.erase_at(r.size() - 1);
+    EXPECT_EQ(r.back(), 4);
+}
+
+TEST(SmallRing, EraseAtAcrossWrapPoint)
+{
+    SmallRing<int> r;
+    // Force the live window to straddle the wrap point (capacity 8).
+    for (int i = 0; i < 6; ++i)
+        r.push_back(i);
+    for (int i = 0; i < 6; ++i)
+        r.pop_front();
+    for (int i = 0; i < 7; ++i)
+        r.push_back(i);
+    r.erase_at(3);
+    std::vector<int> got;
+    for (int v : r)
+        got.push_back(v);
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 4, 5, 6}));
+}
+
+TEST(SmallRing, PopFrontReleasesHeldResources)
+{
+    SmallRing<std::shared_ptr<int>> r;
+    auto p = std::make_shared<int>(42);
+    std::weak_ptr<int> w = p;
+    r.push_back(std::move(p));
+    ASSERT_FALSE(w.expired());
+    r.pop_front();
+    EXPECT_TRUE(w.expired()) << "pop_front must not pin the element";
+}
+
+TEST(SmallRing, ClearEmptiesAndReuses)
+{
+    SmallRing<std::string> r;
+    for (int i = 0; i < 20; ++i)
+        r.push_back(std::to_string(i));
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    r.push_back("fresh");
+    EXPECT_EQ(r.front(), "fresh");
+}
+
+TEST(SmallRing, ReserveRoundsUpToPowerOfTwo)
+{
+    SmallRing<int> r(100);
+    EXPECT_GE(r.capacity(), 100u);
+    EXPECT_EQ(r.capacity() & (r.capacity() - 1), 0u);
+}
+
+TEST(SmallRingDeath, EmptyAccessPanics)
+{
+    SmallRing<int> r;
+    EXPECT_DEATH(r.front(), "empty");
+    EXPECT_DEATH(r.back(), "empty");
+    EXPECT_DEATH(r.pop_front(), "empty");
+    r.push_back(1);
+    EXPECT_DEATH(r.erase_at(1), "erase_at");
+}

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "arbiter/fcfs_arbiter.hh"
@@ -194,7 +195,7 @@ TEST(VictimAuditDeath, CatchesQuotaViolatingEviction)
     // Forcing the victim onto thread 1 -- which holds no more than
     // its allocation -- is exactly the replacement bug condition 1
     // forbids.
-    const std::vector<CacheLine> &set = arr.setLines(0);
+    std::span<const CacheLine> set = arr.setLines(0);
     unsigned way1 = arr.numWays();
     for (unsigned w = 0; w < arr.numWays(); ++w) {
         if (set[w].valid && set[w].owner == 1)

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * sweep: run many independent vpcsim configurations on a thread pool.
+ *
+ * Each non-flag argument is one complete vpcsim invocation -- a single
+ * string whose whitespace-separated tokens are vpcsim flags:
+ *
+ *   sweep --threads=4 \
+ *     "--arbiter=fcfs --workload=art,mcf --cycles=200000" \
+ *     "--arbiter=vpc  --workload=art,mcf --cycles=200000"
+ *
+ * Every job builds its own CmpSystem (own Simulator, own EventQueue,
+ * no shared mutable state), so jobs are embarrassingly parallel.
+ * Results are buffered per job and printed in job order after the
+ * join, so output is identical no matter how many workers ran.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/format.hh"
+#include "system/cmp_system.hh"
+#include "system/options.hh"
+#include "system/sweep.hh"
+#include "system/table_printer.hh"
+
+namespace
+{
+
+std::vector<std::string>
+splitTokens(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < spec.size()) {
+        while (i < spec.size() && std::isspace(
+                   static_cast<unsigned char>(spec[i]))) {
+            ++i;
+        }
+        std::size_t start = i;
+        while (i < spec.size() && !std::isspace(
+                   static_cast<unsigned char>(spec[i]))) {
+            ++i;
+        }
+        if (i > start)
+            out.push_back(spec.substr(start, i - start));
+    }
+    return out;
+}
+
+const char *kUsage =
+    "sweep -- run independent vpcsim configurations in parallel\n"
+    "\n"
+    "  sweep [--threads=N] \"<vpcsim args>\" [\"<vpcsim args>\" ...]\n"
+    "\n"
+    "  --threads=N   worker threads (default: VPC_SWEEP_THREADS env\n"
+    "                var, else hardware concurrency; 1 = serial)\n"
+    "\n"
+    "Each quoted job string is parsed exactly like a vpcsim command\n"
+    "line.  Jobs run concurrently but results print in job order.\n";
+
+struct JobResult
+{
+    std::string output;
+    std::uint64_t simCycles = 0;
+    bool failed = false;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpc;
+
+    unsigned threads = 0;
+    std::vector<std::string> jobSpecs;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--threads=", 0) == 0) {
+            threads = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else if (arg == "--help") {
+            std::fputs(kUsage, stdout);
+            return 0;
+        } else {
+            jobSpecs.push_back(std::move(arg));
+        }
+    }
+    if (jobSpecs.empty()) {
+        std::fputs(kUsage, stderr);
+        return 1;
+    }
+
+    // Parse every job up front so a typo fails fast, before any
+    // simulation has burned time.
+    std::vector<SimOptions> jobs;
+    for (std::size_t j = 0; j < jobSpecs.size(); ++j) {
+        std::string error;
+        std::optional<SimOptions> opts =
+            parseSimOptions(splitTokens(jobSpecs[j]), error);
+        if (!opts) {
+            std::fprintf(stderr, "job %zu: %s\n", j, error.c_str());
+            return 1;
+        }
+        jobs.push_back(std::move(*opts));
+    }
+
+    unsigned workers = sweepThreads(threads);
+    std::vector<JobResult> results(jobs.size());
+
+    auto t0 = std::chrono::steady_clock::now();
+    parallelFor(jobs.size(), [&](std::size_t j) {
+        const SimOptions &opts = jobs[j];
+        JobResult &r = results[j];
+        try {
+            CmpSystem sys(opts.config, opts.buildWorkloads());
+            IntervalStats stats = sys.runAndMeasure(opts.warmup,
+                                                    opts.measure);
+            r.simCycles = sys.now();
+            r.output = format("job {}: {}\n", j, jobSpecs[j]);
+            for (unsigned t = 0; t < opts.config.numProcessors; ++t) {
+                r.output += format(
+                    "  thread {} {:<10} phi {:.2f} beta {:.2f} "
+                    "ipc {:.3f} l2 {}r/{}w/{}m\n",
+                    t, opts.workloadSpecs[t],
+                    opts.config.shares[t].phi,
+                    opts.config.shares[t].beta, stats.ipc[t],
+                    stats.l2Reads[t], stats.l2Writes[t],
+                    stats.l2Misses[t]);
+            }
+        } catch (const std::exception &e) {
+            r.failed = true;
+            r.output = format("job {}: FAILED: {}\n", j, e.what());
+        }
+    }, workers);
+    auto t1 = std::chrono::steady_clock::now();
+
+    bool any_failed = false;
+    std::uint64_t total_cycles = 0;
+    for (const JobResult &r : results) {
+        std::fputs(r.output.c_str(), stdout);
+        any_failed = any_failed || r.failed;
+        total_cycles += r.simCycles;
+    }
+
+    double wall_s = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("sweep: %zu jobs on %u threads, %.2f s wall, "
+                "%.2f Mcycles/s aggregate\n",
+                jobs.size(), workers, wall_s,
+                wall_s > 0.0
+                ? static_cast<double>(total_cycles) / wall_s / 1e6
+                : 0.0);
+    return any_failed ? 1 : 0;
+}

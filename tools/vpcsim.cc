@@ -58,6 +58,18 @@ main(int argc, char **argv)
     std::printf("L2 utilization: tag %.1f%%  data %.1f%%  bus "
                 "%.1f%%\n", stats.tagUtil * 100.0,
                 stats.dataUtil * 100.0, stats.busUtil * 100.0);
+    // Kernel counters live outside the model-stats report: they vary
+    // between skipping and --no-skip runs by design, while everything
+    // dumpStats() prints must stay bit-identical.
+    const KernelStats &k = sys.kernelStats();
+    std::printf("kernel: %llu events fired  %llu ticks  "
+                "%llu cycles executed  %llu skipped\n",
+                static_cast<unsigned long long>(k.eventsFired.value()),
+                static_cast<unsigned long long>(k.ticksExecuted.value()),
+                static_cast<unsigned long long>(
+                    k.cyclesExecuted.value()),
+                static_cast<unsigned long long>(
+                    k.cyclesSkipped.value()));
 
     if (opts->dumpStats)
         dumpStats(sys, std::cout, sys.now());
