@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -75,7 +76,7 @@ struct Result
 };
 
 Result
-run(CapacityPolicy capacity)
+run(CapacityPolicy capacity, BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(4, ArbiterPolicy::Vpc);
     cfg.capacityPolicy = capacity;
@@ -91,6 +92,7 @@ run(CapacityPolicy capacity)
     }
     CmpSystem sys(cfg, std::move(wl));
     IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);
+    rep.addRun(sys.now(), sys.kernelStats());
     Result r;
     r.subjectIpc = s.ipc.at(0);
     std::uint64_t accesses = s.l2Reads.at(0) + s.l2Writes.at(0);
@@ -105,8 +107,9 @@ run(CapacityPolicy capacity)
 int
 main()
 {
-    Result vpc = run(CapacityPolicy::Vpc);
-    Result lru = run(CapacityPolicy::Lru);
+    BenchReporter rep("ablate_capacity");
+    Result vpc = run(CapacityPolicy::Vpc, rep);
+    Result lru = run(CapacityPolicy::Lru, rep);
 
     TablePrinter t("Ablation: VPC Capacity Manager vs global LRU "
                    "(resident subject + 3 streaming co-runners, "
@@ -122,5 +125,8 @@ main()
                 "partitioning\n",
                 (vpc.subjectIpc - lru.subjectIpc) / lru.subjectIpc *
                 100.0);
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

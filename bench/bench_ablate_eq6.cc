@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -54,7 +55,7 @@ class BurstyStores : public Workload
 };
 
 double
-worstWindowIpc(bool idle_reset)
+worstWindowIpc(bool idle_reset, BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Vpc);
     cfg.vpcIdleReset = idle_reset;
@@ -72,6 +73,7 @@ worstWindowIpc(bool idle_reset)
         worst = std::min(worst, s.ipc.at(0));
         prev = cur;
     }
+    rep.addRun(sys.now(), sys.kernelStats());
     return worst;
 }
 
@@ -80,8 +82,9 @@ worstWindowIpc(bool idle_reset)
 int
 main()
 {
-    double with_eq6 = worstWindowIpc(true);
-    double without_eq6 = worstWindowIpc(false);
+    BenchReporter rep("ablate_eq6");
+    double with_eq6 = worstWindowIpc(true, rep);
+    double without_eq6 = worstWindowIpc(false, rep);
 
     TablePrinter t("Ablation: Equation 6 idle-thread virtual-time "
                    "reset (steady Loads vs bursty Stores, equal "
@@ -92,5 +95,8 @@ main()
     t.rule();
     std::printf("banked-credit starvation without Eq. 6: worst-window "
                 "IPC %.3f -> %.3f\n", with_eq6, without_eq6);
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -94,7 +95,8 @@ struct Result
 };
 
 Result
-run(CapacityPolicy capacity, unsigned antagonist_depth)
+run(CapacityPolicy capacity, unsigned antagonist_depth,
+    BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Vpc);
     cfg.capacityPolicy = capacity;
@@ -122,6 +124,7 @@ run(CapacityPolicy capacity, unsigned antagonist_depth)
         1ull << 40, 32, antagonist_depth, kCacheBytes, 0.6, 2));
     CmpSystem sys(cfg, std::move(wl));
     IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);
+    rep.addRun(sys.now(), sys.kernelStats());
     Result r;
     r.ipc = s.ipc.at(0);
     std::uint64_t acc = s.l2Reads.at(0) + s.l2Writes.at(0);
@@ -136,14 +139,15 @@ run(CapacityPolicy capacity, unsigned antagonist_depth)
 int
 main()
 {
+    BenchReporter rep("ablate_flexible");
     // Scenario A: a nearly-quiet partner (depth 1: one way per set).
-    Result way_a = run(CapacityPolicy::Vpc, 1);
-    Result flex_a = run(CapacityPolicy::GlobalOccupancy, 1);
+    Result way_a = run(CapacityPolicy::Vpc, 1, rep);
+    Result flex_a = run(CapacityPolicy::GlobalOccupancy, 1, rep);
     // Scenario B: the antagonist churns through 64 aliases per set
     // (constant misses, constant fills) while staying within its
     // whole-cache global quota.
-    Result way_b = run(CapacityPolicy::Vpc, 64);
-    Result flex_b = run(CapacityPolicy::GlobalOccupancy, 64);
+    Result way_b = run(CapacityPolicy::Vpc, 64, rep);
+    Result flex_b = run(CapacityPolicy::GlobalOccupancy, 64, rep);
 
     TablePrinter t("Ablation: way partitioning vs flexible occupancy "
                    "partitioning (Section 4.3 trade-off, 1MB/16-way "
@@ -170,5 +174,8 @@ main()
                 "partitioning buys\n",
                 (flex_a.ipc - way_a.ipc) / way_a.ipc * 100.0,
                 (flex_b.ipc - way_b.ipc) / way_b.ipc * 100.0);
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

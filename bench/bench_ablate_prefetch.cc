@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -52,7 +53,7 @@ streamParams()
 }
 
 IntervalStats
-runPair(bool prefetch, double phi0)
+runPair(bool prefetch, double phi0, BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Vpc);
     // Only the streaming thread prefetches; its neighbor is the
@@ -68,7 +69,9 @@ runPair(bool prefetch, double phi0)
                                                      0, 1));
     wl.push_back(makeSpec2000("twolf", 1ull << 40, 2));
     CmpSystem sys(cfg, std::move(wl));
-    return sys.runAndMeasure(kWarmup, kMeasure);
+    IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);
+    rep.addRun(sys.now(), sys.kernelStats());
+    return s;
 }
 
 } // namespace
@@ -76,11 +79,12 @@ runPair(bool prefetch, double phi0)
 int
 main()
 {
+    BenchReporter rep("ablate_prefetch");
     TablePrinter t("Extension: VPC-supported prefetching "
                    "(streaming thread + twolf, phi split 50/50)",
                    {"Config", "stream IPC", "twolf IPC"}, 14);
-    IntervalStats off = runPair(false, 0.5);
-    IntervalStats on = runPair(true, 0.5);
+    IntervalStats off = runPair(false, 0.5, rep);
+    IntervalStats on = runPair(true, 0.5, rep);
     t.row({"prefetch off", TablePrinter::num(off.ipc.at(0)),
            TablePrinter::num(off.ipc.at(1))});
     t.row({"prefetch on", TablePrinter::num(on.ipc.at(0)),
@@ -101,12 +105,15 @@ main()
                    {"phi(stream)", "stream IPC (pf on)",
                     "stream IPC (pf off)"}, 19);
     for (double phi : {0.25, 0.5, 0.75, 1.0}) {
-        IntervalStats s_on = runPair(true, phi);
-        IntervalStats s_off = runPair(false, phi);
+        IntervalStats s_on = runPair(true, phi, rep);
+        IntervalStats s_off = runPair(false, phi, rep);
         m.row({TablePrinter::num(phi, 2),
                TablePrinter::num(s_on.ipc.at(0)),
                TablePrinter::num(s_off.ipc.at(0))});
     }
     m.rule();
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

@@ -76,5 +76,6 @@ main()
                 "(reordering must not shift inter-thread "
                 "bandwidth)\n", -iso);
     rep.printSummary();
+    rep.writeJson();
     return 0;
 }

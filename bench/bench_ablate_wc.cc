@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -36,7 +37,7 @@ struct IdleWorkload : Workload
 };
 
 double
-run(bool work_conserving)
+run(bool work_conserving, BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(2, ArbiterPolicy::Vpc);
     cfg.vpcWorkConserving = work_conserving;
@@ -44,7 +45,9 @@ run(bool work_conserving)
     wl.push_back(std::make_unique<LoadsBenchmark>(0));
     wl.push_back(std::make_unique<IdleWorkload>());
     CmpSystem sys(cfg, std::move(wl));
-    return sys.runAndMeasure(kWarmup, kMeasure).ipc.at(0);
+    double ipc = sys.runAndMeasure(kWarmup, kMeasure).ipc.at(0);
+    rep.addRun(sys.now(), sys.kernelStats());
+    return ipc;
 }
 
 } // namespace
@@ -52,14 +55,19 @@ run(bool work_conserving)
 int
 main()
 {
+    BenchReporter rep("ablate_wc");
     SystemConfig base = makeBaselineConfig(2, ArbiterPolicy::Vpc);
     RunLengths lens{kWarmup, kMeasure};
     LoadsBenchmark loads(0);
-    double target_half = targetIpc(base, loads, 0.5, 0.5, lens);
-    double target_full = targetIpc(base, loads, 1.0, 0.5, lens);
+    KernelStats ks;
+    double target_half = targetIpc(base, loads, 0.5, 0.5, lens, &ks);
+    rep.addRun(lens.warmup + lens.measure, ks);
+    ks.reset();
+    double target_full = targetIpc(base, loads, 1.0, 0.5, lens, &ks);
+    rep.addRun(lens.warmup + lens.measure, ks);
 
-    double wc = run(true);
-    double nwc = run(false);
+    double wc = run(true, rep);
+    double nwc = run(false, rep);
 
     TablePrinter t("Ablation: work conservation (Loads at phi=.5, "
                    "partner idle)",
@@ -74,5 +82,8 @@ main()
     t.rule();
     std::printf("excess bandwidth recovered by work conservation: "
                 "%+.1f%%\n", (wc - nwc) / nwc * 100.0);
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "cache/l2_bank.hh"
 #include "sim/simulator.hh"
 #include "system/experiment.hh"
@@ -37,6 +38,7 @@ struct BankTicker : Ticking
 int
 main()
 {
+    BenchReporter rep("fig4");
     SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::RowFcfs);
     Simulator sim;
     MemoryController mc(cfg.mem, 1, 64, sim.events());
@@ -125,5 +127,9 @@ main()
                 static_cast<long long>(times[0].busDone -
                                        times[0].arrive + 2),
                 ok ? "MATCH" : "MISMATCH");
+    rep.addRun(sim.now(), sim.kernelStats());
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return ok ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -29,7 +30,7 @@ constexpr Cycle kWarmup = 50'000;
 constexpr Cycle kMeasure = 200'000;
 
 IntervalStats
-runMicro(bool stores, unsigned banks)
+runMicro(bool stores, unsigned banks, BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(1, ArbiterPolicy::RowFcfs);
     cfg.l2.banks = banks;
@@ -40,7 +41,9 @@ runMicro(bool stores, unsigned banks)
     else
         wl.push_back(std::make_unique<LoadsBenchmark>(0));
     CmpSystem sys(cfg, std::move(wl));
-    return sys.runAndMeasure(kWarmup, kMeasure);
+    IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);
+    rep.addRun(sys.now(), sys.kernelStats());
+    return s;
 }
 
 } // namespace
@@ -48,13 +51,14 @@ runMicro(bool stores, unsigned banks)
 int
 main()
 {
+    BenchReporter rep("fig5");
     TablePrinter t("Figure 5: microbenchmark L2 cache utilization vs "
                    "bank count",
                    {"Benchmark", "DataArray", "DataBus", "TagArray",
                     "IPC"});
     for (bool stores : {false, true}) {
         for (unsigned banks : {2u, 4u, 8u, 16u}) {
-            IntervalStats s = runMicro(stores, banks);
+            IntervalStats s = runMicro(stores, banks, rep);
             t.row({std::string(stores ? "Stores " : "Loads ") +
                        std::to_string(banks) + "B",
                    TablePrinter::pct(s.dataUtil),
@@ -64,5 +68,8 @@ main()
         }
     }
     t.rule();
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

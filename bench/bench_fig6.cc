@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -27,6 +28,7 @@ main()
     constexpr Cycle kWarmup = 100'000;
     constexpr Cycle kMeasure = 300'000;
 
+    BenchReporter rep("fig6");
     TablePrinter t("Figure 6: SPEC benchmark L2 cache utilization "
                    "(single thread, 2 banks)",
                    {"Benchmark", "DataArray", "DataBus", "TagArray",
@@ -40,6 +42,7 @@ main()
         wl.push_back(makeSpec2000(name, 0, 1));
         CmpSystem sys(cfg, std::move(wl));
         IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);
+        rep.addRun(sys.now(), sys.kernelStats());
         mean_data += s.dataUtil;
         t.row({name, TablePrinter::pct(s.dataUtil),
                TablePrinter::pct(s.busUtil),
@@ -49,5 +52,8 @@ main()
     t.rule();
     t.row({"mean", TablePrinter::pct(mean_data / names.size())});
     t.rule();
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -25,6 +26,7 @@ main()
     constexpr Cycle kWarmup = 100'000;
     constexpr Cycle kMeasure = 300'000;
 
+    BenchReporter rep("fig7");
     TablePrinter t("Figure 7: L2 write fraction and store gathering "
                    "rate (single thread, 2 banks)",
                    {"Benchmark", "L2 writes", "Gathering"});
@@ -37,6 +39,7 @@ main()
         wl.push_back(makeSpec2000(name, 0, 1));
         CmpSystem sys(cfg, std::move(wl));
         IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);
+        rep.addRun(sys.now(), sys.kernelStats());
         mean_writes += s.writeFraction(0);
         mean_gather += s.gatherRate(0);
         t.row({name, TablePrinter::pct(s.writeFraction(0)),
@@ -46,5 +49,8 @@ main()
     t.row({"mean", TablePrinter::pct(mean_writes / names.size()),
            TablePrinter::pct(mean_gather / names.size())});
     t.rule();
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

@@ -129,5 +129,6 @@ main()
     }
     table.rule();
     rep.printSummary();
+    rep.writeJson();
     return 0;
 }

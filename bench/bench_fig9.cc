@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -31,7 +32,8 @@ constexpr Cycle kWarmup = 80'000;
 constexpr Cycle kMeasure = 200'000;
 
 double
-runSubject(const std::string &name, ArbiterPolicy policy, double phi1)
+runSubject(const std::string &name, ArbiterPolicy policy, double phi1,
+           BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(4, policy);
     if (policy == ArbiterPolicy::Vpc) {
@@ -48,7 +50,9 @@ runSubject(const std::string &name, ArbiterPolicy policy, double phi1)
             (1ull << 40) * t));
     }
     CmpSystem sys(cfg, std::move(wl));
-    return sys.runAndMeasure(kWarmup, kMeasure).ipc.at(0);
+    double ipc = sys.runAndMeasure(kWarmup, kMeasure).ipc.at(0);
+    rep.addRun(sys.now(), sys.kernelStats());
+    return ipc;
 }
 
 } // namespace
@@ -56,6 +60,7 @@ runSubject(const std::string &name, ArbiterPolicy policy, double phi1)
 int
 main()
 {
+    BenchReporter rep("fig9");
     SystemConfig base = makeBaselineConfig(4, ArbiterPolicy::Vpc);
     RunLengths lens{kWarmup, kMeasure};
 
@@ -67,19 +72,27 @@ main()
     double worst_fcfs = 1.0;
     for (const std::string &name : spec2000Names()) {
         auto wl = makeSpec2000(name, 0, 1);
-        double norm = targetIpc(base, *wl, 1.0, 0.25, lens);
+        KernelStats ks;
+        double norm = targetIpc(base, *wl, 1.0, 0.25, lens, &ks);
+        rep.addRun(lens.warmup + lens.measure, ks);
         if (norm <= 0.0)
             norm = 1e-9;
-        double t25 = targetIpc(base, *wl, 0.25, 0.25, lens) / norm;
-        double t50 = targetIpc(base, *wl, 0.5, 0.25, lens) / norm;
+        ks.reset();
+        double t25 =
+            targetIpc(base, *wl, 0.25, 0.25, lens, &ks) / norm;
+        rep.addRun(lens.warmup + lens.measure, ks);
+        ks.reset();
+        double t50 = targetIpc(base, *wl, 0.5, 0.25, lens, &ks) / norm;
+        rep.addRun(lens.warmup + lens.measure, ks);
 
-        double fcfs = runSubject(name, ArbiterPolicy::Fcfs, 0.0) /
-                      norm;
-        double v25 = runSubject(name, ArbiterPolicy::Vpc, 0.25) /
-                     norm;
-        double v50 = runSubject(name, ArbiterPolicy::Vpc, 0.5) / norm;
-        double v100 = runSubject(name, ArbiterPolicy::Vpc, 1.0) /
-                      norm;
+        double fcfs =
+            runSubject(name, ArbiterPolicy::Fcfs, 0.0, rep) / norm;
+        double v25 =
+            runSubject(name, ArbiterPolicy::Vpc, 0.25, rep) / norm;
+        double v50 =
+            runSubject(name, ArbiterPolicy::Vpc, 0.5, rep) / norm;
+        double v100 =
+            runSubject(name, ArbiterPolicy::Vpc, 1.0, rep) / norm;
         worst_fcfs = std::min(worst_fcfs, fcfs);
 
         double ratio25 = t25 > 0 ? v25 / t25 : 0.0;
@@ -94,5 +107,8 @@ main()
     t.rule();
     std::printf("worst FCFS normalized IPC: %.3f (paper reports "
                 "degradation of up to 87%%)\n", worst_fcfs);
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

@@ -23,7 +23,10 @@
  *                 (serial: auditors install process-global hooks)
  *   --no-skip     run the naive kernel loop in every simulation
  *   --serial      one worker thread
- *   --threads=N   N worker threads (default: auto)
+ *   --threads=N   N sweep worker threads (default: auto)
+ *   --kernel-threads=N  run every simulation on the shard-parallel
+ *                 kernel with N workers (default 1: serial kernel);
+ *                 stdout is bit-identical either way (DESIGN.md 5d)
  *   --json=PATH   JSON report path (default BENCH_headline.json)
  */
 
@@ -57,6 +60,7 @@ struct BenchOptions
     bool smoke = false;
     bool skip = true;
     unsigned threads = 0;
+    unsigned kernelThreads = 1;
     std::string jsonPath;
     RunLengths lens{kWarmup, kMeasure};
 };
@@ -67,6 +71,7 @@ runMix(const Mix &mix, ArbiterPolicy policy, const BenchOptions &opt,
 {
     SystemConfig cfg = makeBaselineConfig(4, policy);
     cfg.kernelSkip = opt.skip;
+    cfg.kernelThreads = opt.kernelThreads;
     if (opt.smoke) {
         cfg.verify.paranoid = 1;
         cfg.verify.watchdogCycles = 10'000;
@@ -98,6 +103,9 @@ main(int argc, char **argv)
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
             opt.threads = static_cast<unsigned>(
                 std::strtoul(arg + 10, nullptr, 10));
+        } else if (std::strncmp(arg, "--kernel-threads=", 17) == 0) {
+            opt.kernelThreads = static_cast<unsigned>(
+                std::strtoul(arg + 17, nullptr, 10));
         } else if (std::strncmp(arg, "--json=", 7) == 0) {
             opt.jsonPath = arg + 7;
         } else {
@@ -127,12 +135,15 @@ main(int argc, char **argv)
         mixes.resize(2);
         opt.lens = RunLengths{2'000, 8'000};
         // Auditors register process-global panic-dump hooks; keep
-        // audited jobs off the thread pool (see system/sweep.hh).
+        // audited jobs off the thread pool (see system/sweep.hh) and
+        // on the serial kernel (the sharded kernel excludes them).
         opt.threads = 1;
+        opt.kernelThreads = 1;
     }
 
     SystemConfig base = makeBaselineConfig(4, ArbiterPolicy::Vpc);
     base.kernelSkip = opt.skip;
+    base.kernelThreads = opt.kernelThreads;
     if (opt.smoke) {
         base.verify.paranoid = 1;
         base.verify.watchdogCycles = 10'000;

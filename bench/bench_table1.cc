@@ -5,6 +5,7 @@
  * format so they can be checked against the original table.
  */
 
+#include "bench_common.hh"
 #include "sim/config.hh"
 #include "system/table_printer.hh"
 
@@ -13,6 +14,9 @@ using namespace vpc;
 int
 main()
 {
+    // No simulation runs here — the report still carries wall time so
+    // bench_diff sees a complete BENCH_*.json set.
+    BenchReporter rep("table1");
     SystemConfig cfg;
     cfg.validate();
 
@@ -74,5 +78,8 @@ main()
     t.row({"SDRAM banks",
            std::to_string(cfg.mem.banksPerRank) + " banks per rank"});
     t.rule();
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hh"
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
 #include "system/table_printer.hh"
@@ -74,7 +75,8 @@ chaserParams()
 }
 
 double
-run(ArbiterPolicy cache_policy, ArbiterPolicy mem_policy)
+run(ArbiterPolicy cache_policy, ArbiterPolicy mem_policy,
+    BenchReporter &rep)
 {
     SystemConfig cfg = makeBaselineConfig(4, cache_policy);
     cfg.mem.sharedChannel = true;
@@ -87,7 +89,9 @@ run(ArbiterPolicy cache_policy, ArbiterPolicy mem_policy)
             hogParams(), (1ull << 40) * t, t + 1));
     }
     CmpSystem sys(cfg, std::move(wl));
-    return sys.runAndMeasure(kWarmup, kMeasure).ipc.at(0);
+    double ipc = sys.runAndMeasure(kWarmup, kMeasure).ipc.at(0);
+    rep.addRun(sys.now(), sys.kernelStats());
+    return ipc;
 }
 
 } // namespace
@@ -95,10 +99,11 @@ run(ArbiterPolicy cache_policy, ArbiterPolicy mem_policy)
 int
 main()
 {
-    double ff = run(ArbiterPolicy::Fcfs, ArbiterPolicy::Fcfs);
-    double fv = run(ArbiterPolicy::Fcfs, ArbiterPolicy::Vpc);
-    double vf = run(ArbiterPolicy::Vpc, ArbiterPolicy::Fcfs);
-    double vv = run(ArbiterPolicy::Vpc, ArbiterPolicy::Vpc);
+    BenchReporter rep("vpm_memory");
+    double ff = run(ArbiterPolicy::Fcfs, ArbiterPolicy::Fcfs, rep);
+    double fv = run(ArbiterPolicy::Fcfs, ArbiterPolicy::Vpc, rep);
+    double vf = run(ArbiterPolicy::Vpc, ArbiterPolicy::Fcfs, rep);
+    double vv = run(ArbiterPolicy::Vpc, ArbiterPolicy::Vpc, rep);
 
     TablePrinter t("Extension: end-to-end VPM -- pointer chaser vs 3 "
                    "memory hogs, ONE shared DDR2 channel (equal "
@@ -123,5 +128,8 @@ main()
                 "subsystems for exactly this reason\n",
                 (vf - ff) / ff * 100.0, (fv - ff) / ff * 100.0,
                 (vv - ff) / ff * 100.0);
+    rep.finish();
+    rep.printSummary();
+    rep.writeJson();
     return 0;
 }

@@ -117,11 +117,15 @@ L2Bank::L2Bank(const SystemConfig &cfg_, unsigned bank_index,
             // beat 2 = 16 cycles, matching Figure 4.
             Sm &sm = sms.at(req.id);
             Cycle critical = start + cfg.l2.busBeatCycles;
-            events.schedule(critical,
-                [this, t = sm.thread, la = sm.lineAddr]() {
-                    if (respond)
-                        respond(t, la);
-                });
+            if (fillPort) {
+                fillPort(sm.thread, sm.lineAddr, critical);
+            } else {
+                events.schedule(critical,
+                    [this, t = sm.thread, la = sm.lineAddr]() {
+                        if (respond)
+                            respond(t, la);
+                    });
+            }
             events.schedule(done, [this, idx = req.id, start, done]() {
                 busDone(idx, start, done);
             });
@@ -132,6 +136,12 @@ void
 L2Bank::setResponseHandler(ResponseHandler h)
 {
     respond = std::move(h);
+}
+
+void
+L2Bank::setFillPort(FillPort p)
+{
+    fillPort = std::move(p);
 }
 
 bool
@@ -147,6 +157,13 @@ void
 L2Bank::storeArrive(ThreadId t, Addr line_addr, Cycle now)
 {
     sgbs.at(t).addStore(line_addr, now);
+}
+
+void
+L2Bank::remoteStoreArrive(ThreadId t, Addr line_addr, Cycle now)
+{
+    sgbs.at(t).reserve();
+    sgbs[t].addStore(line_addr, now);
 }
 
 void

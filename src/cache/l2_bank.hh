@@ -61,6 +61,14 @@ class L2Bank
         std::function<void(ThreadId t, Addr line_addr)>;
 
     /**
+     * Shard-parallel substitute for the response event: hands the
+     * critical-word cycle to the kernel, which delivers it on the
+     * requesting core's own queue.  Called from bank tick context.
+     */
+    using FillPort =
+        std::function<void(ThreadId t, Addr line_addr, Cycle critical)>;
+
+    /**
      * @param cfg full system configuration (L2 + QoS shares)
      * @param bank_index this bank's index
      * @param num_banks total banks (for set sizing)
@@ -75,6 +83,9 @@ class L2Bank
     /** Install the load-response path back to the cores. */
     void setResponseHandler(ResponseHandler h);
 
+    /** Install the shard-parallel fill path (nullptr to remove). */
+    void setFillPort(FillPort p);
+
     /**
      * Reserve store-buffer space for a store entering the crossbar.
      *
@@ -85,6 +96,15 @@ class L2Bank
 
     /** Deliver a store that completed crossbar transit. */
     void storeArrive(ThreadId t, Addr line_addr, Cycle now);
+
+    /**
+     * Deliver a store sent by a remote core shard: the admission
+     * check already happened at the sender against its occupancy
+     * view, so this reserves and delivers in one step (net-zero
+     * reservations — occupancy evolves exactly as in the serial
+     * reserve-then-arrive split).
+     */
+    void remoteStoreArrive(ThreadId t, Addr line_addr, Cycle now);
 
     /** Deliver a load that completed crossbar transit. */
     void loadArrive(ThreadId t, Addr line_addr, Cycle now,
@@ -253,6 +273,7 @@ class L2Bank
     ThreadId admissionRR = 0;
     SeqNum nextSeq = 0;
     ResponseHandler respond;
+    FillPort fillPort;
 };
 
 } // namespace vpc

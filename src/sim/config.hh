@@ -229,6 +229,16 @@ struct SystemConfig
     bool kernelSkip = true;
 
     /**
+     * Worker threads for the simulation kernel (--threads).  1 (the
+     * default) selects the sequential kernel; above 1 the system is
+     * partitioned into per-core shards plus an uncore shard and run
+     * on the shard-parallel kernel (src/sim/sharded_simulator.hh).
+     * Model results are bit-identical at any value — the determinism
+     * tests assert it.
+     */
+    unsigned kernelThreads = 1;
+
+    /**
      * Permit zero QoS shares under the VPC policies.  A thread with
      * phi = 0 (or a beta whose way quota rounds to zero) holds no
      * guarantee at all -- it is served purely from excess bandwidth /
@@ -345,6 +355,24 @@ struct SystemConfig
             vpc_fatal("l1PrefetchPerThread.size() ({}) != "
                       "numProcessors ({})",
                       l1PrefetchPerThread.size(), numProcessors);
+        }
+        if (kernelThreads == 0)
+            vpc_fatal("--threads must be >= 1");
+        if (kernelThreads > 1) {
+            // The shard-parallel kernel's lookahead window is the
+            // cross-shard latency; zero latency means zero lookahead.
+            if (l2.interconnectLatency < 1 || l2.busBeatCycles < 1) {
+                vpc_fatal("--threads > 1 needs interconnect and bus "
+                          "beat latencies >= 1 (got {} and {})",
+                          l2.interconnectLatency, l2.busBeatCycles);
+            }
+            if (verify.enabled())
+                vpc_fatal("--threads > 1 is incompatible with the "
+                          "verify layer (per-cycle audits assume the "
+                          "sequential kernel)");
+            if (!kernelSkip)
+                vpc_fatal("--threads > 1 requires kernel skipping "
+                          "(drop --no-skip)");
         }
     }
 

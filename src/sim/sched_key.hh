@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Total order on scheduled events that is stable across kernels.
+ *
+ * The sequential kernel orders same-cycle events by a single global
+ * insertion sequence.  The shard-parallel kernel has no global counter
+ * — each shard schedules independently — so events carry a composite
+ * key that reconstructs the *same* total order from local information:
+ *
+ *   (when, schedCycle, phase, x, y, child)
+ *
+ *  - when:       cycle the event fires.
+ *  - schedCycle: cycle the schedule() call was made.  The sequential
+ *                global sequence is monotone in scheduling time, so
+ *                earlier cycles always order first.
+ *  - phase:      where within schedCycle the call was made.  A cycle
+ *                runs event callbacks first, then core ticks (cores
+ *                are registered before the uncore), then uncore ticks;
+ *                global sequence numbers are assigned in exactly that
+ *                order.
+ *  - x, y:       within a tick phase: (shard rank, shard-local seq).
+ *                Cores tick in thread order, so rank ordering equals
+ *                sequential ordering; within one shard the local
+ *                sequence preserves program order.
+ *                Within the event phase: (firing index, shard-local
+ *                seq) — events scheduled by a firing event callback
+ *                inherit the position of that callback in its cycle's
+ *                fire order, which is the order the sequential kernel
+ *                fired (and hence sequence-numbered) the parents.
+ *                This is exact at any nesting depth within one shard;
+ *                see KeySource for the cross-shard caveat.
+ *  - child:      reserved tie-break, currently always zero.
+ *
+ * The sequential kernel itself fills only (when, y=global seq), which
+ * compares identically to its original (when, seq) heap order.
+ */
+
+#ifndef VPC_SIM_SCHED_KEY_HH
+#define VPC_SIM_SCHED_KEY_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** Intra-cycle phase a schedule() call originated from. */
+enum class SchedPhase : std::uint8_t
+{
+    Event = 0,      //!< firing event callbacks (start of cycle)
+    CpuTick = 1,    //!< core shard tick
+    UncoreTick = 2, //!< uncore (L2 + memory) shard tick
+};
+
+/**
+ * Per-shard key-generation state, installed into an EventQueue with
+ * setKeySource() by the sharded kernel.  While installed, schedule()
+ * stamps every event with a composite key instead of the serial global
+ * sequence:
+ *
+ *  - from tick context: (when, now, tickPhase, rank, seq++)
+ *  - while an event is firing: (when, now, Event, firing index, seq++)
+ *
+ * The firing index is the position of the currently running event in
+ * its cycle's deterministic fire order, which within one shard equals
+ * the order the sequential kernel fired (and hence sequence-numbered)
+ * those parents — so children inherit the correct relative order at
+ * any nesting depth.  Cross-shard messages are keyed by the *sending*
+ * shard (EventQueue::makeKey) and scheduled on the receiving shard's
+ * queue with the carried key.
+ *
+ * Known limit: two *different* shards' same-cycle event callbacks
+ * scheduling onto the *same* queue would interleave by firing index
+ * rather than by the sequential kernel's global order.  No current
+ * model does this (core-side event callbacks — L1 hit/fill
+ * completions — never schedule; all cross-shard sends originate in
+ * tick context or in uncore-local events), and the depth-generalized
+ * firing-index order is exact for everything the models do today.
+ */
+struct KeySource
+{
+    std::uint8_t tickPhase = 0; //!< SchedPhase::CpuTick or UncoreTick
+    std::uint64_t rank = 0;     //!< shard rank (core id; cores first)
+    std::uint64_t seq = 0;      //!< shard-local schedule sequence
+    Cycle now = 0;              //!< shard-local current cycle
+};
+
+/** Composite event-ordering key (see file comment). */
+struct SchedKey
+{
+    Cycle when = 0;
+    Cycle schedCycle = 0;
+    std::uint8_t phase = 0;
+    std::uint64_t x = 0;
+    std::uint64_t y = 0;
+    std::uint64_t child = 0;
+
+    /** Strict lexicographic "fires earlier than". */
+    bool
+    before(const SchedKey &o) const
+    {
+        if (when != o.when)
+            return when < o.when;
+        if (schedCycle != o.schedCycle)
+            return schedCycle < o.schedCycle;
+        if (phase != o.phase)
+            return phase < o.phase;
+        if (x != o.x)
+            return x < o.x;
+        if (y != o.y)
+            return y < o.y;
+        return child < o.child;
+    }
+};
+
+} // namespace vpc
+
+#endif // VPC_SIM_SCHED_KEY_HH

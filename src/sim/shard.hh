@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cross-shard message formats for the shard-parallel kernel.
+ *
+ * Both directions carry a full SchedKey stamped by the *sending*
+ * shard's EventQueue::makeKey, so the receiver can scheduleKeyed()
+ * the message and land it in exactly the slot the sequential kernel's
+ * global sequence would have given it.  The remaining fields are
+ * deliberately generic — the kernel moves them without interpreting
+ * them; the model glue in CmpSystem decides what they mean.
+ */
+
+#ifndef VPC_SIM_SHARD_HH
+#define VPC_SIM_SHARD_HH
+
+#include <cstdint>
+
+#include "sim/sched_key.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/**
+ * Core-to-uncore request: a store, load miss, or prefetch crossing
+ * the interconnect.  key.when is the arrival cycle at the uncore
+ * (send cycle + interconnect latency).
+ */
+struct CrossMsg
+{
+    SchedKey key;
+    ThreadId thread = 0;
+    Addr line = 0;
+    std::uint8_t bank = 0;
+    bool isStore = false;
+    bool prefetch = false;
+};
+
+/**
+ * Uncore-to-core delivery.  kind 0 is a line fill (key.when is the
+ * critical-word cycle); kind 1 is a store-gather-buffer occupancy
+ * snapshot effective from cycle eff, which the core shard applies to
+ * its local occupancy table before executing eff (key is unused).
+ */
+struct CoreMsg
+{
+    SchedKey key;
+    Addr line = 0;
+    Cycle eff = 0;
+    std::uint8_t kind = 0; //!< 0 = fill, 1 = occupancy
+    std::uint8_t bank = 0;
+    std::uint16_t occ = 0;
+};
+
+} // namespace vpc
+
+#endif // VPC_SIM_SHARD_HH

@@ -1,0 +1,401 @@
+#include "sim/sharded_simulator.hh"
+
+#include <thread>
+
+#include "sim/debug.hh"
+
+namespace vpc
+{
+
+ShardedSimulator::ShardedSimulator(unsigned cores, unsigned workers,
+                                   Cycle sendLatency, Cycle fillLatency)
+    : cores_(cores),
+      workers_(workers < 1 ? 1
+               : workers > cores + 1 ? cores + 1
+                                     : workers),
+      sendLat_(sendLatency),
+      pool_(workers_ - 1)
+{
+    if (cores < 1)
+        vpc_panic("sharded kernel needs at least one core shard");
+    if (sendLatency < 1 || fillLatency < 1)
+        vpc_panic("sharded kernel needs cross-shard latency >= 1 "
+                  "(send {}, fill {})",
+                  sendLatency, fillLatency);
+
+    shards_.reserve(cores + 1);
+    for (unsigned s = 0; s <= cores; ++s) {
+        auto sh = std::make_unique<Shard>();
+        sh->key.tickPhase = static_cast<std::uint8_t>(
+            s < cores ? SchedPhase::CpuTick : SchedPhase::UncoreTick);
+        sh->key.rank = s;
+        sh->queue.setKeySource(&sh->key);
+        shards_.push_back(std::move(sh));
+    }
+    toUncore_.reserve(cores);
+    toCore_.reserve(cores);
+    lastOcc_.resize(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        toUncore_.push_back(std::make_unique<SpscRing<CrossMsg>>());
+        toCore_.push_back(std::make_unique<SpscRing<CoreMsg>>());
+    }
+}
+
+EventQueue &
+ShardedSimulator::coreEvents(unsigned core)
+{
+    return shards_.at(core)->queue;
+}
+
+EventQueue &
+ShardedSimulator::uncoreEvents()
+{
+    return shards_[cores_]->queue;
+}
+
+void
+ShardedSimulator::addCoreTicking(unsigned core, Ticking *t)
+{
+    shards_.at(core)->comps.push_back(t);
+}
+
+void
+ShardedSimulator::addUncoreTicking(Ticking *t)
+{
+    shards_[cores_]->comps.push_back(t);
+}
+
+void
+ShardedSimulator::setArriveHandler(
+    std::function<void(const CrossMsg &)> fn)
+{
+    arriveHandler_ = std::move(fn);
+}
+
+void
+ShardedSimulator::setFillHandler(
+    std::function<void(unsigned, Addr, Cycle)> fn)
+{
+    fillHandler_ = std::move(fn);
+}
+
+void
+ShardedSimulator::setOccHandler(
+    std::function<void(unsigned, unsigned, unsigned)> fn)
+{
+    occHandler_ = std::move(fn);
+}
+
+void
+ShardedSimulator::setUncorePhaseHook(std::function<void(Cycle)> fn)
+{
+    phaseHook_ = std::move(fn);
+}
+
+void
+ShardedSimulator::sendCross(unsigned core, const CrossMsg &msg)
+{
+    toUncore_[core]->push(msg);
+    shards_[core]->stats.messagesSent.inc();
+}
+
+void
+ShardedSimulator::sendFill(unsigned core, Addr line, Cycle critical)
+{
+    CoreMsg m;
+    m.key = shards_[cores_]->queue.makeKey(critical);
+    m.line = line;
+    m.kind = 0;
+    toCore_[core]->push(m);
+    shards_[cores_]->stats.messagesSent.inc();
+}
+
+void
+ShardedSimulator::publishOcc(unsigned core, unsigned bank, Cycle eff,
+                             unsigned occ)
+{
+    auto &last = lastOcc_[core];
+    if (bank >= last.size())
+        last.resize(bank + 1, 0); // ports also start at occupancy 0
+    if (last[bank] == occ)
+        return;
+    last[bank] = occ;
+    CoreMsg m;
+    m.eff = eff;
+    m.kind = 1;
+    m.bank = static_cast<std::uint8_t>(bank);
+    m.occ = static_cast<std::uint16_t>(occ);
+    toCore_[core]->push(m);
+    shards_[cores_]->stats.messagesSent.inc();
+}
+
+void
+ShardedSimulator::drainInto(std::size_t s)
+{
+    if (s == cores_) {
+        // Fixed core order: arrival *events* are ordered by their
+        // carried keys anyway, so drain order only affects queue
+        // internals; keeping it fixed keeps those deterministic too.
+        for (unsigned c = 0; c < cores_; ++c) {
+            CrossMsg m;
+            while (toUncore_[c]->pop(m)) {
+                shards_[s]->queue.scheduleKeyed(
+                    m.key, [this, m] { arriveHandler_(m); });
+            }
+        }
+    } else {
+        CoreMsg m;
+        while (toCore_[s]->pop(m)) {
+            if (m.kind == 0) {
+                shards_[s]->queue.scheduleKeyed(
+                    m.key, [this, s, m] {
+                        fillHandler_(static_cast<unsigned>(s), m.line,
+                                     m.key.when);
+                    });
+            } else {
+                shards_[s]->occPending.push_back(m);
+            }
+        }
+    }
+}
+
+void
+ShardedSimulator::applyOccUpTo(std::size_t s, Cycle c)
+{
+    auto &pend = shards_[s]->occPending;
+    while (!pend.empty() && pend.front().eff <= c) {
+        const CoreMsg &m = pend.front();
+        occHandler_(static_cast<unsigned>(s), m.bank, m.occ);
+        pend.pop_front();
+    }
+}
+
+Cycle
+ShardedSimulator::nextActivity(const Shard &sh) const
+{
+    Cycle next = sh.queue.nextEventCycle();
+    for (Ticking *t : sh.comps) {
+        Cycle w = t->nextWork(sh.nextCycle);
+        if (w < next)
+            next = w;
+        if (next <= sh.nextCycle)
+            break;
+    }
+    return next;
+}
+
+void
+ShardedSimulator::markFinished(Shard &sh)
+{
+    if (sh.nextCycle >= end_ && !sh.finished) {
+        sh.finished = true;
+        finished_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+bool
+ShardedSimulator::advanceShard(std::size_t s)
+{
+    Shard &sh = *shards_[s];
+    if (sh.nextCycle >= end_) {
+        markFinished(sh);
+        return false;
+    }
+
+    // Bound first (acquire), then drain: every message from sender
+    // cycles below the acquired frontier is then visible, and no
+    // later message can fire at or before the bound.
+    Cycle bound; // inclusive
+    if (s == cores_) {
+        Cycle minH = kCycleMax;
+        for (unsigned c = 0; c < cores_; ++c) {
+            Cycle h = shards_[c]->frontier.load(
+                std::memory_order_acquire);
+            if (h < minH)
+                minH = h;
+        }
+        bound = minH > kCycleMax - sendLat_ ? kCycleMax
+                                            : minH + sendLat_ - 1;
+    } else {
+        Cycle hu =
+            shards_[cores_]->frontier.load(std::memory_order_acquire);
+        if (hu == 0) {
+            sh.stats.barrierStalls.inc();
+            return false;
+        }
+        bound = hu - 1;
+    }
+    if (bound > end_ - 1)
+        bound = end_ - 1;
+
+    drainInto(s);
+    if (bound < sh.nextCycle) {
+        sh.stats.barrierStalls.inc();
+        return false;
+    }
+
+    const Cycle start = sh.nextCycle;
+    while (sh.nextCycle <= bound) {
+        const Cycle c = sh.nextCycle;
+        sh.key.now = c;
+        if (s != cores_)
+            applyOccUpTo(s, c);
+        std::size_t fired = sh.queue.runDue(c);
+        sh.stats.eventsFired.inc(fired);
+        if (s == cores_ && fired > 0 && phaseHook_)
+            phaseHook_(c);
+        std::size_t ticked = 0;
+        for (Ticking *t : sh.comps) {
+            if (t->nextWork(c) <= c) {
+                t->tick(c);
+                ++ticked;
+            }
+        }
+        sh.stats.ticksExecuted.inc(ticked);
+        if (s == cores_ && ticked > 0 && phaseHook_)
+            phaseHook_(c + 1);
+        sh.stats.cyclesExecuted.inc();
+        sh.nextCycle = c + 1;
+
+        // Fast-forward within the window, exactly like the
+        // sequential skip kernel but clipped to bound + 1.
+        Cycle next = nextActivity(sh);
+        Cycle limit = bound >= kCycleMax ? kCycleMax : bound + 1;
+        if (limit > end_)
+            limit = end_;
+        Cycle target = next < limit ? next : limit;
+        if (target > sh.nextCycle) {
+            sh.stats.cyclesSkipped.inc(target - sh.nextCycle);
+            sh.nextCycle = target;
+        }
+    }
+
+    std::uint64_t casc = sh.queue.cascades();
+    sh.stats.wheelCascades.inc(casc - sh.cascadesSeen);
+    sh.cascadesSeen = casc;
+    sh.stats.epochs.inc();
+
+    sh.frontier.store(sh.nextCycle, std::memory_order_release);
+    markFinished(sh);
+    return sh.nextCycle > start;
+}
+
+bool
+ShardedSimulator::tryGlobalJump()
+{
+    if (!jumpMtx_.try_lock())
+        return false;
+    std::lock_guard<std::mutex> jg(jumpMtx_, std::adopt_lock);
+
+    // Visitors hold at most one shard mutex and never block on a
+    // second, so taking all of them in index order cannot deadlock.
+    for (auto &sh : shards_)
+        sh->mtx.lock();
+
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        drainInto(s);
+    // Occupancy snapshots already effective can change a core's
+    // nextWork (an unblocked retire stage); apply before polling.
+    for (std::size_t s = 0; s < cores_; ++s)
+        applyOccUpTo(s, shards_[s]->nextCycle);
+
+    Cycle gn = kCycleMax;
+    for (auto &sh : shards_) {
+        if (sh->nextCycle >= end_)
+            continue;
+        Cycle next = nextActivity(*sh);
+        if (next < gn)
+            gn = next;
+    }
+
+    // With every lock held and every ring empty, no shard has any
+    // activity before gn, so all of [nextCycle, gn) is a no-op span
+    // for everyone — the sequential fast-forward, done globally.
+    bool progress = false;
+    Cycle target = gn < end_ ? gn : end_;
+    for (auto &sh : shards_) {
+        if (target > sh->nextCycle) {
+            sh->stats.cyclesSkipped.inc(target - sh->nextCycle);
+            sh->nextCycle = target;
+            progress = true;
+        }
+        sh->frontier.store(sh->nextCycle, std::memory_order_release);
+        markFinished(*sh);
+    }
+
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
+        (*it)->mtx.unlock();
+    return progress;
+}
+
+void
+ShardedSimulator::workerLoop(std::size_t w)
+{
+    const std::size_t n = shards_.size();
+    while (finished_.load(std::memory_order_acquire) < n) {
+        bool progress = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t s = (w + i) % n;
+            Shard &sh = *shards_[s];
+            if (sh.frontier.load(std::memory_order_relaxed) >= end_)
+                continue;
+            if (!sh.mtx.try_lock())
+                continue;
+            bool p = advanceShard(s);
+            sh.mtx.unlock();
+            progress = progress || p;
+        }
+        if (!progress && !tryGlobalJump())
+            std::this_thread::yield();
+    }
+}
+
+void
+ShardedSimulator::run(Cycle cycles)
+{
+    if (!arriveHandler_ || !fillHandler_ || !occHandler_ ||
+        !phaseHook_) {
+        vpc_panic("sharded kernel run() before handlers installed");
+    }
+    end_ = cycles > kCycleMax - cycle_ ? kCycleMax : cycle_ + cycles;
+    if (end_ == cycle_)
+        return;
+    finished_.store(0, std::memory_order_relaxed);
+    for (auto &sh : shards_)
+        sh->finished = false;
+    pool_.dispatch(workers_, [this](std::size_t w) { workerLoop(w); });
+    cycle_ = end_;
+    // Drain whatever the final cycles left in flight, so between runs
+    // the queues hold exactly the events the sequential kernel would
+    // (dumpState prints the pending count) and state dumps compare.
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        drainInto(s);
+}
+
+const KernelStats &
+ShardedSimulator::kernelStats() const
+{
+    merged_.reset();
+    for (const auto &sh : shards_) {
+        merged_.cyclesExecuted.inc(sh->stats.cyclesExecuted.value());
+        merged_.cyclesSkipped.inc(sh->stats.cyclesSkipped.value());
+        merged_.ticksExecuted.inc(sh->stats.ticksExecuted.value());
+        merged_.eventsFired.inc(sh->stats.eventsFired.value());
+        merged_.messagesSent.inc(sh->stats.messagesSent.value());
+        merged_.wheelCascades.inc(sh->stats.wheelCascades.value());
+        merged_.epochs.inc(sh->stats.epochs.value());
+        merged_.barrierStalls.inc(sh->stats.barrierStalls.value());
+    }
+    return merged_;
+}
+
+std::size_t
+ShardedSimulator::queuedEvents() const
+{
+    std::size_t n = 0;
+    for (const auto &sh : shards_)
+        n += sh->queue.size();
+    return n;
+}
+
+} // namespace vpc

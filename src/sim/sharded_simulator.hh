@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Deterministic shard-parallel simulation kernel.
+ *
+ * Components are partitioned into shards — one per core plus a single
+ * uncore shard (L2 banks, arbiters, memory) — each with its own
+ * EventQueue (timing wheel) and its own slice of the cycle loop.  A
+ * persistent worker pool advances shards concurrently under a
+ * conservative lookahead protocol; all cross-shard traffic moves
+ * through SPSC rings and carries a SchedKey stamped by the sender, so
+ * every shard replays events in exactly the order the sequential
+ * kernel would have fired them.  Model results are bit-identical at
+ * any worker count.
+ *
+ * Frontier protocol.  Each shard publishes an atomic frontier H with
+ * release semantics: every cycle < H has been executed (or proven a
+ * no-op) and every cross-shard message originating from a cycle < H
+ * has been pushed to its ring.  Readers acquire H *before* draining
+ * the ring, so a bound derived from H implies the drain saw every
+ * message that can fire at or before that bound:
+ *
+ *  - uncore may execute cycle u while  u <= min_i H_core(i) + sendLat - 1
+ *    (a core message sent at s arrives at s + sendLat; all senders
+ *    with s < H are drained, later sends land strictly beyond the
+ *    bound);
+ *  - a core may execute cycle c while  c <= H_uncore - 1,
+ *    i.e. the uncore has already executed c.  This makes the uncore
+ *    *lead*: fills due at c were sent at c - fillLat < H_uncore, and
+ *    the occupancy snapshot effective at c was published while the
+ *    uncore executed c, so both are in the ring when the core drains.
+ *
+ * Deadlock freedom: if the uncore is blocked (nextCycle > bound) then
+ * some core's frontier equals min H, and that core's bound
+ * H_uncore - 1 >= minH + sendLat - 1 >= its own nextCycle, so it can
+ * advance.  The uncore can always advance when it trails.
+ *
+ * Quiescence.  Within its window a shard fast-forwards exactly like
+ * the sequential skip kernel (active-set ticks + jump to next
+ * activity).  Spans longer than the window would otherwise crawl
+ * forward one window per round trip, so a worker that completes a
+ * fruitless pass over all shards attempts a *global jump*: it locks
+ * every shard in index order (safe — visitors hold at most one shard
+ * lock and never block on a second), drains all rings, computes the
+ * global next-activity cycle, and advances every shard there at once.
+ *
+ * Determinism.  Per-shard work counters (cycles executed/skipped,
+ * epochs, stalls) depend on shard partitioning and are *kernel*
+ * diagnostics: deterministic in the model but not comparable to the
+ * sequential kernel's. Model statistics, events fired, and ticks
+ * executed are bit-identical to the sequential skip kernel — the
+ * determinism tests assert it.
+ */
+
+#ifndef VPC_SIM_SHARDED_SIMULATOR_HH
+#define VPC_SIM_SHARDED_SIMULATOR_HH
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/shard.hh"
+#include "sim/simulator.hh"
+#include "sim/spsc.hh"
+#include "sim/stats.hh"
+#include "sim/thread_pool.hh"
+#include "sim/types.hh"
+
+namespace vpc
+{
+
+/** Shard-parallel drop-in for Simulator::run (see file comment). */
+class ShardedSimulator
+{
+  public:
+    /**
+     * @param cores        number of core shards (>= 1); the uncore
+     *                     shard is created implicitly.
+     * @param workers      worker threads to use (clamped to
+     *                     [1, cores + 1]).
+     * @param sendLatency  minimum cycles between a core-side send and
+     *                     its uncore arrival (the interconnect
+     *                     latency); must be >= 1.
+     * @param fillLatency  minimum cycles between an uncore-side send
+     *                     and its core arrival (the bus critical-word
+     *                     latency); must be >= 1 — the protocol relies
+     *                     on it but does not otherwise use the value.
+     */
+    ShardedSimulator(unsigned cores, unsigned workers,
+                     Cycle sendLatency, Cycle fillLatency);
+
+    ShardedSimulator(const ShardedSimulator &) = delete;
+    ShardedSimulator &operator=(const ShardedSimulator &) = delete;
+
+    /** @return core shard @p core 's event queue (key source installed). */
+    EventQueue &coreEvents(unsigned core);
+
+    /** @return the uncore shard's event queue. */
+    EventQueue &uncoreEvents();
+
+    /** Register a component on core shard @p core (registration order). */
+    void addCoreTicking(unsigned core, Ticking *t);
+
+    /** Register a component on the uncore shard (registration order). */
+    void addUncoreTicking(Ticking *t);
+
+    /**
+     * Install the uncore-side delivery for core-to-uncore messages.
+     * Runs as a keyed event on the uncore queue at msg.key.when.
+     */
+    void setArriveHandler(std::function<void(const CrossMsg &)> fn);
+
+    /**
+     * Install the core-side delivery for fills.  Runs as a keyed
+     * event on the core's queue at the critical-word cycle.
+     */
+    void
+    setFillHandler(std::function<void(unsigned core, Addr line,
+                                      Cycle when)> fn);
+
+    /**
+     * Install the core-side application of an occupancy snapshot.
+     * Called (outside any event) before the core executes the first
+     * cycle >= the snapshot's effective cycle.
+     */
+    void
+    setOccHandler(std::function<void(unsigned core, unsigned bank,
+                                     unsigned occ)> fn);
+
+    /**
+     * Install the uncore probe that publishes occupancy snapshots.
+     * Invoked with eff = c after cycle c's events fire (if any did)
+     * and with eff = c + 1 after its ticks (if any ran); the probe
+     * calls publishOcc for whatever state it tracks.
+     */
+    void setUncorePhaseHook(std::function<void(Cycle eff)> fn);
+
+    /**
+     * Send a core-to-uncore message.  Must be called from core
+     * @p core 's execution context (its tick or event callbacks) with
+     * msg.key already stamped via coreEvents(core).makeKey(arrival).
+     */
+    void sendCross(unsigned core, const CrossMsg &msg);
+
+    /**
+     * Send a fill to core @p core, due at cycle @p critical.  Must be
+     * called from the uncore's execution context.
+     */
+    void sendFill(unsigned core, Addr line, Cycle critical);
+
+    /**
+     * Publish an occupancy snapshot for (core, bank) effective from
+     * cycle @p eff, deduplicating against the last published value.
+     * Must be called from the uncore phase hook.
+     */
+    void publishOcc(unsigned core, unsigned bank, Cycle eff,
+                    unsigned occ);
+
+    /** Advance all shards by @p cycles cycles; returns when done. */
+    void run(Cycle cycles);
+
+    /** @return the current cycle (between run() calls). */
+    Cycle now() const { return cycle_; }
+
+    /** @return kernel counters merged across shards. */
+    const KernelStats &kernelStats() const;
+
+    /** @return total pending events across all shard queues. */
+    std::size_t queuedEvents() const;
+
+  private:
+    struct alignas(64) Shard
+    {
+        EventQueue queue;
+        KeySource key;
+        std::vector<Ticking *> comps;
+        std::mutex mtx;
+        std::atomic<Cycle> frontier{0};
+        Cycle nextCycle = 0;
+        bool finished = false;
+        std::uint64_t cascadesSeen = 0;
+        std::deque<CoreMsg> occPending; //!< core shards only
+        KernelStats stats;
+    };
+
+    void workerLoop(std::size_t w);
+    bool advanceShard(std::size_t s); //!< caller holds shards_[s]->mtx
+    void drainInto(std::size_t s);    //!< caller holds shards_[s]->mtx
+    void applyOccUpTo(std::size_t s, Cycle c);
+    bool tryGlobalJump();
+    Cycle nextActivity(const Shard &sh) const;
+    void markFinished(Shard &sh);
+
+    unsigned cores_;
+    unsigned workers_;
+    Cycle sendLat_;
+    Cycle end_ = 0;
+    Cycle cycle_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_; //!< cores, then uncore
+    std::vector<std::unique_ptr<SpscRing<CrossMsg>>> toUncore_;
+    std::vector<std::unique_ptr<SpscRing<CoreMsg>>> toCore_;
+    std::vector<std::vector<unsigned>> lastOcc_; //!< [core][bank] dedup
+
+    std::function<void(const CrossMsg &)> arriveHandler_;
+    std::function<void(unsigned, Addr, Cycle)> fillHandler_;
+    std::function<void(unsigned, unsigned, unsigned)> occHandler_;
+    std::function<void(Cycle)> phaseHook_;
+
+    std::mutex jumpMtx_;
+    std::atomic<unsigned> finished_{0};
+    ThreadPool pool_;
+    mutable KernelStats merged_;
+};
+
+} // namespace vpc
+
+#endif // VPC_SIM_SHARDED_SIMULATOR_HH

@@ -167,6 +167,7 @@ class Simulator
         if (!skipping_ || auditor_ != nullptr) {
             while (cycle_ < end)
                 step();
+            syncWheelStats();
             return;
         }
         while (cycle_ < end) {
@@ -202,15 +203,26 @@ class Simulator
                 }
             }
         }
+        syncWheelStats();
     }
 
   private:
+    /** Fold the wheel's cascade count into the kernel counters. */
+    void
+    syncWheelStats()
+    {
+        std::uint64_t c = queue.cascades();
+        kernel_.wheelCascades.inc(c - cascadesSeen_);
+        cascadesSeen_ = c;
+    }
+
     EventQueue queue;
     std::vector<Ticking *> components;
     Cycle cycle_ = 0;
     Auditable *auditor_ = nullptr;
     bool skipping_ = true;
     KernelStats kernel_;
+    std::uint64_t cascadesSeen_ = 0;
 };
 
 } // namespace vpc

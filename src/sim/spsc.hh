@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-capacity single-producer single-consumer ring.
+ *
+ * The shard-parallel kernel connects each core shard to the uncore
+ * shard with two of these (one per direction).  Exactly one thread
+ * pushes and one thread pops at any time; the frontier protocol's
+ * acquire/release on shard frontiers orders the *contents*, while the
+ * ring's own acquire/release on head/tail orders the slots.
+ *
+ * Capacity is a hard bound, not backpressure: the lookahead window
+ * bounds in-flight messages to far below kCapacity, so overflow means
+ * a kernel bug and panics rather than blocking (blocking a shard
+ * worker could deadlock the round-robin advance loop).
+ */
+
+#ifndef VPC_SIM_SPSC_HH
+#define VPC_SIM_SPSC_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+
+#include "sim/debug.hh"
+
+namespace vpc
+{
+
+template <class T, std::size_t kCapacity = 4096>
+class SpscRing
+{
+    static_assert((kCapacity & (kCapacity - 1)) == 0,
+                  "capacity must be a power of two");
+
+  public:
+    /** Producer side.  Panics if the ring is full (kernel bug). */
+    void
+    push(const T &v)
+    {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        const std::size_t h = head_.load(std::memory_order_acquire);
+        if (t - h >= kCapacity)
+            vpc_panic("spsc ring overflow (capacity {})", kCapacity);
+        slots_[t & (kCapacity - 1)] = v;
+        tail_.store(t + 1, std::memory_order_release);
+    }
+
+    /**
+     * Consumer side.  Returns false when empty; otherwise copies the
+     * oldest element into @p out and advances.
+     */
+    bool
+    pop(T &out)
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        if (h == tail_.load(std::memory_order_acquire))
+            return false;
+        out = slots_[h & (kCapacity - 1)];
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side emptiness probe (exact for the consumer). */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_relaxed) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::array<T, kCapacity> slots_{};
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace vpc
+
+#endif // VPC_SIM_SPSC_HH

@@ -1,0 +1,99 @@
+#include "sim/thread_pool.hh"
+
+namespace vpc
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::drainTasks()
+{
+    for (;;) {
+        std::size_t i;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (nextTask_ >= taskCount_)
+                return;
+            i = nextTask_++;
+        }
+        try {
+            (*fn_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this, seen] {
+                return stop_ || batch_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = batch_;
+        }
+        drainTasks();
+    }
+}
+
+void
+ThreadPool::dispatch(std::size_t n,
+                     const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        taskCount_ = n;
+        nextTask_ = 0;
+        pending_ = n;
+        firstError_ = nullptr;
+        ++batch_;
+    }
+    wake_.notify_all();
+    // The caller works too: with zero pool threads this is the entire
+    // execution, and with tasks == 1 it avoids a handoff round trip.
+    drainTasks();
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return pending_ == 0; });
+        fn_ = nullptr;
+        err = firstError_;
+        firstError_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace vpc

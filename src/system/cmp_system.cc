@@ -12,6 +12,113 @@
 namespace vpc
 {
 
+namespace
+{
+
+/**
+ * Core-side L2 admission for the shard-parallel kernel.
+ *
+ * Reproduces the serial reserve-and-send path from shard-local state
+ * only: the last occupancy snapshot the uncore published per bank,
+ * plus this core's own sends still in crossbar flight.  A store sent
+ * at cycle s holds a serial-kernel reservation until its arrival
+ * event at s + L fires, and the core reads fullness *after* cycle
+ * now's events — so exactly the sends with s in (now - L, now] are
+ * outstanding, and
+ *
+ *     occupancy(latest eff <= now) + ownSends(now - L, now]
+ *
+ * equals the serial buffer.size() + reservations at the same read
+ * point (remote arrivals reserve-and-deliver atomically, so the
+ * uncore-side reservation count is always zero at publish time).
+ */
+class ParallelL2Port : public L2CorePort
+{
+  public:
+    ParallelL2Port(ShardedSimulator &ps, ThreadId core,
+                   const SystemConfig &cfg)
+        : ps_(ps), core_(core), lat_(cfg.l2.interconnectLatency),
+          entries_(cfg.l2.sgbEntriesPerThread),
+          occ_(cfg.l2.banks, 0),
+          window_(static_cast<std::size_t>(cfg.l2.banks) * lat_)
+    {
+    }
+
+    bool
+    store(Addr line, unsigned bank, Cycle now) override
+    {
+        if (occ_[bank] + pending(bank, now) >= entries_)
+            return false;
+        Slot &s = slot(bank, now);
+        if (s.cycle == now) {
+            ++s.count;
+        } else {
+            s.cycle = now;
+            s.count = 1;
+        }
+        send(line, bank, now, true, false);
+        return true;
+    }
+
+    void
+    load(Addr line, unsigned bank, Cycle now, bool prefetch) override
+    {
+        send(line, bank, now, false, prefetch);
+    }
+
+    /** Apply an occupancy snapshot delivered by the kernel. */
+    void applyOcc(unsigned bank, unsigned occ) { occ_[bank] = occ; }
+
+  private:
+    struct Slot
+    {
+        Cycle cycle = kCycleMax; //!< kCycleMax: never written
+        unsigned count = 0;
+    };
+
+    Slot &
+    slot(unsigned bank, Cycle now)
+    {
+        return window_[bank * lat_ + now % lat_];
+    }
+
+    /** Own stores still in crossbar flight: sent in (now - L, now]. */
+    unsigned
+    pending(unsigned bank, Cycle now) const
+    {
+        unsigned n = 0;
+        for (Cycle i = 0; i < lat_; ++i) {
+            const Slot &s = window_[bank * lat_ + i];
+            if (s.cycle <= now && s.cycle + lat_ > now)
+                n += s.count;
+        }
+        return n;
+    }
+
+    void
+    send(Addr line, unsigned bank, Cycle now, bool is_store,
+         bool prefetch)
+    {
+        CrossMsg m;
+        m.key = ps_.coreEvents(core_).makeKey(now + lat_);
+        m.thread = core_;
+        m.line = line;
+        m.bank = static_cast<std::uint8_t>(bank);
+        m.isStore = is_store;
+        m.prefetch = prefetch;
+        ps_.sendCross(core_, m);
+    }
+
+    ShardedSimulator &ps_;
+    ThreadId core_;
+    Cycle lat_;
+    unsigned entries_;
+    std::vector<unsigned> occ_;
+    std::vector<Slot> window_;
+};
+
+} // namespace
+
 CmpSystem::CmpSystem(SystemConfig cfg_,
                      std::vector<std::unique_ptr<Workload>> workloads_)
     : cfg(std::move(cfg_)), workloads(std::move(workloads_))
@@ -21,6 +128,17 @@ CmpSystem::CmpSystem(SystemConfig cfg_,
         vpc_fatal("{} workloads for {} processors", workloads.size(),
                   cfg.numProcessors);
 
+    if (cfg.kernelThreads > 1) {
+        psim_ = std::make_unique<ShardedSimulator>(
+            cfg.numProcessors, cfg.kernelThreads,
+            cfg.l2.interconnectLatency, cfg.l2.busBeatCycles);
+    }
+    // With the sharded kernel, uncore components live on the uncore
+    // shard's queue and each L1 on its core's queue; serially there
+    // is only the one queue.
+    EventQueue &uncore_events =
+        psim_ ? psim_->uncoreEvents() : sim.events();
+
     std::vector<double> mem_shares;
     mem_shares.reserve(cfg.shares.size());
     for (const QosShare &s : cfg.shares)
@@ -28,13 +146,15 @@ CmpSystem::CmpSystem(SystemConfig cfg_,
     mem_ = std::make_unique<MemoryController>(cfg.mem,
                                               cfg.numProcessors,
                                               cfg.l2.lineBytes,
-                                              sim.events(),
+                                              uncore_events,
                                               mem_shares);
-    l2_ = std::make_unique<L2Cache>(cfg, sim.events(), *mem_);
+    l2_ = std::make_unique<L2Cache>(cfg, uncore_events, *mem_);
 
     for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+        EventQueue &core_events =
+            psim_ ? psim_->coreEvents(t) : sim.events();
         l1s.push_back(std::make_unique<L1DCache>(cfg.l1ConfigFor(t),
-                                                 t, sim.events()));
+                                                 t, core_events));
         L1DCache &l1 = *l1s.back();
         L2Cache &l2 = *l2_;
         l1.setMissHandler([&l2, t](Addr line_addr, Cycle now,
@@ -43,6 +163,11 @@ CmpSystem::CmpSystem(SystemConfig cfg_,
         });
         cpus.push_back(std::make_unique<Cpu>(cfg.core, t,
                                              *workloads[t], l1, *l2_));
+    }
+
+    if (psim_) {
+        buildSharded();
+        return;
     }
 
     l2_->setResponseHandler([this](ThreadId t, Addr line_addr) {
@@ -62,6 +187,60 @@ CmpSystem::CmpSystem(SystemConfig cfg_,
 
     if (cfg.verify.enabled())
         buildVerifier();
+}
+
+void
+CmpSystem::buildSharded()
+{
+    for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+        auto port = std::make_unique<ParallelL2Port>(*psim_, t, cfg);
+        l2_->setCorePort(t, port.get());
+        corePorts_.push_back(std::move(port));
+    }
+
+    // Uncore -> core: critical-word fills, delivered as keyed events
+    // on the requesting core's queue (the serial response event).
+    l2_->setFillPort([this](ThreadId t, Addr line_addr,
+                            Cycle critical) {
+        psim_->sendFill(t, line_addr, critical);
+    });
+    psim_->setFillHandler([this](unsigned core, Addr line_addr,
+                                 Cycle when) {
+        l1s.at(core)->fill(line_addr, when);
+    });
+
+    // Core -> uncore: stores and loads crossing the interconnect
+    // (the serial storeArrive / loadArrive events).
+    psim_->setArriveHandler([this](const CrossMsg &m) {
+        L2Bank &bank = l2_->bank(m.bank);
+        if (m.isStore)
+            bank.remoteStoreArrive(m.thread, m.line, m.key.when);
+        else
+            bank.loadArrive(m.thread, m.line, m.key.when, m.prefetch);
+    });
+
+    // Store-buffer occupancy snapshots for the core-side admission
+    // checks; the kernel dedups unchanged values per (core, bank).
+    psim_->setOccHandler([this](unsigned core, unsigned bank,
+                                unsigned occ) {
+        static_cast<ParallelL2Port &>(*corePorts_[core])
+            .applyOcc(bank, occ);
+    });
+    psim_->setUncorePhaseHook([this](Cycle eff) {
+        for (unsigned b = 0; b < l2_->numBanks(); ++b) {
+            const L2Bank &bank = l2_->bank(b);
+            for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+                psim_->publishOcc(
+                    t, b, eff,
+                    static_cast<unsigned>(bank.sgb(t).occupancy()));
+            }
+        }
+    });
+
+    for (ThreadId t = 0; t < cfg.numProcessors; ++t)
+        psim_->addCoreTicking(t, cpus[t].get());
+    psim_->addUncoreTicking(l2_.get());
+    psim_->addUncoreTicking(mem_.get());
 }
 
 void
@@ -181,7 +360,7 @@ CmpSystem::buildVerifier()
 std::string
 CmpSystem::dumpState() const
 {
-    std::string out = format("cycle {}\n", sim.now());
+    std::string out = format("cycle {}\n", now());
     for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
         out += format(
             "thread {}: instrs {} l1-mshrs {} l2-work {}\n", t,
@@ -223,21 +402,25 @@ CmpSystem::dumpState() const
             out += format(" t{}={}", t, bank.sgb(t).occupancy());
         out += "\n";
     }
-    out += format("event queue: {} pending\n", sim.events().size());
+    out += format("event queue: {} pending\n",
+                  psim_ ? psim_->queuedEvents() : sim.events().size());
     return out;
 }
 
 void
 CmpSystem::run(Cycle cycles)
 {
-    sim.run(cycles);
+    if (psim_)
+        psim_->run(cycles);
+    else
+        sim.run(cycles);
 }
 
 SystemSnapshot
 CmpSystem::snapshot() const
 {
     SystemSnapshot s;
-    s.cycle = sim.now();
+    s.cycle = now();
     for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
         s.instrs.push_back(cpus[t]->instrsRetired());
         s.loads.push_back(cpus[t]->loadsRetired());

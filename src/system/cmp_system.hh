@@ -20,6 +20,7 @@
 #include "mem/memory_controller.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
+#include "sim/sharded_simulator.hh"
 #include "sim/simulator.hh"
 #include "verify/verifier.hh"
 #include "workload/workload.hh"
@@ -96,10 +97,14 @@ class CmpSystem
     void run(Cycle cycles);
 
     /** @return the current cycle. */
-    Cycle now() const { return sim.now(); }
+    Cycle now() const { return psim_ ? psim_->now() : sim.now(); }
 
     /** @return kernel work/skip counters (see KernelStats). */
-    const KernelStats &kernelStats() const { return sim.kernelStats(); }
+    const KernelStats &
+    kernelStats() const
+    {
+        return psim_ ? psim_->kernelStats() : sim.kernelStats();
+    }
 
     /** Capture all measurement counters. */
     SystemSnapshot snapshot() const;
@@ -135,8 +140,15 @@ class CmpSystem
     /** Build the verify layer from cfg.verify and install it. */
     void buildVerifier();
 
+    /** Wire components onto the shard-parallel kernel (threads > 1). */
+    void buildSharded();
+
     SystemConfig cfg;
     Simulator sim;
+    /** Shard-parallel kernel; non-null iff cfg.kernelThreads > 1. */
+    std::unique_ptr<ShardedSimulator> psim_;
+    /** Per-thread core-side L2 ports (shard-parallel only). */
+    std::vector<std::unique_ptr<L2CorePort>> corePorts_;
     std::vector<std::unique_ptr<Workload>> workloads;
     std::unique_ptr<MemoryController> mem_;
     std::unique_ptr<L2Cache> l2_;

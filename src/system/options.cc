@@ -124,6 +124,11 @@ simUsage()
         "  --shared-memory      one shared DDR2 channel (FQ when\n"
         "                       --arbiter=vpc, else FCFS)\n"
         "  --stats              dump the full statistics report\n"
+        "  --threads=N          kernel worker threads (default 1).\n"
+        "                       N > 1 runs the deterministic\n"
+        "                       shard-parallel kernel: one shard per\n"
+        "                       core plus the uncore, bit-identical\n"
+        "                       model results at any N\n"
         "  --no-skip            disable kernel quiescence skipping and\n"
         "                       run the naive cycle loop (results are\n"
         "                       identical; useful for differential\n"
@@ -209,6 +214,11 @@ parseSimOptions(const std::vector<std::string> &args,
             opts.config.mem.sharedChannel = true;
         } else if (key == "--stats") {
             opts.dumpStats = true;
+        } else if (key == "--threads") {
+            std::uint64_t n;
+            if (!parseU64(value, n, error_out))
+                return std::nullopt;
+            opts.config.kernelThreads = static_cast<unsigned>(n);
         } else if (key == "--no-skip") {
             opts.config.kernelSkip = false;
         } else if (key == "--paranoid") {

@@ -1,11 +1,9 @@
 #include "system/sweep.hh"
 
-#include <atomic>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "sim/thread_pool.hh"
 
 namespace vpc
 {
@@ -35,39 +33,17 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
         workers = static_cast<unsigned>(n);
 
     if (workers <= 1) {
+        // Strictly inline and in index order: the exact serial
+        // baseline, with no pool machinery on the stack.
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
 
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    auto worker = [&]() {
-        for (;;) {
-            std::size_t i = next.fetch_add(1,
-                                           std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            try {
-                fn(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    // The calling thread participates in the dispatch, so the pool
+    // only needs workers - 1 extra threads for `workers` lanes.
+    ThreadPool pool(workers - 1);
+    pool.dispatch(n, fn);
 }
 
 } // namespace vpc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ThreadPool contract tests: every index runs exactly once, the
+ * caller participates (zero-worker pools still complete), batches are
+ * reusable, and the first exception from a task is rethrown to the
+ * dispatcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(100);
+    pool.dispatch(hits.size(),
+                  [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline)
+{
+    ThreadPool pool(0);
+    std::vector<std::size_t> order;
+    pool.dispatch(5, [&](std::size_t i) { order.push_back(i); });
+    // Only the calling thread exists, so execution is serial and in
+    // index order.
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, BatchesAreReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 10; ++round)
+        pool.dispatch(7, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 70);
+}
+
+TEST(ThreadPool, EmptyDispatchReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.dispatch(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, FirstTaskExceptionRethrown)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.dispatch(8,
+                      [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 3)
+                              throw std::runtime_error("task 3");
+                      }),
+        std::runtime_error);
+    // Remaining tasks still complete (the batch drains fully).
+    EXPECT_EQ(ran.load(), 8);
+    // And the pool stays usable.
+    pool.dispatch(2, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 10);
+}
+
+} // namespace
+} // namespace vpc

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Hierarchical-timing-wheel specifics of the EventQueue: slot routing
+ * across the three levels (L0 slots, L1 blocks, overflow heap), the
+ * cascade paths between them, and the keyed-scheduling hooks the
+ * shard-parallel kernel uses.  The API-level behavior (ordering,
+ * pooling, panics) is covered by event_queue_test.cc; these tests pin
+ * the level boundaries where a wheel bug would hide.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/sched_key.hh"
+
+namespace vpc
+{
+namespace
+{
+
+TEST(TimingWheel, FarFutureEventCascadesFromOverflow)
+{
+    EventQueue q;
+    // Beyond the L1 horizon (kL0Slots * kL1Slots cycles): must park
+    // in the overflow heap, then cascade through L1 and L0 and still
+    // fire at exactly the right cycle.
+    const Cycle far = static_cast<Cycle>(EventQueue::kL0Slots) *
+                      EventQueue::kL1Slots + 12345;
+    std::vector<Cycle> fired;
+    q.schedule(far, [&] { fired.push_back(far); });
+    q.schedule(3, [&] { fired.push_back(3); });
+    EXPECT_EQ(q.nextEventCycle(), 3u);
+
+    EXPECT_EQ(q.runDue(3), 1u);
+    EXPECT_EQ(q.nextEventCycle(), far);
+    // Jump straight to the due cycle, as the skip kernel does.
+    EXPECT_EQ(q.runDue(far), 1u);
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[1], far);
+    EXPECT_TRUE(q.empty());
+    EXPECT_GT(q.cascades(), 0u);
+}
+
+TEST(TimingWheel, MidRangeEventUsesL1Block)
+{
+    EventQueue q;
+    // Within the L1 horizon but outside the current L0 block.
+    const Cycle mid = EventQueue::kL0Slots * 3 + 17;
+    bool hit = false;
+    q.schedule(mid, [&] { hit = true; });
+    EXPECT_EQ(q.nextEventCycle(), mid);
+    EXPECT_EQ(q.runDue(mid), 1u);
+    EXPECT_TRUE(hit);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TimingWheel, DenseAndSparseMixFiresInOrder)
+{
+    EventQueue q;
+    std::vector<Cycle> fired;
+    // One event per region: current block, next blocks, overflow —
+    // scheduled out of order.
+    std::vector<Cycle> whens = {
+        70000, 5, 600, 511, 512, 65535, 65536, 130000, 1, 0,
+    };
+    for (Cycle w : whens)
+        q.schedule(w, [&fired, w] { fired.push_back(w); });
+    Cycle now = 0;
+    while (!q.empty()) {
+        now = q.nextEventCycle();
+        q.runDue(now);
+    }
+    std::vector<Cycle> sorted = whens;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(fired, sorted);
+}
+
+TEST(TimingWheel, SameCycleFifoAcrossLevels)
+{
+    EventQueue q;
+    // Both land at cycle 600: one direct (scheduled when 600 is in
+    // L1), one after an advance puts 600 in L0.  Insertion order must
+    // survive the cascade.
+    std::vector<int> order;
+    q.schedule(600, [&] { order.push_back(1); });
+    q.schedule(100, [&] {
+        q.schedule(600, [&] { order.push_back(2); });
+    });
+    q.runDue(100);
+    q.runDue(600);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TimingWheel, RescheduleFromCallbackSameCycleRuns)
+{
+    EventQueue q;
+    int runs = 0;
+    q.schedule(50, [&] {
+        ++runs;
+        q.schedule(50, [&] { ++runs; });
+    });
+    // Same-cycle reschedule fires in the same runDue invocation
+    // (next round), exactly like the heap-based queue did.
+    EXPECT_EQ(q.runDue(50), 2u);
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(TimingWheel, KeyedScheduleOrdersByCompositeKey)
+{
+    EventQueue q;
+    std::vector<int> order;
+    // Same fire cycle; keys differ in (schedCycle, phase, x, y).
+    // scheduleKeyed must order by key, not insertion.
+    SchedKey a, b, c;
+    a.when = b.when = c.when = 40;
+    a.schedCycle = 10;
+    a.phase = static_cast<std::uint8_t>(SchedPhase::UncoreTick);
+    b.schedCycle = 10;
+    b.phase = static_cast<std::uint8_t>(SchedPhase::CpuTick);
+    b.x = 1;
+    c.schedCycle = 9;
+    c.phase = static_cast<std::uint8_t>(SchedPhase::UncoreTick);
+    q.scheduleKeyed(a, [&] { order.push_back(0); });
+    q.scheduleKeyed(b, [&] { order.push_back(1); });
+    q.scheduleKeyed(c, [&] { order.push_back(2); });
+    q.runDue(40);
+    // c (earlier schedCycle) first, then b (CpuTick < UncoreTick),
+    // then a.
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(TimingWheel, KeySourceStampsTickAndFiringContexts)
+{
+    EventQueue q;
+    KeySource ks;
+    ks.tickPhase = static_cast<std::uint8_t>(SchedPhase::CpuTick);
+    ks.rank = 3;
+    q.setKeySource(&ks);
+
+    ks.now = 7;
+    SchedKey tick_key = q.makeKey(20);
+    EXPECT_EQ(tick_key.when, 20u);
+    EXPECT_EQ(tick_key.schedCycle, 7u);
+    EXPECT_EQ(tick_key.phase,
+              static_cast<std::uint8_t>(SchedPhase::CpuTick));
+    EXPECT_EQ(tick_key.x, 3u);
+
+    // From inside a firing callback, keys switch to the event phase
+    // with the firing index as x.
+    SchedKey child{};
+    q.schedule(8, [&] { child = q.makeKey(30); });
+    ks.now = 8;
+    q.runDue(8);
+    EXPECT_EQ(child.when, 30u);
+    EXPECT_EQ(child.schedCycle, 8u);
+    EXPECT_EQ(child.phase,
+              static_cast<std::uint8_t>(SchedPhase::Event));
+    EXPECT_EQ(child.x, 0u); // first event fired this cycle
+    // Sequence numbers came from the source, strictly increasing.
+    EXPECT_LT(tick_key.y, child.y);
+}
+
+TEST(TimingWheel, FiringIndexCountsAcrossCycleFireOrder)
+{
+    EventQueue q;
+    KeySource ks;
+    ks.tickPhase = static_cast<std::uint8_t>(SchedPhase::UncoreTick);
+    q.setKeySource(&ks);
+    std::vector<std::uint64_t> xs;
+    ks.now = 4;
+    q.schedule(5, [&] { xs.push_back(q.makeKey(9).x); });
+    q.schedule(5, [&] { xs.push_back(q.makeKey(9).x); });
+    q.schedule(5, [&] { xs.push_back(q.makeKey(9).x); });
+    ks.now = 5;
+    q.runDue(5);
+    // Each firing event sees its own position in the fire order.
+    EXPECT_EQ(xs, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+} // namespace
+} // namespace vpc
