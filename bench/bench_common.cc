@@ -1,6 +1,8 @@
 #include "bench_common.hh"
 
 #include <cstdio>
+#include <fstream>
+#include <thread>
 
 #include "sim/format.hh"
 #include "sim/logging.hh"
@@ -25,6 +27,43 @@ BenchReporter::addRun(std::uint64_t sim_cycles, const KernelStats &k)
     cyclesSkipped_ += k.cyclesSkipped.value();
     ticksExecuted_ += k.ticksExecuted.value();
     eventsFired_ += k.eventsFired.value();
+}
+
+void
+BenchReporter::addProfile(const Profiler &p)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    profile_.mergeByName(p);
+    haveProfile_ = true;
+}
+
+const BenchReporter::MachineInfo &
+BenchReporter::machineInfo()
+{
+    static const MachineInfo info = [] {
+        MachineInfo m;
+        m.nproc = std::thread::hardware_concurrency();
+        std::ifstream cpuinfo("/proc/cpuinfo");
+        std::string line;
+        while (std::getline(cpuinfo, line)) {
+            if (line.rfind("model name", 0) == 0) {
+                std::size_t colon = line.find(':');
+                if (colon != std::string::npos) {
+                    std::size_t v = line.find_first_not_of(
+                        " \t", colon + 1);
+                    if (v != std::string::npos)
+                        m.cpuModel = line.substr(v);
+                }
+                break;
+            }
+        }
+        std::ifstream loadavg("/proc/loadavg");
+        double l1 = -1.0;
+        if (loadavg >> l1)
+            m.loadavg1m = l1;
+        return m;
+    }();
+    return info;
 }
 
 void
@@ -77,7 +116,33 @@ BenchReporter::printSummary() const
         static_cast<unsigned long long>(simCycles_ / 1'000'000),
         mcyclesPerSec(), eventsPerCycle(),
         static_cast<unsigned long long>(cyclesSkipped_));
+    if (haveProfile_)
+        std::fprintf(stderr, "%s\n", profile_.report().c_str());
 }
+
+namespace
+{
+
+/** Minimal JSON string escape (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
 
 void
 BenchReporter::writeJson(const std::string &path) const
@@ -89,6 +154,7 @@ BenchReporter::writeJson(const std::string &path) const
         vpc_warn("cannot write {}", file);
         return;
     }
+    const MachineInfo &m = machineInfo();
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"%s\",\n"
@@ -100,8 +166,12 @@ BenchReporter::writeJson(const std::string &path) const
                  "  \"cycles_skipped\": %llu,\n"
                  "  \"ticks_executed\": %llu,\n"
                  "  \"events_fired\": %llu,\n"
-                 "  \"events_per_cycle\": %.4f\n"
-                 "}\n",
+                 "  \"events_per_cycle\": %.4f,\n"
+                 "  \"machine\": {\n"
+                 "    \"nproc\": %u,\n"
+                 "    \"cpu_model\": \"%s\",\n"
+                 "    \"loadavg_1m\": %.2f\n"
+                 "  }",
                  name_.c_str(), wallMs(),
                  static_cast<unsigned long long>(runs_),
                  static_cast<unsigned long long>(simCycles_),
@@ -110,7 +180,38 @@ BenchReporter::writeJson(const std::string &path) const
                  static_cast<unsigned long long>(cyclesSkipped_),
                  static_cast<unsigned long long>(ticksExecuted_),
                  static_cast<unsigned long long>(eventsFired_),
-                 eventsPerCycle());
+                 eventsPerCycle(), m.nproc,
+                 jsonEscape(m.cpuModel).c_str(), m.loadavg1m);
+    if (haveProfile_) {
+        std::uint64_t ev_total = profile_.totalEventNs();
+        double attributed = ev_total == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(profile_.attributedEventNs())
+                / static_cast<double>(ev_total);
+        std::fprintf(f,
+                     ",\n  \"profile\": {\n"
+                     "    \"attributed_event_pct\": %.1f,\n"
+                     "    \"components\": [",
+                     attributed);
+        bool first = true;
+        for (const Profiler::Entry &e : profile_.entries()) {
+            if (e.tickCount == 0 && e.eventCount == 0)
+                continue;
+            std::fprintf(
+                f,
+                "%s\n      {\"name\": \"%s\", \"tick_ns\": %llu, "
+                "\"tick_count\": %llu, \"event_ns\": %llu, "
+                "\"event_count\": %llu}",
+                first ? "" : ",", jsonEscape(e.name).c_str(),
+                static_cast<unsigned long long>(e.tickNs),
+                static_cast<unsigned long long>(e.tickCount),
+                static_cast<unsigned long long>(e.eventNs),
+                static_cast<unsigned long long>(e.eventCount));
+            first = false;
+        }
+        std::fprintf(f, "\n    ]\n  }");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
 }
 

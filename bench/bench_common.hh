@@ -30,6 +30,7 @@
 #include <mutex>
 #include <string>
 
+#include "sim/profiler.hh"
 #include "sim/stats.hh"
 
 namespace vpc
@@ -49,6 +50,14 @@ class BenchReporter
      * @param k its kernel counters
      */
     void addRun(std::uint64_t sim_cycles, const KernelStats &k);
+
+    /**
+     * Fold one simulation's cycle-attribution profile (--profile)
+     * into the report.  Thread-safe; accounts merge by component
+     * name across runs.  The JSON gains a "profile" section and
+     * printSummary() appends the merged per-component table.
+     */
+    void addProfile(const Profiler &p);
 
     /** Stop the wall clock (idempotent; addRun() after is an error). */
     void finish();
@@ -79,6 +88,22 @@ class BenchReporter
      */
     void writeJson(const std::string &path = "") const;
 
+    /**
+     * Host machine description, captured once per process: processor
+     * count, CPU model string (from /proc/cpuinfo when available) and
+     * the 1-minute load average.  Written into every bench JSON so
+     * cross-machine comparisons are detectable (see tools/bench_diff).
+     */
+    struct MachineInfo
+    {
+        unsigned nproc = 0;
+        std::string cpuModel; //!< empty when undeterminable
+        double loadavg1m = -1.0; //!< negative when undeterminable
+    };
+
+    /** @return the host description (probed on first call). */
+    static const MachineInfo &machineInfo();
+
   private:
     std::string name_;
     std::chrono::steady_clock::time_point start_;
@@ -91,6 +116,8 @@ class BenchReporter
     std::uint64_t cyclesSkipped_ = 0;
     std::uint64_t ticksExecuted_ = 0;
     std::uint64_t eventsFired_ = 0;
+    Profiler profile_;       //!< merged across addProfile() calls
+    bool haveProfile_ = false;
 };
 
 } // namespace vpc

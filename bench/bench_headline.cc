@@ -21,6 +21,10 @@
  * Flags:
  *   --smoke       2 mixes, short runs, --paranoid auditing + watchdog
  *                 (serial: auditors install process-global hooks)
+ *   --profile     attach the cycle-attribution profiler to every
+ *                 simulation; the merged per-component table goes to
+ *                 stderr and into the JSON's "profile" section
+ *                 (model results and stdout are unchanged)
  *   --no-skip     run the naive kernel loop in every simulation
  *   --serial      one worker thread
  *   --threads=N   N sweep worker threads (default: auto)
@@ -59,6 +63,7 @@ struct BenchOptions
 {
     bool smoke = false;
     bool skip = true;
+    bool profile = false;
     unsigned threads = 0;
     unsigned kernelThreads = 1;
     std::string jsonPath;
@@ -72,6 +77,7 @@ runMix(const Mix &mix, ArbiterPolicy policy, const BenchOptions &opt,
     SystemConfig cfg = makeBaselineConfig(4, policy);
     cfg.kernelSkip = opt.skip;
     cfg.kernelThreads = opt.kernelThreads;
+    cfg.profile = opt.profile;
     if (opt.smoke) {
         cfg.verify.paranoid = 1;
         cfg.verify.watchdogCycles = 10'000;
@@ -83,6 +89,8 @@ runMix(const Mix &mix, ArbiterPolicy policy, const BenchOptions &opt,
     std::vector<double> ipc =
         sys.runAndMeasure(opt.lens.warmup, opt.lens.measure).ipc;
     rep.addRun(sys.now(), sys.kernelStats());
+    if (sys.profiling())
+        rep.addProfile(sys.mergedProfile());
     return ipc;
 }
 
@@ -98,6 +106,8 @@ main(int argc, char **argv)
             opt.smoke = true;
         } else if (std::strcmp(arg, "--no-skip") == 0) {
             opt.skip = false;
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            opt.profile = true;
         } else if (std::strcmp(arg, "--serial") == 0) {
             opt.threads = 1;
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -144,6 +154,7 @@ main(int argc, char **argv)
     SystemConfig base = makeBaselineConfig(4, ArbiterPolicy::Vpc);
     base.kernelSkip = opt.skip;
     base.kernelThreads = opt.kernelThreads;
+    base.profile = opt.profile;
     if (opt.smoke) {
         base.verify.paranoid = 1;
         base.verify.watchdogCycles = 10'000;
@@ -174,9 +185,13 @@ main(int argc, char **argv)
             unsigned t = static_cast<unsigned>(job.kind);
             auto wl = makeSpec2000(mix[t], (1ull << 40) * t, t + 1);
             KernelStats k;
+            Profiler prof;
             targets[job.mix][t] =
-                targetIpc(base, *wl, 0.25, 0.25, opt.lens, &k);
+                targetIpc(base, *wl, 0.25, 0.25, opt.lens, &k,
+                          opt.profile ? &prof : nullptr);
             rep.addRun(opt.lens.warmup + opt.lens.measure, k);
+            if (opt.profile)
+                rep.addProfile(prof);
         } else if (job.kind == 4) {
             fcfs[job.mix] = runMix(mix, ArbiterPolicy::Fcfs, opt, rep);
         } else {

@@ -26,10 +26,8 @@ SharedResource::request(const ArbRequest &req, Cycle now)
 }
 
 void
-SharedResource::tick(Cycle now)
+SharedResource::tickGrant(Cycle now)
 {
-    if (busy(now) || !arb->hasPending())
-        return;
     std::optional<ArbRequest> granted = arb->select(now);
     if (!granted)
         return; // non-work-conserving arbiter with no eligible thread

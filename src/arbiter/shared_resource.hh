@@ -66,9 +66,16 @@ class SharedResource
     /**
      * Advance the resource one cycle: if idle and a request is
      * eligible, grant it and invoke the grant handler.  Call once per
-     * core cycle.
+     * core cycle.  The common no-op case (busy or nothing pending)
+     * stays inline; the grant path lives in tickGrant().
      */
-    void tick(Cycle now);
+    void
+    tick(Cycle now)
+    {
+        if (busy(now) || !arb->hasPending())
+            return;
+        tickGrant(now);
+    }
 
     /** @return true if the resource is servicing a request at @p now. */
     bool busy(Cycle now) const { return now < freeAt; }
@@ -127,6 +134,9 @@ class SharedResource
     /// @}
 
   private:
+    /** Grant path of tick(): the resource is idle with work pending. */
+    void tickGrant(Cycle now);
+
     std::string name_;
     std::unique_ptr<Arbiter> arb;
     Cycle readLatency;

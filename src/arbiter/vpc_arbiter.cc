@@ -22,7 +22,9 @@ VpcArbiter::VpcArbiter(unsigned num_threads, Cycle service_latency,
                        unsigned write_multiplier,
                        const std::vector<double> &shares,
                        const VpcArbiterOptions &opts)
-    : Arbiter(num_threads), threads(num_threads),
+    : Arbiter(num_threads), buffers_(num_threads),
+      phi_(num_threads, 0.0), rl_(num_threads, 0.0),
+      rs_(num_threads, 0.0), candIdx_(num_threads, 0),
       latency(service_latency), writeMult(write_multiplier),
       options(opts)
 {
@@ -51,20 +53,20 @@ VpcArbiter::setShare(ThreadId t, double phi)
 {
     if (phi < 0.0 || phi > 1.0)
         vpc_fatal("VpcArbiter: share {} out of [0,1]", phi);
-    ThreadState &ts = threads.at(t);
-    ts.phi = phi;
+    phi_.at(t) = phi;
     // R.L_i only needs recomputation when phi changes (Section 4.1.1).
-    ts.rl = phi > 0.0 ? static_cast<double>(latency) / phi : kInf;
+    rl_.at(t) = phi > 0.0 ? static_cast<double>(latency) / phi : kInf;
 }
 
 bool
 VpcArbiter::faultDropOldest(ThreadId t)
 {
-    ThreadState &ts = threads.at(t);
-    if (ts.buffer.empty())
+    SmallRing<ArbRequest> &buf = buffers_.at(t);
+    if (buf.empty())
         return false;
-    ts.buffer.pop_front();
-    if (ts.buffer.empty())
+    buf.pop_front();
+    invalidateCandidate(t);
+    if (buf.empty())
         activeMask &= ~(1ull << t);
     --total;
     return true;
@@ -75,7 +77,7 @@ VpcArbiter::doEnqueue(const ArbRequest &req, Cycle now)
 {
     if (req.thread >= numThreads())
         vpc_panic("VPC enqueue from invalid thread {}", req.thread);
-    ThreadState &ts = threads[req.thread];
+    SmallRing<ArbRequest> &buf = buffers_[req.thread];
     // Equation 6: an idle thread's virtual resource cannot be available
     // before "now"; without this reset the thread would bank unbounded
     // credit while idle and later starve others while repaying none.
@@ -84,33 +86,42 @@ VpcArbiter::doEnqueue(const ArbRequest &req, Cycle now)
     // bandwidth (see VpcArbiterOptions::virtualClock).
     double reset_floor = options.virtualClock
         ? vclock : static_cast<double>(now);
-    if (options.idleReset && ts.buffer.empty() && ts.rs < reset_floor)
-        ts.rs = reset_floor;
-    ts.buffer.push_back(req);
+    if (options.idleReset && buf.empty() &&
+        rs_[req.thread] < reset_floor) {
+        rs_[req.thread] = reset_floor;
+    }
+    buf.push_back(req);
+    invalidateCandidate(req.thread);
     activeMask |= 1ull << req.thread;
     ++total;
 }
 
 std::size_t
-VpcArbiter::candidateIndex(const SmallRing<ArbRequest> &buf) const
+VpcArbiter::candidateIndex(ThreadId t) const
 {
     if (!options.intraThreadRow)
         return 0;
+    std::uint64_t bit = std::uint64_t{1} << t;
+    if (candValid_ & bit)
+        return candIdx_[t];
     // Intra-thread reordering (Section 4.1.1): demand reads first,
     // then prefetch reads, then the oldest request -- a read may not
     // bypass an older same-line write (dependence).  One O(n) pass;
     // see row_scan.hh for the equivalence argument.
-    return rowCandidateIndex(buf, rowScratch);
+    std::size_t idx = rowCandidateIndex(buffers_[t], rowScratch);
+    candIdx_[t] = static_cast<std::uint32_t>(idx);
+    candValid_ |= bit;
+    return idx;
 }
 
 double
 VpcArbiter::nextVirtualFinish(ThreadId t) const
 {
-    const ThreadState &ts = threads.at(t);
-    if (ts.buffer.empty())
+    const SmallRing<ArbRequest> &buf = buffers_.at(t);
+    if (buf.empty())
         return kInf;
-    std::size_t idx = candidateIndex(ts.buffer);
-    return ts.rs + virtualService(ts, ts.buffer[idx]);
+    std::size_t idx = candidateIndex(t);
+    return rs_[t] + virtualService(t, buf[idx]);
 }
 
 std::optional<ArbRequest>
@@ -128,19 +139,21 @@ VpcArbiter::select(Cycle now)
     SeqNum best_seq = 0;
 
     // Visit backlogged threads only (ascending t, as before, so the
-    // (finish, seq) tie-break is unchanged).
+    // (finish, seq) tie-break is unchanged).  Candidate indices are
+    // cached per thread, so a thread whose buffer did not change since
+    // the last select costs one masked load, not a RoW rescan.
     for (std::uint64_t m = activeMask; m != 0; m &= m - 1) {
         auto t = static_cast<ThreadId>(std::countr_zero(m));
-        ThreadState &ts = threads[t];
         if (!options.workConserving &&
-            ts.rs > static_cast<double>(now)) {
+            rs_[t] > static_cast<double>(now)) {
             // Non-work-conserving ablation: the thread's virtual start
             // time has not arrived yet; it is ineligible.
             continue;
         }
-        std::size_t idx = candidateIndex(ts.buffer);
-        double f = ts.rs + virtualService(ts, ts.buffer[idx]);
-        SeqNum seq = ts.buffer[idx].seq;
+        std::size_t idx = candidateIndex(t);
+        const ArbRequest &req = buffers_[t][idx];
+        double f = rs_[t] + virtualService(t, req);
+        SeqNum seq = req.seq;
         if (!found || f < best_f || (f == best_f && seq < best_seq)) {
             found = true;
             best_t = t;
@@ -152,20 +165,21 @@ VpcArbiter::select(Cycle now)
     if (!found)
         return std::nullopt;
 
-    ThreadState &ts = threads[best_t];
-    ArbRequest req = ts.buffer[best_idx];
-    ts.buffer.erase_at(best_idx);
-    if (ts.buffer.empty())
+    SmallRing<ArbRequest> &buf = buffers_[best_t];
+    ArbRequest req = buf[best_idx];
+    buf.erase_at(best_idx);
+    invalidateCandidate(best_t);
+    if (buf.empty())
         activeMask &= ~(1ull << best_t);
     --total;
     // System virtual time = start tag of the request entering
     // service (used by virtual-clock idle resets).
-    if (ts.rs > vclock)
-        vclock = ts.rs;
+    if (rs_[best_t] > vclock)
+        vclock = rs_[best_t];
     // Equation 5: advance the virtual resource past this service.
-    ts.rs = best_f;
+    rs_[best_t] = best_f;
     VPC_DPRINTF(Arbiter, "[{}] grant t{} seq {} F={:.1f} rs->{:.1f}",
-                now, best_t, req.seq, best_f, ts.rs);
+                now, best_t, req.seq, best_f, rs_[best_t]);
     recordGrant(req, now);
     return req;
 }
@@ -185,7 +199,7 @@ VpcArbiter::pendingCount() const
 std::size_t
 VpcArbiter::pendingCount(ThreadId t) const
 {
-    return threads.at(t).buffer.size();
+    return buffers_.at(t).size();
 }
 
 } // namespace vpc

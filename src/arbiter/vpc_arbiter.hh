@@ -112,10 +112,10 @@ class VpcArbiter : public Arbiter
     bool faultDropOldest(ThreadId t) override;
 
     /** @return thread @p t's current share phi_t. */
-    double share(ThreadId t) const { return threads.at(t).phi; }
+    double share(ThreadId t) const { return phi_.at(t); }
 
     /** @return R.S_t, thread @p t's virtual-resource-available time. */
-    double virtualTime(ThreadId t) const { return threads.at(t).rs; }
+    double virtualTime(ThreadId t) const { return rs_.at(t); }
 
     /**
      * Virtual finish time of thread @p t's next grant, or +infinity if
@@ -135,7 +135,7 @@ class VpcArbiter : public Arbiter
     /** @return R.L_t = L / phi_t (+infinity when phi_t = 0). */
     double virtualServiceTime(ThreadId t) const
     {
-        return threads.at(t).rl;
+        return rl_.at(t);
     }
 
     /**
@@ -146,7 +146,7 @@ class VpcArbiter : public Arbiter
     void
     faultCorruptVirtualTime(ThreadId t, double delta)
     {
-        threads.at(t).rs -= delta;
+        rs_.at(t) -= delta;
     }
 
   protected:
@@ -156,29 +156,42 @@ class VpcArbiter : public Arbiter
     static constexpr unsigned kMaxThreads = 64;
 
   private:
-    struct ThreadState
-    {
-        SmallRing<ArbRequest> buffer; //!< pending request IDs
-        double phi = 0.0;             //!< bandwidth share
-        double rl = 0.0;              //!< R.L_i = L / phi_i
-        double rs = 0.0;              //!< R.S_i register
-    };
-
     /**
-     * Index into @p buf of the request to service next under the
-     * intra-thread reordering policy (RoW subject to same-line
-     * dependences when enabled, else FIFO).
+     * Index into thread @p t's buffer of the request to service next
+     * under the intra-thread reordering policy (RoW subject to
+     * same-line dependences when enabled, else FIFO).  Cached per
+     * thread: the RoW scan depends only on the buffer's contents, so
+     * the cache is invalidated exactly on buffer mutation (enqueue,
+     * grant, fault drop).  Between mutations the EDF loop reads the
+     * winner back in O(1) instead of rescanning every backlogged
+     * buffer every select.
      */
-    std::size_t candidateIndex(const SmallRing<ArbRequest> &buf) const;
+    std::size_t candidateIndex(ThreadId t) const;
 
-    /** Virtual service time of @p req for thread state @p ts. */
-    double
-    virtualService(const ThreadState &ts, const ArbRequest &req) const
+    /** Drop thread @p t's cached candidate (buffer mutated). */
+    void
+    invalidateCandidate(ThreadId t)
     {
-        return req.isWrite ? ts.rl * writeMult : ts.rl;
+        candValid_ &= ~(std::uint64_t{1} << t);
     }
 
-    std::vector<ThreadState> threads;
+    /** Virtual service time of @p req for thread @p t. */
+    double
+    virtualService(ThreadId t, const ArbRequest &req) const
+    {
+        return req.isWrite ? rl_[t] * writeMult : rl_[t];
+    }
+
+    //! @name Per-thread state, flat (structure-of-arrays)
+    /// @{
+    std::vector<SmallRing<ArbRequest>> buffers_;
+    std::vector<double> phi_; //!< bandwidth share
+    std::vector<double> rl_;  //!< R.L_i = L / phi_i
+    std::vector<double> rs_;  //!< R.S_i register
+    mutable std::vector<std::uint32_t> candIdx_; //!< cached candidate
+    /// @}
+    /** Bit t set iff candIdx_[t] is current for buffers_[t]. */
+    mutable std::uint64_t candValid_ = 0;
     /**
      * Bit t set iff thread t's buffer is non-empty.  EDF selection
      * iterates set bits only, so idle threads cost nothing — with one

@@ -1,5 +1,8 @@
 #include "cache/cache_array.hh"
 
+#include <bit>
+#include <limits>
+
 #include "cache/replacement.hh"
 #include "sim/logging.hh"
 
@@ -18,54 +21,32 @@ CacheArray::CacheArray(std::uint64_t sets, unsigned ways,
                   "line size ({})", sets_, lineBytes_);
     if (ways_ == 0)
         vpc_fatal("cache must have at least one way");
+    if (ways_ > 64)
+        vpc_fatal("cache associativity {} exceeds 64 (way state is "
+                  "packed into one mask word per set)", ways_);
     if (!policy_)
         vpc_panic("CacheArray constructed without replacement policy");
-    data.assign(sets_ * ways_, CacheLine{});
+    lineShift_ = log2i(lineBytes_);
+    setShift_ = log2i(sets_);
+    kind_ = policy_->kind();
+    tags_.assign(sets_ * ways_, 0);
+    stamps_.assign(sets_ * ways_, 0);
+    owners_.assign(sets_ * ways_, kInvalidThread);
+    validMask_.assign(sets_, 0);
+    dirtyMask_.assign(sets_, 0);
 }
 
 CacheArray::~CacheArray() = default;
 
-std::uint64_t
-CacheArray::setIndex(Addr addr) const
+void
+CacheArray::ensureMaskThread(ThreadId t)
 {
-    return ((addr / lineBytes_) >> indexShift_) & (sets_ - 1);
-}
-
-Addr
-CacheArray::tagOf(Addr addr) const
-{
-    return ((addr / lineBytes_) >> indexShift_) / sets_;
-}
-
-std::span<CacheLine>
-CacheArray::setOf(Addr addr)
-{
-    return {data.data() + setIndex(addr) * ways_, ways_};
-}
-
-std::span<const CacheLine>
-CacheArray::setOf(Addr addr) const
-{
-    return {data.data() + setIndex(addr) * ways_, ways_};
-}
-
-bool
-CacheArray::lookup(Addr addr, bool touch, ThreadId t)
-{
-    (void)t;
-    Addr tag = tagOf(addr);
-    for (CacheLine &line : setOf(addr)) {
-        if (line.valid && line.tag == tag) {
-            if (touch) {
-                line.lastUse = ++useClock;
-                hits.inc();
-            }
-            return true;
-        }
+    if (t == kInvalidThread)
+        return;
+    while (maskThreads_ <= t) {
+        ownerWays_.insert(ownerWays_.end(), sets_, 0);
+        ++maskThreads_;
     }
-    if (touch)
-        misses.inc();
-    return false;
 }
 
 void
@@ -89,20 +70,137 @@ CacheArray::trackedOccupancy(ThreadId t) const
 bool
 CacheArray::faultFlipOwner(ThreadId to)
 {
-    for (CacheLine &line : data) {
-        if (line.valid && line.owner != to) {
-            line.owner = to;
+    // Reassigns the real ownership state — owners_ *and* the way
+    // masks, so the devirtualized victim path keeps agreeing with the
+    // oracle's view of the lines — while leaving the occTracked_
+    // counters stale.  That is the injected inconsistency the
+    // CapacityAuditor must catch.
+    for (std::uint64_t s = 0; s < sets_; ++s) {
+        for (std::uint64_t m = validMask_[s]; m != 0; m &= m - 1) {
+            unsigned w = ctz64(m);
+            std::uint64_t li = s * ways_ + w;
+            if (owners_[li] == to)
+                continue;
+            ThreadId from = owners_[li];
+            std::uint64_t bit = std::uint64_t{1} << w;
+            if (from < maskThreads_)
+                ownerWays_[from * sets_ + s] &= ~bit;
+            ensureMaskThread(to);
+            if (to != kInvalidThread)
+                ownerWays_[to * sets_ + s] |= bit;
+            owners_[li] = to;
             return true;
         }
     }
     return false;
 }
 
+std::span<const CacheLine>
+CacheArray::setLines(std::uint64_t index) const
+{
+    lineScratch_.resize(ways_);
+    const std::uint64_t base = index * ways_;
+    std::uint64_t vm = validMask_[index], dm = dirtyMask_[index];
+    for (unsigned w = 0; w < ways_; ++w) {
+        CacheLine &l = lineScratch_[w];
+        l.tag = tags_[base + w];
+        l.valid = (vm >> w) & 1;
+        l.dirty = (dm >> w) & 1;
+        l.owner = owners_[base + w];
+        l.lastUse = stamps_[base + w];
+    }
+    return {lineScratch_.data(), ways_};
+}
+
+unsigned
+CacheArray::minStampWay(std::uint64_t s, std::uint64_t mask) const
+{
+    // Ascending-way iteration with a strict compare reproduces the
+    // oracle's first-lowest-way tie-break exactly.
+    const std::uint64_t *st = &stamps_[s * ways_];
+    unsigned best = ways_;
+    std::uint64_t best_use = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        unsigned w = ctz64(m);
+        if (st[w] < best_use) {
+            best = w;
+            best_use = st[w];
+        }
+    }
+    return best;
+}
+
+unsigned
+CacheArray::chooseVictim(std::uint64_t s, ThreadId requester)
+{
+    const std::uint64_t full = fullMask();
+    const std::uint64_t vm = validMask_[s];
+    if (vm != full) {
+        // First invalid way, as every policy's firstInvalid() scan.
+        return ctz64(~vm & full);
+    }
+
+    switch (kind_) {
+      case PolicyKind::Lru:
+        return minStampWay(s, full);
+
+      case PolicyKind::Vpc: {
+        const auto &mgr =
+            static_cast<const VpcCapacityManager &>(*policy_);
+        std::span<const unsigned> quotas = mgr.quotaTable();
+        // Condition 1 (Section 4.2): LRU line among threads holding
+        // more than their way allocation of this set.  Occupancy is
+        // the popcount of the incrementally maintained ownership
+        // mask — no recount.
+        ThreadId n = maskThreads_ < quotas.size()
+            ? maskThreads_ : static_cast<ThreadId>(quotas.size());
+        std::uint64_t elig = 0;
+        for (ThreadId j = 0; j < n; ++j) {
+            std::uint64_t om = ownerWays_[j * sets_ + s];
+            if (static_cast<unsigned>(std::popcount(om)) > quotas[j])
+                elig |= om;
+        }
+        if (elig != 0)
+            return minStampWay(s, elig);
+        // Condition 2: the requester's own LRU line.  A thread with
+        // no ownership mask has never inserted a line, so the oracle's
+        // requester-owned scan is empty too.
+        std::uint64_t own = ownerMask(requester, s);
+        if (own != 0)
+            return minStampWay(s, own);
+        vpc_warn("VPC capacity manager: falling back to global LRU");
+        return minStampWay(s, full);
+      }
+
+      case PolicyKind::GlobalOccupancy: {
+        const auto &mgr =
+            static_cast<const GlobalOccupancyManager &>(*policy_);
+        std::span<const std::uint64_t> quotas = mgr.quotaTable();
+        std::span<const std::uint64_t> occ = mgr.occTable();
+        ThreadId n = maskThreads_ < quotas.size()
+            ? maskThreads_ : static_cast<ThreadId>(quotas.size());
+        std::uint64_t elig = 0;
+        for (ThreadId j = 0; j < n; ++j) {
+            if (occ[j] > quotas[j])
+                elig |= ownerWays_[j * sets_ + s];
+        }
+        if (elig != 0)
+            return minStampWay(s, elig);
+        return minStampWay(s, full);
+      }
+
+      case PolicyKind::Other:
+        break;
+    }
+    // Unknown policy: the virtual interface is the implementation.
+    return policy_->victim(setLines(s), requester);
+}
+
 Eviction
 CacheArray::insert(Addr addr, ThreadId t, bool dirty)
 {
-    std::span<CacheLine> set = setOf(addr);
-    unsigned w = policy_->victim(set, t);
+    std::uint64_t s = setIndex(addr);
+    unsigned w = chooseVictim(s, t);
     if (forcedVictim != kNoForcedVictim) {
         // Injected fault: override the policy's choice so the victim
         // audit can be shown to catch illegal replacement decisions.
@@ -112,29 +210,39 @@ CacheArray::insert(Addr addr, ThreadId t, bool dirty)
     if (w >= ways_)
         vpc_panic("replacement policy returned way {} of {}", w, ways_);
     if (victimAudit)
-        victimAudit(set, t, w);
+        victimAudit(setLines(s), t, w);
 
-    CacheLine &line = set[w];
+    const std::uint64_t li = s * ways_ + w;
+    const std::uint64_t bit = std::uint64_t{1} << w;
     Eviction ev;
-    if (line.valid) {
+    if (validMask_[s] & bit) {
         ev.valid = true;
-        ev.dirty = line.dirty;
-        ev.owner = line.owner;
+        ev.dirty = (dirtyMask_[s] & bit) != 0;
+        ev.owner = owners_[li];
         // Reconstruct the victim's address: the discarded interleave
         // bits are constant per bank and equal to the incoming
         // address's low line bits.
-        Addr low = (addr / lineBytes_) &
+        Addr low = (addr >> lineShift_) &
                    ((Addr{1} << indexShift_) - 1);
-        ev.lineAddr = (((line.tag * sets_ + setIndex(addr))
+        ev.lineAddr = (((tags_[li] * sets_ + s)
                         << indexShift_) | low) * lineBytes_;
-        policy_->onEvict(line.owner);
-        bumpOcc(line.owner, -1);
+        if (ev.owner < maskThreads_)
+            ownerWays_[ev.owner * sets_ + s] &= ~bit;
+        policy_->onEvict(ev.owner);
+        bumpOcc(ev.owner, -1);
     }
-    line.tag = tagOf(addr);
-    line.valid = true;
-    line.dirty = dirty;
-    line.owner = t;
-    line.lastUse = ++useClock;
+    tags_[li] = tagOf(addr);
+    validMask_[s] |= bit;
+    if (dirty)
+        dirtyMask_[s] |= bit;
+    else
+        dirtyMask_[s] &= ~bit;
+    owners_[li] = t;
+    stamps_[li] = ++useClock;
+    if (t != kInvalidThread) {
+        ensureMaskThread(t);
+        ownerWays_[t * sets_ + s] |= bit;
+    }
     policy_->onInsert(t);
     bumpOcc(t, +1);
     return ev;
@@ -144,11 +252,14 @@ bool
 CacheArray::markDirty(Addr addr, ThreadId t)
 {
     (void)t;
+    std::uint64_t s = setIndex(addr);
     Addr tag = tagOf(addr);
-    for (CacheLine &line : setOf(addr)) {
-        if (line.valid && line.tag == tag) {
-            line.dirty = true;
-            line.lastUse = ++useClock;
+    const Addr *tags = &tags_[s * ways_];
+    for (std::uint64_t m = validMask_[s]; m != 0; m &= m - 1) {
+        unsigned w = ctz64(m);
+        if (tags[w] == tag) {
+            dirtyMask_[s] |= std::uint64_t{1} << w;
+            stamps_[s * ways_ + w] = ++useClock;
             return true;
         }
     }
@@ -158,13 +269,20 @@ CacheArray::markDirty(Addr addr, ThreadId t)
 void
 CacheArray::invalidate(Addr addr)
 {
+    std::uint64_t s = setIndex(addr);
     Addr tag = tagOf(addr);
-    for (CacheLine &line : setOf(addr)) {
-        if (line.valid && line.tag == tag) {
-            line.valid = false;
-            line.dirty = false;
-            policy_->onEvict(line.owner);
-            bumpOcc(line.owner, -1);
+    const Addr *tags = &tags_[s * ways_];
+    for (std::uint64_t m = validMask_[s]; m != 0; m &= m - 1) {
+        unsigned w = ctz64(m);
+        if (tags[w] == tag) {
+            std::uint64_t bit = std::uint64_t{1} << w;
+            validMask_[s] &= ~bit;
+            dirtyMask_[s] &= ~bit;
+            ThreadId owner = owners_[s * ways_ + w];
+            if (owner < maskThreads_)
+                ownerWays_[owner * sets_ + s] &= ~bit;
+            policy_->onEvict(owner);
+            bumpOcc(owner, -1);
             return;
         }
     }
@@ -173,9 +291,14 @@ CacheArray::invalidate(Addr addr)
 unsigned
 CacheArray::setOccupancy(Addr addr, ThreadId t) const
 {
+    // Deliberately an owners_ walk, not an ownerWays_ popcount: the
+    // verify layer uses this as the independent cross-check of the
+    // incremental masks.
+    std::uint64_t s = setIndex(addr);
     unsigned n = 0;
-    for (const CacheLine &line : setOf(addr)) {
-        if (line.valid && line.owner == t)
+    for (std::uint64_t m = validMask_[s]; m != 0; m &= m - 1) {
+        unsigned w = ctz64(m);
+        if (owners_[s * ways_ + w] == t)
             ++n;
     }
     return n;
@@ -185,9 +308,12 @@ std::uint64_t
 CacheArray::occupancy(ThreadId t) const
 {
     std::uint64_t n = 0;
-    for (const CacheLine &line : data) {
-        if (line.valid && line.owner == t)
-            ++n;
+    for (std::uint64_t s = 0; s < sets_; ++s) {
+        for (std::uint64_t m = validMask_[s]; m != 0; m &= m - 1) {
+            unsigned w = ctz64(m);
+            if (owners_[s * ways_ + w] == t)
+                ++n;
+        }
     }
     return n;
 }

@@ -6,6 +6,17 @@
  * and LRU ordering; a ReplacementPolicy chooses victims.  Timing is
  * modeled elsewhere (SharedResource / L1 latency) -- this class is the
  * functional state only.
+ *
+ * Storage is structure-of-arrays (DESIGN.md 5e): contiguous per-line
+ * tag and LRU-stamp words plus per-set packed valid/dirty bitmask
+ * words and per-(thread, set) ownership way masks, so lookup() is a
+ * stride-1 tag scan and victim selection is bitmask arithmetic over
+ * incrementally maintained occupancy state — no per-fill recount and
+ * no virtual call on the fill path.  The virtual ReplacementPolicy
+ * interface is retained as the debug/verify oracle: the fill path
+ * dispatches on PolicyKind instead, and the differential test
+ * (tests/cache/soa_oracle_test.cc) proves both agree on every
+ * replacement decision.
  */
 
 #ifndef VPC_CACHE_CACHE_ARRAY_HH
@@ -23,7 +34,11 @@
 namespace vpc
 {
 
-/** One cache line's bookkeeping state. */
+/**
+ * One cache line's bookkeeping state, as seen by the replacement
+ * oracle and the verify layer.  The array itself no longer stores
+ * lines in this shape; setLines() materializes them on demand.
+ */
 struct CacheLine
 {
     Addr tag = 0;
@@ -34,6 +49,20 @@ struct CacheLine
 };
 
 class ReplacementPolicy;
+
+/**
+ * Dispatch tag for the devirtualized fill path.  CacheArray::insert
+ * switches on the installed policy's kind instead of making a virtual
+ * victim() call; Other falls back to the virtual oracle (custom test
+ * policies).
+ */
+enum class PolicyKind
+{
+    Other,
+    Lru,
+    Vpc,
+    GlobalOccupancy,
+};
 
 /** Result of an insert: what was evicted, if anything. */
 struct Eviction
@@ -50,7 +79,7 @@ class CacheArray
   public:
     /**
      * @param sets number of sets (power of two)
-     * @param ways associativity
+     * @param ways associativity (at most 64: way masks are one word)
      * @param line_bytes line size (power of two)
      * @param policy victim selection; takes ownership
      * @param index_shift line-number bits to discard before set
@@ -68,6 +97,7 @@ class CacheArray
     CacheArray(const CacheArray &) = delete;
     CacheArray &operator=(const CacheArray &) = delete;
     CacheArray(CacheArray &&) = default;
+    CacheArray &operator=(CacheArray &&) = default;
 
     /**
      * Probe for @p addr.
@@ -77,7 +107,29 @@ class CacheArray
      * @param t thread performing the access (LRU bookkeeping)
      * @return true on hit
      */
-    bool lookup(Addr addr, bool touch, ThreadId t);
+    bool
+    lookup(Addr addr, bool touch, ThreadId t)
+    {
+        (void)t;
+        std::uint64_t s = setIndex(addr);
+        Addr tag = tagOf(addr);
+        const Addr *tags = &tags_[s * ways_];
+        // Stride-1 tag scan gated by the set's valid mask: iterate set
+        // bits only, so a half-filled set costs half the compares.
+        for (std::uint64_t m = validMask_[s]; m != 0; m &= m - 1) {
+            unsigned w = ctz64(m);
+            if (tags[w] == tag) {
+                if (touch) {
+                    stamps_[s * ways_ + w] = ++useClock;
+                    hits.inc();
+                }
+                return true;
+            }
+        }
+        if (touch)
+            misses.inc();
+        return false;
+    }
 
     /**
      * Install the line containing @p addr, selecting a victim via the
@@ -113,18 +165,21 @@ class CacheArray
      */
     std::uint64_t trackedOccupancy(ThreadId t) const;
 
-    /** @return the lines of set @p index (verify-layer inspection). */
-    std::span<const CacheLine>
-    setLines(std::uint64_t index) const
-    {
-        return {data.data() + index * ways_, ways_};
-    }
+    /**
+     * @return the lines of set @p index, materialized from the packed
+     * state (verify-layer inspection and the replacement oracle).
+     * The span aliases a scratch buffer: it is valid until the next
+     * setLines() call or insert() on this array.
+     */
+    std::span<const CacheLine> setLines(std::uint64_t index) const;
 
     /**
      * Observe-only tap invoked on every insert, before the victim
      * line is overwritten: (set lines, requesting thread, victim
      * way).  The VPC capacity auditor uses it to check conditions
-     * 1 and 2 of Section 4.2 on each replacement decision.
+     * 1 and 2 of Section 4.2 on each replacement decision, and the
+     * SoA differential test uses it to replay every decision through
+     * the virtual-policy oracle.
      */
     using VictimAudit =
         std::function<void(std::span<const CacheLine>, ThreadId,
@@ -168,23 +223,89 @@ class CacheArray
     std::uint64_t missCount() const { return misses.value(); }
 
   private:
-    std::uint64_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
-    std::span<CacheLine> setOf(Addr addr);
-    std::span<const CacheLine> setOf(Addr addr) const;
+    static unsigned
+    ctz64(std::uint64_t m)
+    {
+        return static_cast<unsigned>(__builtin_ctzll(m));
+    }
+
+    // sets_ and lineBytes_ are validated powers of two, so indexing
+    // is pure shift/mask -- no 64-bit division on the lookup path.
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> (lineShift_ + indexShift_)) & (sets_ - 1);
+    }
+
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr >> (lineShift_ + indexShift_ + setShift_);
+    }
+
+    /** Way mask with one bit per way of the (<= 64-way) set. */
+    std::uint64_t
+    fullMask() const
+    {
+        return ways_ == 64 ? ~std::uint64_t{0}
+                           : (std::uint64_t{1} << ways_) - 1;
+    }
+
+    /** @return owner-way mask of (thread, set), 0 if untracked. */
+    std::uint64_t
+    ownerMask(ThreadId t, std::uint64_t s) const
+    {
+        return t < maskThreads_ ? ownerWays_[t * sets_ + s] : 0;
+    }
+
+    /** Grow the per-thread ownership mask plane to cover thread t. */
+    void ensureMaskThread(ThreadId t);
+
+    /** Way with the smallest LRU stamp among @p mask; @p mask != 0. */
+    unsigned minStampWay(std::uint64_t s, std::uint64_t mask) const;
+
+    /** Devirtualized victim choice; must match policy_->victim(). */
+    unsigned chooseVictim(std::uint64_t s, ThreadId requester);
+
     void bumpOcc(ThreadId t, std::int64_t delta);
 
     std::uint64_t sets_;
     unsigned ways_;
     unsigned lineBytes_;
     unsigned indexShift_;
+    unsigned lineShift_ = 0; //!< log2(lineBytes_)
+    unsigned setShift_ = 0;  //!< log2(sets_)
     std::unique_ptr<ReplacementPolicy> policy_;
-    //! All lines, flat: set s occupies [s * ways_, (s + 1) * ways_).
-    //! One contiguous block keeps a set lookup to a single cache-line
-    //! touch instead of a per-set heap indirection.
-    std::vector<CacheLine> data;
+    /** Devirtualized dispatch tag derived from the policy. */
+    PolicyKind kind_ = PolicyKind::Other;
+
+    //! @name Structure-of-arrays line state
+    //! Per-line words, set-major: line (s, w) sits at s * ways_ + w.
+    /// @{
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> stamps_;  //!< LRU: higher = more recent
+    std::vector<ThreadId> owners_;
+    /// @}
+    //! Per-set packed state words, bit w = way w.
+    /// @{
+    std::vector<std::uint64_t> validMask_;
+    std::vector<std::uint64_t> dirtyMask_;
+    /// @}
+    /**
+     * Ownership way masks, thread-major: bit w of
+     * ownerWays_[t * sets_ + s] is set iff line (s, w) is valid and
+     * owned by t.  popcount is the set occupancy the VPC capacity
+     * manager recounted per fill in the AoS layout; condition 1's
+     * eligible set is the union of over-quota threads' masks.  The
+     * plane grows on demand as new thread ids insert.
+     */
+    std::vector<std::uint64_t> ownerWays_;
+    ThreadId maskThreads_ = 0; //!< threads covered by ownerWays_
+
     std::uint64_t useClock = 0;
     std::vector<std::uint64_t> occTracked_;
+    /** Scratch backing setLines() materialization. */
+    mutable std::vector<CacheLine> lineScratch_;
     VictimAudit victimAudit;
     static constexpr unsigned kNoForcedVictim = ~0u;
     unsigned forcedVictim = kNoForcedVictim;

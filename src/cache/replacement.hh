@@ -56,6 +56,15 @@ class ReplacementPolicy
     virtual void onInsert(ThreadId owner) { (void)owner; }
     virtual void onEvict(ThreadId owner) { (void)owner; }
 
+    /**
+     * @return the dispatch tag CacheArray uses to devirtualize the
+     * fill path.  Policies returning anything but Other promise that
+     * CacheArray's packed-mask victim computation is decision-for-
+     * decision identical to their virtual victim() — the SoA
+     * differential test enforces it.
+     */
+    virtual PolicyKind kind() const { return PolicyKind::Other; }
+
     /** @return a short display name. */
     virtual std::string name() const = 0;
 };
@@ -66,6 +75,7 @@ class LruReplacement : public ReplacementPolicy
   public:
     unsigned victim(std::span<const CacheLine> set,
                     ThreadId requester) const override;
+    PolicyKind kind() const override { return PolicyKind::Lru; }
     std::string name() const override { return "LRU"; }
 };
 
@@ -99,6 +109,10 @@ class GlobalOccupancyManager : public ReplacementPolicy
                     ThreadId requester) const override;
     void onInsert(ThreadId owner) override;
     void onEvict(ThreadId owner) override;
+    PolicyKind kind() const override
+    {
+        return PolicyKind::GlobalOccupancy;
+    }
     std::string name() const override { return "GlobalOccupancy"; }
 
     /** @return thread @p t's whole-cache line quota. */
@@ -109,6 +123,12 @@ class GlobalOccupancyManager : public ReplacementPolicy
     {
         return occ.at(t);
     }
+
+    /** @return all quotas (devirtualized fill path). */
+    std::span<const std::uint64_t> quotaTable() const { return quotas; }
+
+    /** @return all tracked occupancies (devirtualized fill path). */
+    std::span<const std::uint64_t> occTable() const { return occ; }
 
   private:
     std::vector<std::uint64_t> quotas;
@@ -127,6 +147,7 @@ class VpcCapacityManager : public ReplacementPolicy
 
     unsigned victim(std::span<const CacheLine> set,
                     ThreadId requester) const override;
+    PolicyKind kind() const override { return PolicyKind::Vpc; }
     std::string name() const override { return "VPC"; }
 
     /** Update thread @p t's capacity share. */
@@ -134,6 +155,9 @@ class VpcCapacityManager : public ReplacementPolicy
 
     /** @return thread @p t's way quota (floor(beta_t * ways)). */
     unsigned quota(ThreadId t) const { return quotas.at(t); }
+
+    /** @return all way quotas (devirtualized fill path). */
+    std::span<const unsigned> quotaTable() const { return quotas; }
 
   private:
     std::vector<double> betas;

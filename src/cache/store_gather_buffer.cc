@@ -16,12 +16,7 @@ StoreGatherBuffer::StoreGatherBuffer(unsigned entries_,
     if (highWater == 0 || highWater > entries)
         vpc_fatal("high-water mark {} invalid for {} entries",
                   highWater, entries);
-}
-
-bool
-StoreGatherBuffer::full() const
-{
-    return buffer.size() + reservations >= entries;
+    buffer.reserve(entries);
 }
 
 void
@@ -52,10 +47,11 @@ StoreGatherBuffer::addStore(Addr line_addr, Cycle now)
 bool
 StoreGatherBuffer::loadConflict(Addr line_addr) const
 {
-    return std::any_of(buffer.begin(), buffer.end(),
-                       [line_addr](const Entry &e) {
-                           return e.lineAddr == line_addr;
-                       });
+    for (const Entry &e : buffer) {
+        if (e.lineAddr == line_addr)
+            return true;
+    }
+    return false;
 }
 
 void
@@ -69,27 +65,6 @@ StoreGatherBuffer::flushThrough(Addr line_addr)
             return;
         }
     }
-}
-
-bool
-StoreGatherBuffer::loadsMayBypass() const
-{
-    // RoW inversion while at/above the high-water mark (Section 3.1).
-    return buffer.size() < highWater;
-}
-
-bool
-StoreGatherBuffer::hasRetirable() const
-{
-    return flushCount > 0 || buffer.size() >= highWater;
-}
-
-std::optional<Addr>
-StoreGatherBuffer::peekRetire() const
-{
-    if (buffer.empty())
-        return std::nullopt;
-    return buffer.front().lineAddr;
 }
 
 void

@@ -19,9 +19,9 @@
 #ifndef VPC_CACHE_STORE_GATHER_BUFFER_HH
 #define VPC_CACHE_STORE_GATHER_BUFFER_HH
 
-#include <deque>
 #include <optional>
 
+#include "sim/ring.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -39,7 +39,7 @@ class StoreGatherBuffer
     StoreGatherBuffer(unsigned entries, unsigned high_water);
 
     /** @return true if no entry (or reservation) is available. */
-    bool full() const;
+    bool full() const { return buffer.size() + reservations >= entries; }
 
     /** @return true if the buffer holds no stores. */
     bool empty() const { return buffer.empty(); }
@@ -71,14 +71,31 @@ class StoreGatherBuffer
      */
     void flushThrough(Addr line_addr);
 
-    /** @return true while loads may bypass buffered stores (RoW). */
-    bool loadsMayBypass() const;
+    /**
+     * @return true while loads may bypass buffered stores (RoW
+     * inversion at/above the high-water mark, Section 3.1).
+     */
+    bool loadsMayBypass() const { return buffer.size() < highWater; }
 
-    /** @return true if the retire policy wants to drain a store now. */
-    bool hasRetirable() const;
+    /**
+     * @return true if the retire policy wants to drain a store now.
+     * Inline: the bank quiescence hint polls this for every thread
+     * port on every executed cycle.
+     */
+    bool
+    hasRetirable() const
+    {
+        return flushCount > 0 || buffer.size() >= highWater;
+    }
 
     /** @return the line address of the oldest entry, if any. */
-    std::optional<Addr> peekRetire() const;
+    std::optional<Addr>
+    peekRetire() const
+    {
+        if (buffer.empty())
+            return std::nullopt;
+        return buffer.front().lineAddr;
+    }
 
     /** Retire (remove) the oldest entry. @pre !empty(). */
     void popRetire();
@@ -98,7 +115,7 @@ class StoreGatherBuffer
 
     unsigned entries;
     unsigned highWater;
-    std::deque<Entry> buffer;
+    SmallRing<Entry> buffer;
     unsigned reservations = 0;
     unsigned flushCount = 0; //!< oldest entries that must retire
     Counter total;

@@ -239,6 +239,15 @@ struct SystemConfig
     unsigned kernelThreads = 1;
 
     /**
+     * Attach the cycle-attribution profiler (--profile): per-component
+     * host-time accounting for ticks and owned events, reported to
+     * stderr (and into bench JSON) after the run.  Observe-only —
+     * enabling it never changes any model statistic; the parallel
+     * determinism test asserts that at every worker count.
+     */
+    bool profile = false;
+
+    /**
      * Permit zero QoS shares under the VPC policies.  A thread with
      * phi = 0 (or a beta whose way quota rounds to zero) holds no
      * guarantee at all -- it is served purely from excess bandwidth /

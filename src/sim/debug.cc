@@ -9,29 +9,20 @@ namespace vpc
 namespace debug
 {
 
+bool flagState[static_cast<std::size_t>(Flag::NumFlags)] = {};
+
 namespace
 {
 
 constexpr std::size_t kNumFlags =
     static_cast<std::size_t>(Flag::NumFlags);
 
-std::array<bool, kNumFlags> &
-flags()
-{
-    static std::array<bool, kNumFlags> f = [] {
-        std::array<bool, kNumFlags> init{};
-        if (const char *env = std::getenv("VPC_DEBUG")) {
-            // Populate directly; enableFromList writes into us via
-            // setEnabled, which reads this same array -- safe because
-            // the static is already constructed at that point.
-            (void)env;
-        }
-        return init;
-    }();
-    return f;
-}
-
-/** One-time VPC_DEBUG parse, after the flag array exists. */
+/**
+ * One-time VPC_DEBUG parse at process start.  flagState has constant
+ * (zero) initialization, so it is ready before any dynamic
+ * initializer -- no ordering hazard with this parse or with early
+ * enabled() calls, which simply see all-off until the parse runs.
+ */
 struct EnvInit
 {
     EnvInit()
@@ -40,6 +31,8 @@ struct EnvInit
             enableFromList(env);
     }
 };
+
+EnvInit envInit;
 
 } // namespace
 
@@ -57,17 +50,10 @@ flagName(Flag f)
     return "?";
 }
 
-bool
-enabled(Flag f)
-{
-    static EnvInit init;
-    return flags()[static_cast<std::size_t>(f)];
-}
-
 void
 setEnabled(Flag f, bool on)
 {
-    flags()[static_cast<std::size_t>(f)] = on;
+    flagState[static_cast<std::size_t>(f)] = on;
 }
 
 bool
@@ -83,7 +69,7 @@ enableFromList(std::string_view list)
         if (!name.empty()) {
             if (name == "All") {
                 for (std::size_t i = 0; i < kNumFlags; ++i)
-                    flags()[i] = true;
+                    flagState[i] = true;
             } else {
                 bool known = false;
                 for (std::size_t i = 0; i < kNumFlags; ++i) {

@@ -19,6 +19,7 @@
 #ifndef VPC_SIM_DEBUG_HH
 #define VPC_SIM_DEBUG_HH
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -43,8 +44,19 @@ enum class Flag
 /** @return the canonical name of @p f. */
 const char *flagName(Flag f);
 
+/**
+ * Flag state, indexed by Flag.  Parsed from VPC_DEBUG at process
+ * start; exposed so enabled() is a single inline array load -- the
+ * guard sits on every DPRINTF site in the simulator's hot loops.
+ */
+extern bool flagState[static_cast<std::size_t>(Flag::NumFlags)];
+
 /** @return true if @p f was enabled via VPC_DEBUG. */
-bool enabled(Flag f);
+inline bool
+enabled(Flag f)
+{
+    return flagState[static_cast<std::size_t>(f)];
+}
 
 /**
  * Enable or disable @p f programmatically (tests).

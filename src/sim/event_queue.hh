@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/sched_key.hh"
 #include "sim/types.hh"
 
@@ -142,6 +143,22 @@ class EventQueue
      * insertion sequence.  Not owned; must outlive the queue's use.
      */
     void setKeySource(KeySource *ks) { keySrc_ = ks; }
+
+    /**
+     * Install (or clear, with nullptr) the cycle-attribution profiler.
+     * With one installed, every fired callback is timed and credited
+     * to the component context that scheduled it (see Profiler).  Not
+     * owned; must outlive the queue's use.
+     */
+    void setProfiler(Profiler *p) { prof_ = p; }
+
+    /**
+     * Set the owner context for subsequently scheduled events.  The
+     * kernel brackets each component's tick() with its id; events
+     * scheduled from inside a callback inherit the firing event's
+     * owner instead (fireSlot() overrides the context).
+     */
+    void setProfileContext(Profiler::ComponentId id) { profCtx_ = id; }
 
     /**
      * Schedule a callable under an explicit ordering key (the sharded
@@ -258,6 +275,8 @@ class EventQueue
         void (*run)(void *storage);
         void (*destroy)(void *storage);
         Node *nextFree;
+        /** Profiler account of the scheduling context (0 = none). */
+        Profiler::ComponentId owner;
         alignas(std::max_align_t) std::byte storage[kInlineBytes];
     };
 
@@ -373,7 +392,18 @@ class EventQueue
                 // call: a reschedule from inside the callback must not
                 // reuse the storage the callable still lives in.
                 firing_ = &e.key;
-                e.node->run(e.node->storage);
+                if (prof_ != nullptr) {
+                    // Children scheduled by this callback inherit its
+                    // owner; the tick loop re-sets the context after.
+                    Profiler::ComponentId owner = e.node->owner;
+                    profCtx_ = owner;
+                    std::uint64_t t0 = Profiler::nowNs();
+                    e.node->run(e.node->storage);
+                    prof_->addEvent(owner, Profiler::nowNs() - t0);
+                    profCtx_ = Profiler::kUnattributed;
+                } else {
+                    e.node->run(e.node->storage);
+                }
                 e.node->destroy(e.node->storage);
                 release(e.node);
                 ++fireIdx_;
@@ -427,6 +457,7 @@ class EventQueue
     {
         using Fn = std::decay_t<F>;
         Node *node = acquire();
+        node->owner = profCtx_;
         if constexpr (sizeof(Fn) <= kInlineBytes &&
                       alignof(Fn) <= alignof(std::max_align_t)) {
             ::new (static_cast<void *>(node->storage))
@@ -503,6 +534,9 @@ class EventQueue
     mutable Cycle cachedNext_ = kCycleMax;
     mutable bool cacheDirty_ = false;
     const SchedKey *firing_ = nullptr;
+    Profiler *prof_ = nullptr; //!< null unless --profile
+    /** Owner billed to events scheduled right now (see setProfileContext). */
+    Profiler::ComponentId profCtx_ = Profiler::kUnattributed;
 };
 
 } // namespace vpc

@@ -1,0 +1,114 @@
+#include "sim/profiler.hh"
+
+#include <algorithm>
+
+#include "sim/format.hh"
+
+namespace vpc
+{
+
+void
+Profiler::mergeByName(const Profiler &other)
+{
+    for (const Entry &oe : other.entries_) {
+        Entry *mine = nullptr;
+        for (Entry &e : entries_) {
+            if (e.name == oe.name) {
+                mine = &e;
+                break;
+            }
+        }
+        if (mine == nullptr) {
+            entries_.push_back(Entry{oe.name});
+            mine = &entries_.back();
+        }
+        mine->tickNs += oe.tickNs;
+        mine->tickCount += oe.tickCount;
+        mine->eventNs += oe.eventNs;
+        mine->eventCount += oe.eventCount;
+    }
+}
+
+std::uint64_t
+Profiler::totalEventNs() const
+{
+    std::uint64_t n = 0;
+    for (const Entry &e : entries_)
+        n += e.eventNs;
+    return n;
+}
+
+std::uint64_t
+Profiler::attributedEventNs() const
+{
+    std::uint64_t n = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i)
+        n += entries_[i].eventNs;
+    return n;
+}
+
+std::string
+Profiler::report() const
+{
+    std::vector<const Entry *> order;
+    order.reserve(entries_.size());
+    for (const Entry &e : entries_) {
+        if (e.tickCount != 0 || e.eventCount != 0)
+            order.push_back(&e);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Entry *a, const Entry *b) {
+                  std::uint64_t ta = a->tickNs + a->eventNs;
+                  std::uint64_t tb = b->tickNs + b->eventNs;
+                  if (ta != tb)
+                      return ta > tb;
+                  return a->name < b->name;
+              });
+
+    std::uint64_t grand = 0;
+    for (const Entry &e : entries_)
+        grand += e.tickNs + e.eventNs;
+
+    // The project formatter has no width/alignment specs; pad by hand.
+    auto left = [](std::string s, std::size_t w) {
+        if (s.size() < w)
+            s.append(w - s.size(), ' ');
+        return s;
+    };
+    auto right = [](std::string s, std::size_t w) {
+        if (s.size() < w)
+            s.insert(0, w - s.size(), ' ');
+        return s;
+    };
+
+    std::string out = "profile: " + left("component", 18) + " " +
+        right("ticks", 10) + " " + right("tick-ms", 12) + " " +
+        right("events", 10) + " " + right("event-ms", 12) + " " +
+        right("share", 7);
+    for (const Entry *e : order) {
+        std::uint64_t t = e->tickNs + e->eventNs;
+        double share = grand == 0
+            ? 0.0 : 100.0 * static_cast<double>(t) /
+                    static_cast<double>(grand);
+        out += "\nprofile: " + left(e->name, 18) + " " +
+            right(vpc::format("{}", e->tickCount), 10) + " " +
+            right(vpc::format("{:.2f}",
+                              static_cast<double>(e->tickNs) / 1e6),
+                  12) + " " +
+            right(vpc::format("{}", e->eventCount), 10) + " " +
+            right(vpc::format("{:.2f}",
+                              static_cast<double>(e->eventNs) / 1e6),
+                  12) + " " +
+            right(vpc::format("{:.1f}%", share), 7);
+    }
+    std::uint64_t ev_total = totalEventNs();
+    double attributed = ev_total == 0
+        ? 100.0 : 100.0 * static_cast<double>(attributedEventNs()) /
+                  static_cast<double>(ev_total);
+    out += vpc::format(
+        "\nprofile: {:.1f}% of event time attributed to named "
+        "components", attributed);
+    return out;
+}
+
+} // namespace vpc

@@ -54,15 +54,59 @@ ShardedSimulator::uncoreEvents()
 }
 
 void
-ShardedSimulator::addCoreTicking(unsigned core, Ticking *t)
+ShardedSimulator::addCoreTicking(unsigned core, Ticking *t,
+                                 std::string name)
 {
-    shards_.at(core)->comps.push_back(t);
+    Shard &sh = *shards_.at(core);
+    sh.comps.push_back(t);
+    sh.names.push_back(std::move(name));
 }
 
 void
-ShardedSimulator::addUncoreTicking(Ticking *t)
+ShardedSimulator::addUncoreTicking(Ticking *t, std::string name)
 {
-    shards_[cores_]->comps.push_back(t);
+    Shard &sh = *shards_[cores_];
+    sh.comps.push_back(t);
+    sh.names.push_back(std::move(name));
+}
+
+void
+ShardedSimulator::installProfiler(Shard &sh, Profiler *p)
+{
+    sh.prof = p;
+    sh.queue.setProfiler(p);
+    sh.ids.clear();
+    if (p != nullptr) {
+        sh.ids.reserve(sh.comps.size());
+        for (std::size_t i = 0; i < sh.comps.size(); ++i) {
+            sh.ids.push_back(p->add(
+                sh.names[i].empty() ? "comp" + std::to_string(i)
+                                    : sh.names[i]));
+        }
+    }
+}
+
+void
+ShardedSimulator::setCoreProfiler(unsigned core, Profiler *p)
+{
+    Shard &sh = *shards_.at(core);
+    installProfiler(sh, p);
+    // Fills arriving over the ring were originated by the L2; bill
+    // them to an "l2" account here, merged with the uncore's by name.
+    sh.fillOwner = p != nullptr ? p->add("l2") : Profiler::kUnattributed;
+}
+
+void
+ShardedSimulator::setUncoreProfiler(Profiler *p)
+{
+    Shard &sh = *shards_[cores_];
+    installProfiler(sh, p);
+    // Arrivals over ring c were originated by that core's CPU.
+    sh.arriveOwner.assign(cores_, Profiler::kUnattributed);
+    if (p != nullptr) {
+        for (unsigned c = 0; c < cores_; ++c)
+            sh.arriveOwner[c] = p->add("cpu" + std::to_string(c));
+    }
 }
 
 void
@@ -132,31 +176,41 @@ ShardedSimulator::publishOcc(unsigned core, unsigned bank, Cycle eff,
 void
 ShardedSimulator::drainInto(std::size_t s)
 {
+    // Ring deliveries re-schedule events the *other* side's component
+    // originated, so bill them to their semantic senders — exactly
+    // what the serial kernel's owner-context attribution would do.
+    Shard &sh = *shards_[s];
     if (s == cores_) {
         // Fixed core order: arrival *events* are ordered by their
         // carried keys anyway, so drain order only affects queue
         // internals; keeping it fixed keeps those deterministic too.
         for (unsigned c = 0; c < cores_; ++c) {
+            if (sh.prof != nullptr)
+                sh.queue.setProfileContext(sh.arriveOwner[c]);
             CrossMsg m;
             while (toUncore_[c]->pop(m)) {
-                shards_[s]->queue.scheduleKeyed(
+                sh.queue.scheduleKeyed(
                     m.key, [this, m] { arriveHandler_(m); });
             }
         }
     } else {
+        if (sh.prof != nullptr)
+            sh.queue.setProfileContext(sh.fillOwner);
         CoreMsg m;
         while (toCore_[s]->pop(m)) {
             if (m.kind == 0) {
-                shards_[s]->queue.scheduleKeyed(
+                sh.queue.scheduleKeyed(
                     m.key, [this, s, m] {
                         fillHandler_(static_cast<unsigned>(s), m.line,
                                      m.key.when);
                     });
             } else {
-                shards_[s]->occPending.push_back(m);
+                sh.occPending.push_back(m);
             }
         }
     }
+    if (sh.prof != nullptr)
+        sh.queue.setProfileContext(Profiler::kUnattributed);
 }
 
 void
@@ -245,9 +299,20 @@ ShardedSimulator::advanceShard(std::size_t s)
         if (s == cores_ && fired > 0 && phaseHook_)
             phaseHook_(c);
         std::size_t ticked = 0;
-        for (Ticking *t : sh.comps) {
+        for (std::size_t i = 0; i < sh.comps.size(); ++i) {
+            Ticking *t = sh.comps[i];
             if (t->nextWork(c) <= c) {
-                t->tick(c);
+                if (sh.prof != nullptr) {
+                    Profiler::ComponentId id = sh.ids[i];
+                    sh.queue.setProfileContext(id);
+                    std::uint64_t t0 = Profiler::nowNs();
+                    t->tick(c);
+                    sh.prof->addTick(id, Profiler::nowNs() - t0);
+                    sh.queue.setProfileContext(
+                        Profiler::kUnattributed);
+                } else {
+                    t->tick(c);
+                }
                 ++ticked;
             }
         }

@@ -101,11 +101,30 @@ class ShardedSimulator
     /** @return the uncore shard's event queue. */
     EventQueue &uncoreEvents();
 
-    /** Register a component on core shard @p core (registration order). */
-    void addCoreTicking(unsigned core, Ticking *t);
+    /**
+     * Register a component on core shard @p core (registration order).
+     * @p name labels the component in --profile reports.
+     */
+    void addCoreTicking(unsigned core, Ticking *t,
+                        std::string name = {});
 
-    /** Register a component on the uncore shard (registration order). */
-    void addUncoreTicking(Ticking *t);
+    /**
+     * Register a component on the uncore shard (registration order).
+     * @p name labels the component in --profile reports.
+     */
+    void addUncoreTicking(Ticking *t, std::string name = {});
+
+    /**
+     * Install a cycle-attribution profiler on core shard @p core
+     * (nullptr to remove).  Each shard gets its own Profiler — no
+     * shared counters between workers — and the caller merges them
+     * with Profiler::mergeByName after the run.  Install after all
+     * addCoreTicking() calls and before running.
+     */
+    void setCoreProfiler(unsigned core, Profiler *p);
+
+    /** Install a profiler on the uncore shard (see setCoreProfiler). */
+    void setUncoreProfiler(Profiler *p);
 
     /**
      * Install the uncore-side delivery for core-to-uncore messages.
@@ -177,6 +196,13 @@ class ShardedSimulator
         EventQueue queue;
         KeySource key;
         std::vector<Ticking *> comps;
+        std::vector<std::string> names;  //!< profile labels, parallel
+        std::vector<Profiler::ComponentId> ids; //!< profiler accounts
+        Profiler *prof = nullptr;        //!< null unless --profile
+        /** Account billed for ring fills (core shards): the L2. */
+        Profiler::ComponentId fillOwner = Profiler::kUnattributed;
+        /** Accounts billed for ring arrivals (uncore): sender CPUs. */
+        std::vector<Profiler::ComponentId> arriveOwner;
         std::mutex mtx;
         std::atomic<Cycle> frontier{0};
         Cycle nextCycle = 0;
@@ -186,6 +212,7 @@ class ShardedSimulator
         KernelStats stats;
     };
 
+    void installProfiler(Shard &sh, Profiler *p);
     void workerLoop(std::size_t w);
     bool advanceShard(std::size_t s); //!< caller holds shards_[s]->mtx
     void drainInto(std::size_t s);    //!< caller holds shards_[s]->mtx

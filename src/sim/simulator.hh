@@ -35,9 +35,12 @@
 #ifndef VPC_SIM_SIMULATOR_HH
 #define VPC_SIM_SIMULATOR_HH
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/profiler.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -108,8 +111,39 @@ class Simulator
     /**
      * Register a component for per-cycle ticking.  The simulator does
      * not take ownership; the component must outlive the simulator run.
+     * @p name labels the component in --profile reports; unnamed
+     * components are auto-labelled "comp<index>".
      */
-    void addTicking(Ticking *t) { components.push_back(t); }
+    void
+    addTicking(Ticking *t, std::string name = {})
+    {
+        components.push_back(t);
+        names_.push_back(std::move(name));
+    }
+
+    /**
+     * Install the cycle-attribution profiler (nullptr to remove).
+     * Registers every component added so far under its addTicking()
+     * name and brackets each executed tick with the component's owner
+     * context, so events it schedules bill to it.  Install after all
+     * addTicking() calls and before running.  Observe-only: profiling
+     * never changes model state or statistics.
+     */
+    void
+    setProfiler(Profiler *p)
+    {
+        prof_ = p;
+        queue.setProfiler(p);
+        ids_.clear();
+        if (p != nullptr) {
+            ids_.reserve(components.size());
+            for (std::size_t i = 0; i < components.size(); ++i) {
+                ids_.push_back(p->add(
+                    names_[i].empty() ? "comp" + std::to_string(i)
+                                      : names_[i]));
+            }
+        }
+    }
 
     /**
      * Install the audit hook (nullptr to remove).  The auditor does
@@ -147,8 +181,13 @@ class Simulator
     step()
     {
         kernel_.eventsFired.inc(queue.runDue(cycle_));
-        for (Ticking *t : components)
-            t->tick(cycle_);
+        if (prof_ != nullptr) {
+            for (std::size_t i = 0; i < components.size(); ++i)
+                profiledTick(i, cycle_);
+        } else {
+            for (Ticking *t : components)
+                t->tick(cycle_);
+        }
         kernel_.ticksExecuted.inc(components.size());
         kernel_.cyclesExecuted.inc();
         if (auditor_)
@@ -175,9 +214,13 @@ class Simulator
             // Active set: poll each hint immediately before the
             // component's slot so feeds from events and from earlier
             // components this cycle are already visible.
-            for (Ticking *t : components) {
+            for (std::size_t i = 0; i < components.size(); ++i) {
+                Ticking *t = components[i];
                 if (t->nextWork(cycle_) <= cycle_) {
-                    t->tick(cycle_);
+                    if (prof_ != nullptr)
+                        profiledTick(i, cycle_);
+                    else
+                        t->tick(cycle_);
                     kernel_.ticksExecuted.inc();
                 }
             }
@@ -207,6 +250,18 @@ class Simulator
     }
 
   private:
+    /** Timed tick of component @p i with its owner context active. */
+    void
+    profiledTick(std::size_t i, Cycle now)
+    {
+        Profiler::ComponentId id = ids_[i];
+        queue.setProfileContext(id);
+        std::uint64_t t0 = Profiler::nowNs();
+        components[i]->tick(now);
+        prof_->addTick(id, Profiler::nowNs() - t0);
+        queue.setProfileContext(Profiler::kUnattributed);
+    }
+
     /** Fold the wheel's cascade count into the kernel counters. */
     void
     syncWheelStats()
@@ -218,6 +273,9 @@ class Simulator
 
     EventQueue queue;
     std::vector<Ticking *> components;
+    std::vector<std::string> names_;      //!< profile labels, parallel
+    std::vector<Profiler::ComponentId> ids_; //!< profiler accounts
+    Profiler *prof_ = nullptr;            //!< null unless --profile
     Cycle cycle_ = 0;
     Auditable *auditor_ = nullptr;
     bool skipping_ = true;

@@ -1,6 +1,7 @@
 #include "system/cmp_system.hh"
 
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "arbiter/vpc_arbiter.hh"
@@ -176,10 +177,15 @@ CmpSystem::CmpSystem(SystemConfig cfg_,
 
     // Registration order defines intra-cycle evaluation order:
     // cores produce requests, the L2 moves them, memory follows.
-    for (auto &cpu : cpus)
-        sim.addTicking(cpu.get());
-    sim.addTicking(l2_.get());
-    sim.addTicking(mem_.get());
+    for (ThreadId t = 0; t < cfg.numProcessors; ++t)
+        sim.addTicking(cpus[t].get(), "cpu" + std::to_string(t));
+    sim.addTicking(l2_.get(), "l2");
+    sim.addTicking(mem_.get(), "mem");
+
+    if (cfg.profile) {
+        profilers_.push_back(std::make_unique<Profiler>());
+        sim.setProfiler(profilers_.back().get());
+    }
 
     // The simulator additionally forces the naive loop whenever an
     // auditor is installed, so verify runs never skip a cycle.
@@ -237,10 +243,32 @@ CmpSystem::buildSharded()
         }
     });
 
-    for (ThreadId t = 0; t < cfg.numProcessors; ++t)
-        psim_->addCoreTicking(t, cpus[t].get());
-    psim_->addUncoreTicking(l2_.get());
-    psim_->addUncoreTicking(mem_.get());
+    for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+        psim_->addCoreTicking(t, cpus[t].get(),
+                              "cpu" + std::to_string(t));
+    }
+    psim_->addUncoreTicking(l2_.get(), "l2");
+    psim_->addUncoreTicking(mem_.get(), "mem");
+
+    if (cfg.profile) {
+        // One Profiler per shard: workers never share counters; the
+        // accounts are merged by name in mergedProfile().
+        for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+            profilers_.push_back(std::make_unique<Profiler>());
+            psim_->setCoreProfiler(t, profilers_.back().get());
+        }
+        profilers_.push_back(std::make_unique<Profiler>());
+        psim_->setUncoreProfiler(profilers_.back().get());
+    }
+}
+
+Profiler
+CmpSystem::mergedProfile() const
+{
+    Profiler merged;
+    for (const auto &p : profilers_)
+        merged.mergeByName(*p);
+    return merged;
 }
 
 void

@@ -136,6 +136,16 @@ class CmpSystem
     /** Render the machine state for the panic dump (also tests). */
     std::string dumpState() const;
 
+    /** @return true when the cycle-attribution profiler is attached. */
+    bool profiling() const { return !profilers_.empty(); }
+
+    /**
+     * @return every kernel's profiler accounts folded into one, merged
+     *         by component name (the shard-parallel kernel keeps one
+     *         Profiler per shard).  Meaningful only when profiling().
+     */
+    Profiler mergedProfile() const;
+
   private:
     /** Build the verify layer from cfg.verify and install it. */
     void buildVerifier();
@@ -154,6 +164,8 @@ class CmpSystem
     std::unique_ptr<L2Cache> l2_;
     std::vector<std::unique_ptr<L1DCache>> l1s;
     std::vector<std::unique_ptr<Cpu>> cpus;
+    /** One per kernel (serial: 1; sharded: cores + 1); see --profile. */
+    std::vector<std::unique_ptr<Profiler>> profilers_;
 
     // Declared after the components so they are destroyed first:
     // the checkers and the dump callback hold references into them.

@@ -72,7 +72,7 @@ makePrivateConfig(const SystemConfig &base, double phi, double beta)
 double
 targetIpc(const SystemConfig &base, const Workload &workload,
           double phi, double beta, const RunLengths &lens,
-          KernelStats *kernel_out)
+          KernelStats *kernel_out, Profiler *profile_out)
 {
     if (phi <= 0.0)
         return 0.0;
@@ -83,6 +83,8 @@ targetIpc(const SystemConfig &base, const Workload &workload,
     IntervalStats stats = sys.runAndMeasure(lens.warmup, lens.measure);
     if (kernel_out)
         *kernel_out = sys.kernelStats();
+    if (profile_out && sys.profiling())
+        *profile_out = sys.mergedProfile();
     return stats.ipc.at(0);
 }
 

@@ -68,7 +68,8 @@ SystemConfig makePrivateConfig(const SystemConfig &base, double phi,
  */
 double targetIpc(const SystemConfig &base, const Workload &workload,
                  double phi, double beta, const RunLengths &lens = {},
-                 KernelStats *kernel_out = nullptr);
+                 KernelStats *kernel_out = nullptr,
+                 Profiler *profile_out = nullptr);
 
 /** @return the harmonic mean of @p values (0 if any value is 0). */
 double harmonicMean(const std::vector<double> &values);

@@ -129,6 +129,11 @@ simUsage()
         "                       shard-parallel kernel: one shard per\n"
         "                       core plus the uncore, bit-identical\n"
         "                       model results at any N\n"
+        "  --profile            attribute host time to components:\n"
+        "                       per-component tick/event time and\n"
+        "                       counts, reported to stderr after the\n"
+        "                       run (observe-only; model results are\n"
+        "                       unchanged)\n"
         "  --no-skip            disable kernel quiescence skipping and\n"
         "                       run the naive cycle loop (results are\n"
         "                       identical; useful for differential\n"
@@ -219,6 +224,8 @@ parseSimOptions(const std::vector<std::string> &args,
             if (!parseU64(value, n, error_out))
                 return std::nullopt;
             opts.config.kernelThreads = static_cast<unsigned>(n);
+        } else if (key == "--profile") {
+            opts.config.profile = true;
         } else if (key == "--no-skip") {
             opts.config.kernelSkip = false;
         } else if (key == "--paranoid") {

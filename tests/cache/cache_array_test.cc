@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 
 #include "cache/cache_array.hh"
 #include "cache/replacement.hh"
@@ -158,6 +159,24 @@ TEST(CacheArray, BadGeometryIsFatal)
 {
     EXPECT_EXIT(makeArray(3, 2), testing::ExitedWithCode(1),
                 "power-of-two");
+}
+
+TEST(CacheArray, MoveTransfersStateAndLeavesSourceDestructible)
+{
+    // Copy is deleted and both move operations are defaulted; the
+    // moved-from array holds only empty vectors and a null policy, so
+    // destroying it (without further use) must be safe.
+    CacheArray a = makeArray(4, 2);
+    a.insert(0x1000, 1, true);
+    CacheArray b = std::move(a);
+    EXPECT_TRUE(b.lookup(0x1000, false, 1));
+    EXPECT_EQ(b.trackedOccupancy(1), 1u);
+
+    CacheArray c = makeArray(4, 2);
+    c = std::move(b);
+    EXPECT_TRUE(c.lookup(0x1000, false, 1));
+    // a and b go out of scope moved-from; the destructors must not
+    // touch the transferred state.
 }
 
 } // namespace

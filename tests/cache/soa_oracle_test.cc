@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Randomized-trace golden differential for the structure-of-arrays
+ * CacheArray (DESIGN.md 5e).
+ *
+ * The SoA rebuild keeps the virtual ReplacementPolicy interface as an
+ * oracle while the fill path dispatches on PolicyKind and computes
+ * victims with bitmask arithmetic.  This test drives a CacheArray and
+ * an array-of-structures reference model (which consults the virtual
+ * policy for every victim) through the same randomized trace of
+ * lookups, fills, dirty-marks and invalidations, asserting at every
+ * step:
+ *
+ *  - identical victim ways (via the setVictimAudit tap, replayed
+ *    through ReplacementPolicy::victim on the pre-overwrite lines);
+ *  - identical evictions (valid/dirty/address/owner);
+ *  - identical per-thread occupancy.
+ *
+ * Covered policies: global LRU, the VPC capacity manager (including
+ * the multi-over-quota fairness refinement) and the flexible
+ * whole-cache occupancy manager.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "cache/replacement.hh"
+#include "sim/random.hh"
+
+namespace vpc
+{
+namespace
+{
+
+/**
+ * Array-of-structures reference cache: the pre-SoA CacheArray
+ * semantics, with every victim chosen by the virtual policy oracle.
+ */
+class RefArray
+{
+  public:
+    RefArray(std::uint64_t sets, unsigned ways, unsigned line_bytes,
+             std::unique_ptr<ReplacementPolicy> policy,
+             unsigned index_shift = 0)
+        : sets_(sets), ways_(ways), lineBytes_(line_bytes),
+          indexShift_(index_shift), policy_(std::move(policy)),
+          lines_(sets * ways)
+    {
+    }
+
+    bool
+    lookup(Addr addr, bool touch, ThreadId t)
+    {
+        (void)t;
+        std::uint64_t s = setIndex(addr);
+        Addr tag = tagOf(addr);
+        for (unsigned w = 0; w < ways_; ++w) {
+            CacheLine &l = line(s, w);
+            if (l.valid && l.tag == tag) {
+                if (touch)
+                    l.lastUse = ++useClock_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Insert; @p victim_out receives the chosen way. */
+    Eviction
+    insert(Addr addr, ThreadId t, bool dirty, unsigned &victim_out)
+    {
+        std::uint64_t s = setIndex(addr);
+        std::span<const CacheLine> set{&lines_[s * ways_], ways_};
+        unsigned w = policy_->victim(set, t);
+        victim_out = w;
+        CacheLine &l = line(s, w);
+        Eviction ev;
+        if (l.valid) {
+            ev.valid = true;
+            ev.dirty = l.dirty;
+            ev.owner = l.owner;
+            Addr low = (addr >> lineShift())
+                & ((Addr{1} << indexShift_) - 1);
+            ev.lineAddr = (((l.tag * sets_ + s) << indexShift_) | low)
+                * lineBytes_;
+            policy_->onEvict(l.owner);
+        }
+        l.tag = tagOf(addr);
+        l.valid = true;
+        l.dirty = dirty;
+        l.owner = t;
+        l.lastUse = ++useClock_;
+        policy_->onInsert(t);
+        return ev;
+    }
+
+    bool
+    markDirty(Addr addr, ThreadId t)
+    {
+        (void)t;
+        std::uint64_t s = setIndex(addr);
+        Addr tag = tagOf(addr);
+        for (unsigned w = 0; w < ways_; ++w) {
+            CacheLine &l = line(s, w);
+            if (l.valid && l.tag == tag) {
+                l.dirty = true;
+                l.lastUse = ++useClock_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    invalidate(Addr addr)
+    {
+        std::uint64_t s = setIndex(addr);
+        Addr tag = tagOf(addr);
+        for (unsigned w = 0; w < ways_; ++w) {
+            CacheLine &l = line(s, w);
+            if (l.valid && l.tag == tag) {
+                l.valid = false;
+                l.dirty = false;
+                policy_->onEvict(l.owner);
+                return;
+            }
+        }
+    }
+
+    std::uint64_t
+    occupancy(ThreadId t) const
+    {
+        std::uint64_t n = 0;
+        for (const CacheLine &l : lines_) {
+            if (l.valid && l.owner == t)
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    unsigned lineShift() const { return log2i(lineBytes_); }
+
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr / lineBytes_ >> indexShift_) % sets_;
+    }
+
+    Addr
+    tagOf(Addr addr) const
+    {
+        return (addr / lineBytes_ >> indexShift_) / sets_;
+    }
+
+    CacheLine &line(std::uint64_t s, unsigned w)
+    {
+        return lines_[s * ways_ + w];
+    }
+
+    std::uint64_t sets_;
+    unsigned ways_;
+    unsigned lineBytes_;
+    unsigned indexShift_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::vector<CacheLine> lines_;
+    std::uint64_t useClock_ = 0;
+};
+
+struct Geometry
+{
+    std::uint64_t sets = 16;
+    unsigned ways = 4;
+    unsigned lineBytes = 64;
+    unsigned indexShift = 0;
+};
+
+/**
+ * Drive both arrays through @p steps random operations and compare
+ * every replacement decision and the occupancy state after each one.
+ */
+void
+runDifferential(CacheArray &soa, RefArray &ref, ThreadId threads,
+                const Geometry &g, std::uint64_t seed,
+                std::uint64_t steps)
+{
+    // Footprint ~4x the cache so sets run full and victims matter.
+    const Addr span = g.sets * g.ways * g.lineBytes * 4;
+
+    // The audit tap sees the SoA array's pre-overwrite lines and its
+    // chosen way; replaying the lines through the virtual oracle of
+    // the *same* array checks kind-dispatch vs virtual agreement on
+    // the identical input, independent of the reference model.
+    unsigned soa_victim = 0;
+    soa.setVictimAudit([&](std::span<const CacheLine> set, ThreadId t,
+                           unsigned way) {
+        soa_victim = way;
+        EXPECT_EQ(soa.policy().victim(set, t), way)
+            << "devirtualized victim diverges from oracle";
+    });
+
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        ThreadId t = static_cast<ThreadId>(rng.below(threads));
+        Addr addr =
+            (rng.below(static_cast<std::uint32_t>(span / g.lineBytes))
+             * static_cast<Addr>(g.lineBytes))
+            + rng.below(g.lineBytes);
+        unsigned op = rng.below(10);
+        if (op < 6) {
+            // Access: fill on miss, like the cache models do.
+            bool hit_s = soa.lookup(addr, true, t);
+            bool hit_r = ref.lookup(addr, true, t);
+            ASSERT_EQ(hit_s, hit_r) << "hit divergence at step " << i;
+            if (!hit_s) {
+                bool dirty = rng.below(2) != 0;
+                unsigned ref_victim = 0;
+                Eviction es = soa.insert(addr, t, dirty);
+                Eviction er = ref.insert(addr, t, dirty, ref_victim);
+                ASSERT_EQ(soa_victim, ref_victim)
+                    << "victim way divergence at step " << i;
+                ASSERT_EQ(es.valid, er.valid) << "step " << i;
+                ASSERT_EQ(es.dirty, er.dirty) << "step " << i;
+                ASSERT_EQ(es.lineAddr, er.lineAddr) << "step " << i;
+                ASSERT_EQ(es.owner, er.owner) << "step " << i;
+            }
+        } else if (op < 8) {
+            ASSERT_EQ(soa.markDirty(addr, t), ref.markDirty(addr, t))
+                << "step " << i;
+        } else if (op < 9) {
+            soa.invalidate(addr);
+            ref.invalidate(addr);
+        } else {
+            // Untouched probe (no LRU update on either side).
+            ASSERT_EQ(soa.lookup(addr, false, t),
+                      ref.lookup(addr, false, t))
+                << "step " << i;
+        }
+        for (ThreadId j = 0; j < threads; ++j) {
+            ASSERT_EQ(soa.occupancy(j), ref.occupancy(j))
+                << "occupancy divergence for thread " << j
+                << " at step " << i;
+            ASSERT_EQ(soa.trackedOccupancy(j), ref.occupancy(j))
+                << "tracked occupancy drift for thread " << j
+                << " at step " << i;
+        }
+    }
+    soa.setVictimAudit(nullptr);
+}
+
+TEST(SoaOracle, GlobalLru)
+{
+    Geometry g;
+    CacheArray soa(g.sets, g.ways, g.lineBytes,
+                   std::make_unique<LruReplacement>());
+    RefArray ref(g.sets, g.ways, g.lineBytes,
+                 std::make_unique<LruReplacement>());
+    runDifferential(soa, ref, 4, g, 0xA11CE, 20'000);
+}
+
+TEST(SoaOracle, VpcCapacityManager)
+{
+    // Unequal shares: thread 0 holds half the ways, 3 gets none
+    // (always over any quota as soon as it owns a line), so both
+    // victim conditions and the fallback paths are exercised.
+    Geometry g;
+    std::vector<double> betas = {0.5, 0.25, 0.25, 0.0};
+    CacheArray soa(g.sets, g.ways, g.lineBytes,
+                   std::make_unique<VpcCapacityManager>(betas, g.ways));
+    RefArray ref(g.sets, g.ways, g.lineBytes,
+                 std::make_unique<VpcCapacityManager>(betas, g.ways));
+    runDifferential(soa, ref, 4, g, 0xB0B, 20'000);
+}
+
+TEST(SoaOracle, VpcFairnessRefinement)
+{
+    // Small quotas push several threads over-allocation at once, so
+    // condition 1 repeatedly selects among multiple threads' lines
+    // (the globally-LRU fairness refinement).
+    Geometry g;
+    g.ways = 8;
+    std::vector<double> betas = {0.125, 0.125, 0.125, 0.125};
+    CacheArray soa(g.sets, g.ways, g.lineBytes,
+                   std::make_unique<VpcCapacityManager>(betas, g.ways));
+    RefArray ref(g.sets, g.ways, g.lineBytes,
+                 std::make_unique<VpcCapacityManager>(betas, g.ways));
+    runDifferential(soa, ref, 4, g, 0xFA12, 20'000);
+}
+
+TEST(SoaOracle, GlobalOccupancyManager)
+{
+    Geometry g;
+    std::uint64_t total = g.sets * g.ways;
+    std::vector<double> betas = {0.5, 0.25, 0.125, 0.125};
+    CacheArray soa(
+        g.sets, g.ways, g.lineBytes,
+        std::make_unique<GlobalOccupancyManager>(betas, total));
+    RefArray ref(
+        g.sets, g.ways, g.lineBytes,
+        std::make_unique<GlobalOccupancyManager>(betas, total));
+    runDifferential(soa, ref, 4, g, 0xCAFE, 20'000);
+}
+
+TEST(SoaOracle, BankInterleavedIndexShift)
+{
+    // A banked array discards interleave bits before set indexing;
+    // the eviction-address reconstruction must agree too.
+    Geometry g;
+    g.indexShift = 2;
+    std::vector<double> betas = {0.5, 0.5};
+    CacheArray soa(g.sets, g.ways, g.lineBytes,
+                   std::make_unique<VpcCapacityManager>(betas, g.ways),
+                   g.indexShift);
+    RefArray ref(g.sets, g.ways, g.lineBytes,
+                 std::make_unique<VpcCapacityManager>(betas, g.ways),
+                 g.indexShift);
+    runDifferential(soa, ref, 2, g, 0x5EED, 20'000);
+}
+
+} // namespace
+} // namespace vpc

@@ -163,6 +163,59 @@ TEST(ParallelDeterminism, MicrobenchLoadsStores)
     }
 }
 
+TEST(ParallelDeterminism, ProfilerIsObserveOnly)
+{
+    // --profile must never change a model statistic: the profiler
+    // only reads the host clock and bumps host-side counters.  Run
+    // the same mix unprofiled at --threads=1 and profiled at every
+    // worker count; all model output must stay bit-identical.
+    SystemConfig cfg = makeBaselineConfig(4, ArbiterPolicy::Vpc);
+    RunDump plain = runOnce(cfg, specMix({"art", "vpr", "mesa",
+                                          "crafty"}), 1);
+    SystemConfig prof_cfg = cfg;
+    prof_cfg.profile = true;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        RunDump prof = runOnce(prof_cfg, specMix({"art", "vpr", "mesa",
+                                                  "crafty"}), threads);
+        SCOPED_TRACE("profiled threads=" + std::to_string(threads));
+        EXPECT_EQ(prof.end, plain.end);
+        EXPECT_EQ(prof.stats, plain.stats);
+        EXPECT_EQ(prof.state, plain.state);
+        EXPECT_EQ(prof.kernel.eventsFired.value(),
+                  plain.kernel.eventsFired.value());
+        EXPECT_EQ(prof.kernel.ticksExecuted.value(),
+                  plain.kernel.ticksExecuted.value());
+    }
+}
+
+TEST(ParallelDeterminism, ProfilerAccountsAllEventTime)
+{
+    // Attribution completeness: every executed event is owned by a
+    // named component (fills/arrivals bill to their semantic senders
+    // on the sharded kernel), so the unattributed account stays empty
+    // and event counts reconcile with the kernel's eventsFired.
+    for (unsigned threads : {1u, 4u}) {
+        SystemConfig cfg = makeBaselineConfig(4, ArbiterPolicy::Vpc);
+        cfg.profile = true;
+        cfg.kernelThreads = threads;
+        CmpSystem sys(cfg, specMix({"art", "vpr", "mesa", "crafty"}));
+        sys.run(kWarmup + kMeasure);
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ASSERT_TRUE(sys.profiling());
+        Profiler merged = sys.mergedProfile();
+        // Account 0 is "(unattributed)"; nothing may land there.
+        EXPECT_EQ(merged.entries().front().eventCount, 0u);
+        EXPECT_EQ(merged.attributedEventNs(), merged.totalEventNs());
+        std::uint64_t events = 0, ticks = 0;
+        for (const Profiler::Entry &e : merged.entries()) {
+            events += e.eventCount;
+            ticks += e.tickCount;
+        }
+        EXPECT_EQ(events, sys.kernelStats().eventsFired.value());
+        EXPECT_EQ(ticks, sys.kernelStats().ticksExecuted.value());
+    }
+}
+
 TEST(ParallelSmoke, FourWorkersShortRun)
 {
     // Minimal --threads=4 exercise kept deliberately short: under the

@@ -71,6 +71,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     k.cyclesSkipped.value()));
 
+    // The profile is host-time diagnostics, not model output: stderr,
+    // so differential stdout comparisons are unaffected.
+    if (sys.profiling()) {
+        std::fprintf(stderr, "%s\n",
+                     sys.mergedProfile().report().c_str());
+    }
+
     if (opts->dumpStats)
         dumpStats(sys, std::cout, sys.now());
     return 0;
