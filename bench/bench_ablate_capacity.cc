@@ -88,7 +88,8 @@ run(CapacityPolicy capacity, BenchReporter &rep)
                                                      0, 1));
     for (unsigned t = 1; t < 4; ++t) {
         wl.push_back(std::make_unique<SyntheticWorkload>(
-            streamerParams(), (1ull << 40) * t, t + 1));
+            streamerParams(), benchThreadBase(t),
+            benchThreadSeed(t)));
     }
     CmpSystem sys(cfg, std::move(wl));
     IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);

@@ -61,7 +61,7 @@ worstWindowIpc(bool idle_reset, BenchReporter &rep)
     cfg.vpcIdleReset = idle_reset;
     std::vector<std::unique_ptr<Workload>> wl;
     wl.push_back(std::make_unique<LoadsBenchmark>(0));
-    wl.push_back(std::make_unique<BurstyStores>(1ull << 40));
+    wl.push_back(std::make_unique<BurstyStores>(benchThreadBase(1)));
     CmpSystem sys(cfg, std::move(wl));
     sys.run(50'000);
     double worst = 1e9;

@@ -121,7 +121,8 @@ run(CapacityPolicy capacity, unsigned antagonist_depth,
     // set it churns through while staying far under its whole-cache
     // quota (32 * depth <= 2048 lines << 8192).
     wl.push_back(std::make_unique<HotSetWorkload>(
-        1ull << 40, 32, antagonist_depth, kCacheBytes, 0.6, 2));
+        benchThreadBase(1), 32, antagonist_depth, kCacheBytes, 0.6,
+        2));
     CmpSystem sys(cfg, std::move(wl));
     IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);
     rep.addRun(sys.now(), sys.kernelStats());

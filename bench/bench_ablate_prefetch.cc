@@ -67,7 +67,8 @@ runPair(bool prefetch, double phi0, BenchReporter &rep)
     std::vector<std::unique_ptr<Workload>> wl;
     wl.push_back(std::make_unique<SyntheticWorkload>(streamParams(),
                                                      0, 1));
-    wl.push_back(makeSpec2000("twolf", 1ull << 40, 2));
+    wl.push_back(makeSpec2000("twolf", benchThreadBase(1),
+                              benchThreadSeed(1)));
     CmpSystem sys(cfg, std::move(wl));
     IntervalStats s = sys.runAndMeasure(kWarmup, kMeasure);
     rep.addRun(sys.now(), sys.kernelStats());

@@ -36,7 +36,8 @@ run(bool row, BenchReporter &rep)
     // Mixed read/write benchmark vs a read-mostly latency-sensitive
     // benchmark.
     wl.push_back(makeSpec2000("mesa", 0, 1));
-    wl.push_back(makeSpec2000("mcf", 1ull << 40, 2));
+    wl.push_back(makeSpec2000("mcf", benchThreadBase(1),
+                              benchThreadSeed(1)));
     CmpSystem sys(cfg, std::move(wl));
     IntervalStats stats = sys.runAndMeasure(kWarmup, kMeasure);
     rep.addRun(sys.now(), sys.kernelStats());

@@ -37,6 +37,15 @@ BenchReporter::addProfile(const Profiler &p)
     haveProfile_ = true;
 }
 
+void
+BenchReporter::setRunCacheStats(std::uint64_t hits,
+                                std::uint64_t misses)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cacheHits_ = hits;
+    cacheMisses_ = misses;
+}
+
 const BenchReporter::MachineInfo &
 BenchReporter::machineInfo()
 {
@@ -110,12 +119,15 @@ BenchReporter::printSummary() const
     std::fprintf(
         stderr,
         "bench %s: %.0f ms wall, %llu runs, %llu Msim-cycles, "
-        "%.2f Mcycles/s, %.2f events/cycle, %llu cycles skipped\n",
+        "%.2f Mcycles/s, %.2f events/cycle, %llu cycles skipped, "
+        "run-cache %llu/%llu hit/miss\n",
         name_.c_str(), wallMs(),
         static_cast<unsigned long long>(runs_),
         static_cast<unsigned long long>(simCycles_ / 1'000'000),
         mcyclesPerSec(), eventsPerCycle(),
-        static_cast<unsigned long long>(cyclesSkipped_));
+        static_cast<unsigned long long>(cyclesSkipped_),
+        static_cast<unsigned long long>(cacheHits_),
+        static_cast<unsigned long long>(cacheMisses_));
     if (haveProfile_)
         std::fprintf(stderr, "%s\n", profile_.report().c_str());
 }
@@ -167,6 +179,10 @@ BenchReporter::writeJson(const std::string &path) const
                  "  \"ticks_executed\": %llu,\n"
                  "  \"events_fired\": %llu,\n"
                  "  \"events_per_cycle\": %.4f,\n"
+                 "  \"run_cache\": {\n"
+                 "    \"hits\": %llu,\n"
+                 "    \"misses\": %llu\n"
+                 "  },\n"
                  "  \"machine\": {\n"
                  "    \"nproc\": %u,\n"
                  "    \"cpu_model\": \"%s\",\n"
@@ -180,7 +196,10 @@ BenchReporter::writeJson(const std::string &path) const
                  static_cast<unsigned long long>(cyclesSkipped_),
                  static_cast<unsigned long long>(ticksExecuted_),
                  static_cast<unsigned long long>(eventsFired_),
-                 eventsPerCycle(), m.nproc,
+                 eventsPerCycle(),
+                 static_cast<unsigned long long>(cacheHits_),
+                 static_cast<unsigned long long>(cacheMisses_),
+                 m.nproc,
                  jsonEscape(m.cpuModel).c_str(), m.loadavg1m);
     if (haveProfile_) {
         std::uint64_t ev_total = profile_.totalEventNs();

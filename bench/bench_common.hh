@@ -32,9 +32,36 @@
 
 #include "sim/profiler.hh"
 #include "sim/stats.hh"
+#include "system/options.hh"
+#include "system/run_cache.hh"
 
 namespace vpc
 {
+
+/**
+ * @name Canonical bench workload identity
+ *
+ * Every bench places thread t's workload at threadBaseAddr(t) with
+ * seed t + 1.  Deriving bases and seeds from these helpers (instead
+ * of re-spelling the magic constants per bench) keeps run-cache keys
+ * in agreement across benches, examples and the vpcsim driver.
+ */
+/// @{
+
+/** @return thread @p t's address-space base (t << 40). */
+constexpr Addr benchThreadBase(unsigned t) { return threadBaseAddr(t); }
+
+/** @return thread @p t's canonical workload seed (t + 1). */
+constexpr std::uint64_t benchThreadSeed(unsigned t) { return t + 1; }
+
+/** @return the run-cache key for @p spec running on thread @p t. */
+inline WorkloadKey
+benchWorkloadKey(const std::string &spec, unsigned t)
+{
+    return WorkloadKey{spec, benchThreadBase(t), benchThreadSeed(t)};
+}
+
+/// @}
 
 /** Wall-time + kernel-counter reporter for bench binaries. */
 class BenchReporter
@@ -58,6 +85,14 @@ class BenchReporter
      * printSummary() appends the merged per-component table.
      */
     void addProfile(const Profiler &p);
+
+    /**
+     * Record the bench's run-cache hit/miss totals (typically once,
+     * just before finish()).  They appear in the stderr summary and
+     * as the JSON's "run_cache" section; benches that never consult a
+     * cache report zeros.
+     */
+    void setRunCacheStats(std::uint64_t hits, std::uint64_t misses);
 
     /** Stop the wall clock (idempotent; addRun() after is an error). */
     void finish();
@@ -118,6 +153,8 @@ class BenchReporter
     std::uint64_t eventsFired_ = 0;
     Profiler profile_;       //!< merged across addProfile() calls
     bool haveProfile_ = false;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t cacheMisses_ = 0;
 };
 
 } // namespace vpc

@@ -47,7 +47,7 @@ runSubject(const std::string &name, ArbiterPolicy policy, double phi1,
     wl.push_back(makeSpec2000(name, 0, 1));
     for (unsigned t = 1; t < 4; ++t) {
         wl.push_back(std::make_unique<StoresBenchmark>(
-            (1ull << 40) * t));
+            benchThreadBase(t)));
     }
     CmpSystem sys(cfg, std::move(wl));
     double ipc = sys.runAndMeasure(kWarmup, kMeasure).ipc.at(0);

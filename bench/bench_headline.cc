@@ -18,9 +18,18 @@
  * worker count -- and identical between the skipping kernel and
  * --no-skip (the differential check the perf claim rests on).
  *
+ * Every job routes through a content-addressed RunCache: the four
+ * private targets are keyed by (private config, workload spec/base/
+ * seed, run lengths), so a benchmark appearing in the same thread
+ * slot across mixes is simulated once and replayed from the in-
+ * process map thereafter; --run-cache=DIR adds an on-disk store so a
+ * rerun replays everything.  stdout is byte-identical with the cache
+ * cold, warm, or absent (the cache differential test enforces it).
+ *
  * Flags:
  *   --smoke       2 mixes, short runs, --paranoid auditing + watchdog
- *                 (serial: auditors install process-global hooks)
+ *                 (serial: auditors install process-global hooks;
+ *                 rejects explicit --threads/--kernel-threads > 1)
  *   --profile     attach the cycle-attribution profiler to every
  *                 simulation; the merged per-component table goes to
  *                 stderr and into the JSON's "profile" section
@@ -31,6 +40,8 @@
  *   --kernel-threads=N  run every simulation on the shard-parallel
  *                 kernel with N workers (default 1: serial kernel);
  *                 stdout is bit-identical either way (DESIGN.md 5d)
+ *   --run-cache=DIR  persist run records in DIR and replay them on
+ *                 reruns (hit/miss counts go to stderr and the JSON)
  *   --json=PATH   JSON report path (default BENCH_headline.json)
  */
 
@@ -38,7 +49,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,7 +57,6 @@
 #include "system/experiment.hh"
 #include "system/sweep.hh"
 #include "system/table_printer.hh"
-#include "workload/spec2000.hh"
 
 using namespace vpc;
 
@@ -67,31 +76,39 @@ struct BenchOptions
     unsigned threads = 0;
     unsigned kernelThreads = 1;
     std::string jsonPath;
+    std::string runCacheDir;
     RunLengths lens{kWarmup, kMeasure};
 };
 
+/** Fold one cached-or-executed result into the report. */
+void
+report(const RunResult &r, BenchReporter &rep)
+{
+    rep.addRun(r.record.endCycle, r.record.kernel);
+    if (r.hasProfile)
+        rep.addProfile(r.profile);
+}
+
 std::vector<double>
 runMix(const Mix &mix, ArbiterPolicy policy, const BenchOptions &opt,
-       BenchReporter &rep)
+       RunCache &cache, BenchReporter &rep)
 {
-    SystemConfig cfg = makeBaselineConfig(4, policy);
-    cfg.kernelSkip = opt.skip;
-    cfg.kernelThreads = opt.kernelThreads;
-    cfg.profile = opt.profile;
+    RunJob job;
+    job.config = makeBaselineConfig(4, policy);
+    job.config.kernelSkip = opt.skip;
+    job.config.kernelThreads = opt.kernelThreads;
+    job.config.profile = opt.profile;
     if (opt.smoke) {
-        cfg.verify.paranoid = 1;
-        cfg.verify.watchdogCycles = 10'000;
+        job.config.verify.paranoid = 1;
+        job.config.verify.watchdogCycles = 10'000;
     }
-    std::vector<std::unique_ptr<Workload>> wl;
     for (unsigned t = 0; t < 4; ++t)
-        wl.push_back(makeSpec2000(mix[t], (1ull << 40) * t, t + 1));
-    CmpSystem sys(cfg, std::move(wl));
-    std::vector<double> ipc =
-        sys.runAndMeasure(opt.lens.warmup, opt.lens.measure).ipc;
-    rep.addRun(sys.now(), sys.kernelStats());
-    if (sys.profiling())
-        rep.addProfile(sys.mergedProfile());
-    return ipc;
+        job.workloads.push_back(benchWorkloadKey(mix[t], t));
+    job.warmup = opt.lens.warmup;
+    job.measure = opt.lens.measure;
+    RunResult r = runAndMeasureCached(job, &cache);
+    report(r, rep);
+    return r.record.stats.ipc;
 }
 
 } // namespace
@@ -116,6 +133,8 @@ main(int argc, char **argv)
         } else if (std::strncmp(arg, "--kernel-threads=", 17) == 0) {
             opt.kernelThreads = static_cast<unsigned>(
                 std::strtoul(arg + 17, nullptr, 10));
+        } else if (std::strncmp(arg, "--run-cache=", 12) == 0) {
+            opt.runCacheDir = arg + 12;
         } else if (std::strncmp(arg, "--json=", 7) == 0) {
             opt.jsonPath = arg + 7;
         } else {
@@ -142,11 +161,21 @@ main(int argc, char **argv)
         {"crafty", "gzip", "ammp", "sixtrack"},
     };
     if (opt.smoke) {
+        // Auditors register process-global panic-dump hooks; audited
+        // jobs must stay off the thread pool (see system/sweep.hh)
+        // and on the serial kernel (the sharded kernel excludes
+        // them).  Reject an explicit conflicting request instead of
+        // silently overriding it.
+        if (opt.threads > 1 || opt.kernelThreads > 1) {
+            std::fprintf(stderr,
+                         "bench_headline: --smoke runs paranoid "
+                         "auditors with process-global state and is "
+                         "strictly serial; drop --threads/"
+                         "--kernel-threads > 1\n");
+            return 1;
+        }
         mixes.resize(2);
         opt.lens = RunLengths{2'000, 8'000};
-        // Auditors register process-global panic-dump hooks; keep
-        // audited jobs off the thread pool (see system/sweep.hh) and
-        // on the serial kernel (the sharded kernel excludes them).
         opt.threads = 1;
         opt.kernelThreads = 1;
     }
@@ -161,6 +190,9 @@ main(int argc, char **argv)
     }
 
     BenchReporter rep(opt.smoke ? "headline_smoke" : "headline");
+    // Always-on in-process memoization (repeated private targets
+    // collapse); --run-cache adds the cross-invocation disk store.
+    RunCache cache(opt.runCacheDir);
 
     // One job per simulation: per mix, 4 private-machine targets plus
     // the FCFS and VPC shared runs.  Results go into per-index slots;
@@ -182,23 +214,23 @@ main(int argc, char **argv)
         const Job &job = jobs[j];
         const Mix &mix = mixes[job.mix];
         if (job.kind < 4) {
+            // Target runs clone the thread's workload with seed 1
+            // (see targetIpc), so the content key pins seed 1 too.
             unsigned t = static_cast<unsigned>(job.kind);
-            auto wl = makeSpec2000(mix[t], (1ull << 40) * t, t + 1);
-            KernelStats k;
-            Profiler prof;
-            targets[job.mix][t] =
-                targetIpc(base, *wl, 0.25, 0.25, opt.lens, &k,
-                          opt.profile ? &prof : nullptr);
-            rep.addRun(opt.lens.warmup + opt.lens.measure, k);
-            if (opt.profile)
-                rep.addProfile(prof);
+            WorkloadKey key{mix[t], benchThreadBase(t), 1};
+            RunResult r =
+                runTargetIpc(base, key, 0.25, 0.25, &cache, opt.lens);
+            targets[job.mix][t] = r.record.stats.ipc.at(0);
+            report(r, rep);
         } else if (job.kind == 4) {
-            fcfs[job.mix] = runMix(mix, ArbiterPolicy::Fcfs, opt, rep);
+            fcfs[job.mix] = runMix(mix, ArbiterPolicy::Fcfs, opt,
+                                   cache, rep);
         } else {
             vpc_ipc[job.mix] = runMix(mix, ArbiterPolicy::Vpc, opt,
-                                      rep);
+                                      cache, rep);
         }
     }, opt.threads);
+    rep.setRunCacheStats(cache.hits(), cache.misses());
     rep.finish();
 
     TablePrinter t("Headline: heterogeneous 4-thread mixes, FCFS vs "

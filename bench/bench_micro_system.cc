@@ -12,6 +12,7 @@
 
 #include "system/cmp_system.hh"
 #include "system/experiment.hh"
+#include "system/options.hh"
 #include "workload/microbench.hh"
 #include "workload/spec2000.hh"
 
@@ -45,7 +46,7 @@ BM_SimulateFourThreadSpec(benchmark::State &state)
     std::vector<std::unique_ptr<Workload>> wl;
     const char *mix[] = {"art", "mcf", "gzip", "sixtrack"};
     for (unsigned t = 0; t < 4; ++t)
-        wl.push_back(makeSpec2000(mix[t], (1ull << 40) * t, t + 1));
+        wl.push_back(makeSpec2000(mix[t], threadBaseAddr(t), t + 1));
     CmpSystem sys(cfg, std::move(wl));
     for (auto _ : state)
         sys.run(1'000);
@@ -62,7 +63,7 @@ BM_SimulateSharedMemoryChannel(benchmark::State &state)
     cfg.mem.schedulerPolicy = ArbiterPolicy::Vpc;
     std::vector<std::unique_ptr<Workload>> wl;
     for (unsigned t = 0; t < 4; ++t)
-        wl.push_back(makeSpec2000("swim", (1ull << 40) * t, t + 1));
+        wl.push_back(makeSpec2000("swim", threadBaseAddr(t), t + 1));
     CmpSystem sys(cfg, std::move(wl));
     for (auto _ : state)
         sys.run(1'000);

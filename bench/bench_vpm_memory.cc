@@ -86,7 +86,7 @@ run(ArbiterPolicy cache_policy, ArbiterPolicy mem_policy,
                                                      0, 1));
     for (unsigned t = 1; t < 4; ++t) {
         wl.push_back(std::make_unique<SyntheticWorkload>(
-            hogParams(), (1ull << 40) * t, t + 1));
+            hogParams(), benchThreadBase(t), benchThreadSeed(t)));
     }
     CmpSystem sys(cfg, std::move(wl));
     double ipc = sys.runAndMeasure(kWarmup, kMeasure).ipc.at(0);

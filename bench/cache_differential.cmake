@@ -1,0 +1,60 @@
+# Run-cache differential: bench_headline's stdout must be
+# byte-identical with no cache, a cold on-disk cache, and a warm
+# on-disk cache.  Invoked as a tier-1 ctest (see CMakeLists.txt):
+#
+#   cmake -DBENCH=<bench_headline> -DWORK_DIR=<dir> -P this_file
+#
+# Exercises the whole memoization path end to end: digesting, disk
+# record write-out, and replay on a fresh process.
+
+if(NOT BENCH OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DBENCH=... -DWORK_DIR=... -P "
+                        "cache_differential.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(CACHE_DIR "${WORK_DIR}/run-cache")
+
+function(run_smoke label outvar)
+    execute_process(
+        COMMAND ${BENCH} --smoke ${ARGN}
+                --json=${WORK_DIR}/BENCH_${label}.json
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${label} run failed (rc=${rc}):\n${err}")
+    endif()
+    set(${outvar} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_smoke(nocache NOCACHE_OUT)
+run_smoke(cold COLD_OUT --run-cache=${CACHE_DIR})
+run_smoke(warm WARM_OUT --run-cache=${CACHE_DIR})
+
+if(NOT NOCACHE_OUT STREQUAL COLD_OUT)
+    message(FATAL_ERROR "cold-cache stdout differs from cache-off:\n"
+                        "--- cache off ---\n${NOCACHE_OUT}\n"
+                        "--- cold cache ---\n${COLD_OUT}")
+endif()
+if(NOT NOCACHE_OUT STREQUAL WARM_OUT)
+    message(FATAL_ERROR "warm-cache stdout differs from cache-off:\n"
+                        "--- cache off ---\n${NOCACHE_OUT}\n"
+                        "--- warm cache ---\n${WARM_OUT}")
+endif()
+
+# The warm run must actually have replayed from disk: its JSON
+# reports zero misses.
+file(READ "${WORK_DIR}/BENCH_warm.json" WARM_JSON)
+if(NOT WARM_JSON MATCHES "\"misses\": 0")
+    message(FATAL_ERROR "warm run was not served by the cache:\n"
+                        "${WARM_JSON}")
+endif()
+if(WARM_JSON MATCHES "\"hits\": 0")
+    message(FATAL_ERROR "warm run reports zero cache hits:\n"
+                        "${WARM_JSON}")
+endif()
+
+message(STATUS "cache differential: stdout byte-identical "
+               "(off / cold / warm), warm run fully cached")

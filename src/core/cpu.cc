@@ -27,14 +27,16 @@ Cpu::nextWork(Cycle now) const
     // and may draw from the RNG, even if it ends up rejected.
     if (waitingLoads > 0)
         return now;
-    // Dispatch acts unless structurally blocked with the lookahead op
-    // already fetched (fetching consumes workload state).
+    // Dispatch acts unless structurally blocked with the next op
+    // already in the block buffer (an empty buffer means dispatch
+    // would refill it, consuming workload state).
     if (rob.size() < cfg.robEntries) {
-        if (!fetched)
+        if (fetchPos_ >= fetchLen_)
             return now;
-        bool lq_full = fetched->kind == MicroOp::Kind::Load &&
+        const MicroOp &head = fetchBlock_[fetchPos_];
+        bool lq_full = head.kind == MicroOp::Kind::Load &&
                        loadsInRob >= cfg.loadQueueEntries;
-        bool sq_full = fetched->kind == MicroOp::Kind::Store &&
+        bool sq_full = head.kind == MicroOp::Kind::Store &&
                        storesInRob >= cfg.storeQueueEntries;
         if (!lq_full && !sq_full)
             return now;
@@ -155,26 +157,40 @@ Cpu::issueStage(Cycle now)
 }
 
 void
+Cpu::refillBlock()
+{
+    workload.nextBlock(std::span<MicroOp>(fetchBlock_));
+    // Pre-decode the dependence flags into the side-array so the
+    // dispatch loop reads a plain byte instead of re-inspecting ops.
+    for (std::size_t i = 0; i < kFetchBlock; ++i)
+        fetchDeps_[i] = fetchBlock_[i].dependsOnPrevLoad ? 1 : 0;
+    fetchPos_ = 0;
+    fetchLen_ = kFetchBlock;
+}
+
+void
 Cpu::dispatchStage(Cycle now)
 {
     (void)now;
     for (unsigned i = 0; i < cfg.dispatchWidth; ++i) {
         if (rob.size() >= cfg.robEntries)
             break;
-        if (!fetched)
-            fetched = workload.next();
-        if (fetched->kind == MicroOp::Kind::Load &&
+        if (fetchPos_ >= fetchLen_)
+            refillBlock();
+        const MicroOp &head = fetchBlock_[fetchPos_];
+        if (head.kind == MicroOp::Kind::Load &&
             loadsInRob >= cfg.loadQueueEntries) {
             break;
         }
-        if (fetched->kind == MicroOp::Kind::Store &&
+        if (head.kind == MicroOp::Kind::Store &&
             storesInRob >= cfg.storeQueueEntries) {
             break;
         }
 
         RobEntry entry;
-        entry.op = *fetched;
-        fetched.reset();
+        entry.op = head;
+        entry.op.dependsOnPrevLoad = fetchDeps_[fetchPos_] != 0;
+        ++fetchPos_;
         entry.seq = nextSeq++;
         entry.prevLoadSeq = lastLoadSeq;
         switch (entry.op.kind) {

@@ -24,7 +24,7 @@
 #ifndef VPC_CORE_CPU_HH
 #define VPC_CORE_CPU_HH
 
-#include <optional>
+#include <array>
 
 #include "cache/l1_cache.hh"
 #include "cache/l2_cache.hh"
@@ -60,11 +60,11 @@ class Cpu : public Ticking
      * flight, no dispatched load is waiting to issue (a waiting load
      * consumes an LSU port and may draw from the RNG even when it ends
      * up rejected or blocked, so it keeps the core active), and
-     * dispatch is structurally blocked with its lookahead op already
-     * fetched (otherwise dispatch would consume from the workload).
-     * The load-completion event flips the head to Done, which makes
-     * the re-polled hint due again the same cycle the naive loop
-     * would have retired it.
+     * dispatch is structurally blocked with its next op already in the
+     * fetch block buffer (an empty buffer means dispatch would refill
+     * it from the workload).  The load-completion event flips the head
+     * to Done, which makes the re-polled hint due again the same cycle
+     * the naive loop would have retired it.
      */
     Cycle nextWork(Cycle now) const override;
 
@@ -108,14 +108,25 @@ class Cpu : public Ticking
         SeqNum prevLoadSeq = 0; //!< most recent older load (0 = none)
     };
 
+    /**
+     * Ops fetched per Workload::nextBlock() call.  One virtual call
+     * (and, for generators, one string-free tight loop) is amortized
+     * over this many dispatched ops; dependsOnPrevLoad is pre-decoded
+     * into a side-array at refill so dispatch reads plain flags.
+     */
+    static constexpr std::size_t kFetchBlock = 128;
+
     /** Retire completed instructions in order; commit stores. */
     void retireStage(Cycle now);
 
     /** Issue ready loads through the LSU ports. */
     void issueStage(Cycle now);
 
-    /** Dispatch new instructions from the workload. */
+    /** Dispatch new instructions from the fetch block buffer. */
     void dispatchStage(Cycle now);
+
+    /** Refill the block buffer from the workload (pre-decodes deps). */
+    void refillBlock();
 
     /** Mark the entry with sequence number @p seq complete. */
     void complete(SeqNum seq);
@@ -131,7 +142,14 @@ class Cpu : public Ticking
     Rng rng;
 
     SmallRing<RobEntry> rob;
-    std::optional<MicroOp> fetched; //!< one-op dispatch lookahead
+    /** @name Fetch block buffer (refilled via Workload::nextBlock) */
+    /// @{
+    std::array<MicroOp, kFetchBlock> fetchBlock_;
+    /** Pre-decoded dependsOnPrevLoad flags (dispatch side-array). */
+    std::array<std::uint8_t, kFetchBlock> fetchDeps_{};
+    std::size_t fetchPos_ = 0; //!< next unconsumed op
+    std::size_t fetchLen_ = 0; //!< valid ops in the buffer
+    /// @}
     SeqNum nextSeq = 1;
     SeqNum lastLoadSeq = 0;    //!< seq of most recently dispatched load
     SeqNum oldestInRob = 1;    //!< seq of the ROB head (retire frontier)

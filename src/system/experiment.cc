@@ -88,6 +88,27 @@ targetIpc(const SystemConfig &base, const Workload &workload,
     return stats.ipc.at(0);
 }
 
+RunJob
+makeTargetJob(const SystemConfig &base, const WorkloadKey &workload,
+              double phi, double beta, const RunLengths &lens)
+{
+    RunJob job;
+    job.config = makePrivateConfig(base, phi, beta);
+    job.workloads = {workload};
+    job.warmup = lens.warmup;
+    job.measure = lens.measure;
+    return job;
+}
+
+RunResult
+runTargetIpc(const SystemConfig &base, const WorkloadKey &workload,
+             double phi, double beta, RunCache *cache,
+             const RunLengths &lens)
+{
+    return runAndMeasureCached(
+        makeTargetJob(base, workload, phi, beta, lens), cache);
+}
+
 double
 harmonicMean(const std::vector<double> &values)
 {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "system/cmp_system.hh"
+#include "system/run_cache.hh"
 #include "workload/workload.hh"
 
 namespace vpc
@@ -70,6 +71,31 @@ double targetIpc(const SystemConfig &base, const Workload &workload,
                  double phi, double beta, const RunLengths &lens = {},
                  KernelStats *kernel_out = nullptr,
                  Profiler *profile_out = nullptr);
+
+/**
+ * The private-machine run that defines a thread's target IPC, as a
+ * cacheable job: the same configuration targetIpc() builds, with the
+ * workload identified by content key instead of a live object.  For
+ * equivalence with targetIpc() the key's seed must be the clone seed
+ * it uses (1); workload_block_test asserts that rebuilding from spec
+ * replays the cloned stream bit-identically.
+ *
+ * @pre phi > 0
+ */
+RunJob makeTargetJob(const SystemConfig &base,
+                     const WorkloadKey &workload, double phi,
+                     double beta, const RunLengths &lens = {});
+
+/**
+ * Keyed, memoizable variant of targetIpc(): runs makeTargetJob()
+ * through @p cache (nullptr = always execute).  The target IPC is
+ * result.record.stats.ipc.at(0); kernel counters and (for executed
+ * runs) the merged profile ride along in the RunResult.
+ */
+RunResult runTargetIpc(const SystemConfig &base,
+                       const WorkloadKey &workload, double phi,
+                       double beta, RunCache *cache,
+                       const RunLengths &lens = {});
 
 /** @return the harmonic mean of @p values (0 if any value is 0). */
 double harmonicMean(const std::vector<double> &values);

@@ -19,6 +19,11 @@ namespace
 struct IdleWorkload : Workload
 {
     MicroOp next() override { return MicroOp{}; }
+    void
+    nextBlock(std::span<MicroOp> out) override
+    {
+        std::fill(out.begin(), out.end(), MicroOp{});
+    }
     std::string name() const override { return "idle"; }
     std::unique_ptr<Workload> clone(std::uint64_t) const override
     {
@@ -94,13 +99,30 @@ SimOptions::buildWorkloads() const
     for (std::size_t t = 0; t < workloadSpecs.size(); ++t) {
         std::string err;
         auto wl = makeWorkloadFromSpec(workloadSpecs[t],
-                                       (1ull << 40) * t, seed + t,
-                                       err);
+                                       threadBaseAddr(
+                                           static_cast<unsigned>(t)),
+                                       seed + t, err);
         if (!wl)
             vpc_fatal("{}", err);
         out.push_back(std::move(wl));
     }
     return out;
+}
+
+RunJob
+SimOptions::buildRunJob() const
+{
+    RunJob job;
+    job.config = config;
+    for (std::size_t t = 0; t < workloadSpecs.size(); ++t) {
+        job.workloads.push_back(
+            WorkloadKey{workloadSpecs[t],
+                        threadBaseAddr(static_cast<unsigned>(t)),
+                        seed + t});
+    }
+    job.warmup = warmup;
+    job.measure = measure;
+    return job;
 }
 
 std::string
@@ -124,6 +146,16 @@ simUsage()
         "  --shared-memory      one shared DDR2 channel (FQ when\n"
         "                       --arbiter=vpc, else FCFS)\n"
         "  --stats              dump the full statistics report\n"
+        "                       (bypasses --run-cache: the report\n"
+        "                       needs a live system)\n"
+        "  --run-cache=DIR      memoize results on disk: identical\n"
+        "                       invocations replay the stored record\n"
+        "                       instead of simulating, byte-identical\n"
+        "                       stdout either way.  Keys cover config,\n"
+        "                       workloads, seeds and run lengths;\n"
+        "                       trace workloads key by path, so stale\n"
+        "                       records must be cleared when a trace\n"
+        "                       file is rewritten in place\n"
         "  --threads=N          kernel worker threads (default 1).\n"
         "                       N > 1 runs the deterministic\n"
         "                       shard-parallel kernel: one shard per\n"
@@ -219,6 +251,12 @@ parseSimOptions(const std::vector<std::string> &args,
             opts.config.mem.sharedChannel = true;
         } else if (key == "--stats") {
             opts.dumpStats = true;
+        } else if (key == "--run-cache") {
+            if (value.empty()) {
+                error_out = "--run-cache needs a directory";
+                return std::nullopt;
+            }
+            opts.runCacheDir = value;
         } else if (key == "--threads") {
             std::uint64_t n;
             if (!parseU64(value, n, error_out))

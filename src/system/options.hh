@@ -22,10 +22,22 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "system/run_cache.hh"
 #include "workload/workload.hh"
 
 namespace vpc
 {
+
+/**
+ * Canonical per-thread address-space base: thread @p t owns the 1 TiB
+ * region starting at t << 40.  Every driver and bench derives workload
+ * bases from this so run-cache keys agree across entry points.
+ */
+constexpr Addr
+threadBaseAddr(unsigned t)
+{
+    return (1ull << 40) * t;
+}
 
 /** Parsed vpcsim invocation. */
 struct SimOptions
@@ -36,9 +48,17 @@ struct SimOptions
     Cycle measure = 400'000;
     bool dumpStats = false;
     std::uint64_t seed = 1;
+    std::string runCacheDir; //!< --run-cache store ("" = no cache)
 
     /** Build the workload objects described by workloadSpecs. */
     std::vector<std::unique_ptr<Workload>> buildWorkloads() const;
+
+    /**
+     * The invocation as a content-addressable job: the same config,
+     * workload keys (spec, threadBaseAddr(t), seed + t) and run
+     * lengths buildWorkloads()+runAndMeasure would execute.
+     */
+    RunJob buildRunJob() const;
 };
 
 /**

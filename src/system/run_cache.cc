@@ -1,0 +1,681 @@
+#include "system/run_cache.hh"
+
+#include <bit>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "sim/format.hh"
+#include "sim/logging.hh"
+#include "system/options.hh"
+
+namespace vpc
+{
+
+namespace
+{
+
+/** Incremental 64-bit FNV-1a over explicitly enumerated fields. */
+class Fnv1a
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        // Fixed-width little-endian serialization, independent of the
+        // host's integer widths and struct padding.
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        bytes(b, sizeof(b));
+    }
+
+    void dbl(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+void
+digestPrefetch(Fnv1a &h, const PrefetchConfig &p)
+{
+    h.u64(p.enable ? 1 : 0);
+    h.u64(p.streams);
+    h.u64(p.degree);
+    h.u64(p.confidence);
+}
+
+/**
+ * Hash every field of the normalized config that can influence either
+ * the model statistics or the kernel counters.  `profile` is the one
+ * deliberate omission (observe-only; see run_cache.hh).
+ */
+void
+digestConfig(Fnv1a &h, const SystemConfig &cfg)
+{
+    h.u64(cfg.numProcessors);
+
+    const CoreConfig &c = cfg.core;
+    h.u64(c.dispatchWidth);
+    h.u64(c.robEntries);
+    h.u64(c.retireWidth);
+    h.u64(c.loadQueueEntries);
+    h.u64(c.storeQueueEntries);
+    h.u64(c.lsuPorts);
+    h.u64(c.storeCommitWidth);
+    h.dbl(c.lsuRejectProb);
+
+    const L1Config &l1 = cfg.l1;
+    h.u64(l1.sizeBytes);
+    h.u64(l1.ways);
+    h.u64(l1.lineBytes);
+    h.u64(l1.hitLatency);
+    h.u64(l1.mshrs);
+    digestPrefetch(h, l1.prefetch);
+
+    const L2Config &l2 = cfg.l2;
+    h.u64(l2.banks);
+    h.u64(l2.sizeBytes);
+    h.u64(l2.ways);
+    h.u64(l2.lineBytes);
+    h.u64(l2.tagLatency);
+    h.u64(l2.tagWriteAccesses);
+    h.u64(l2.dataLatency);
+    h.u64(l2.dataWriteAccesses);
+    h.u64(l2.busBeatCycles);
+    h.u64(l2.busBytes);
+    h.u64(l2.busOccupancyOverride);
+    h.u64(l2.interconnectLatency);
+    h.u64(l2.stateMachinesPerThread);
+    h.u64(l2.sgbEntriesPerThread);
+    h.u64(l2.sgbHighWater);
+    h.u64(l2.readClaimEntries);
+
+    const MemConfig &m = cfg.mem;
+    h.u64(m.ranksPerChannel);
+    h.u64(m.banksPerRank);
+    h.u64(m.transactionEntries);
+    h.u64(m.writeEntries);
+    h.u64(m.tRcd);
+    h.u64(m.tCl);
+    h.u64(m.tRp);
+    h.u64(m.tBurst);
+    h.u64(m.tWr);
+    h.u64(m.ctrlLatency);
+    h.u64(m.sharedChannel ? 1 : 0);
+    h.u64(static_cast<std::uint64_t>(m.schedulerPolicy));
+
+    h.u64(static_cast<std::uint64_t>(cfg.arbiterPolicy));
+    h.u64(static_cast<std::uint64_t>(cfg.capacityPolicy));
+
+    const VerifyConfig &v = cfg.verify;
+    h.u64(v.paranoid);
+    h.u64(v.auditInterval);
+    h.u64(v.watchdogCycles);
+    h.dbl(v.faultRate);
+    h.u64(v.faultSeed);
+
+    h.u64(cfg.kernelSkip ? 1 : 0);
+    h.u64(cfg.kernelThreads);
+    h.u64(cfg.allowUnallocatedShares ? 1 : 0);
+    h.u64(cfg.vpcIntraThreadRow ? 1 : 0);
+    h.u64(cfg.vpcIdleReset ? 1 : 0);
+    h.u64(cfg.vpcWorkConserving ? 1 : 0);
+
+    h.u64(cfg.shares.size());
+    for (const QosShare &s : cfg.shares) {
+        h.dbl(s.phi);
+        h.dbl(s.beta);
+    }
+    h.u64(cfg.l1PrefetchPerThread.size());
+    for (const PrefetchConfig &p : cfg.l1PrefetchPerThread)
+        digestPrefetch(h, p);
+}
+
+/** Append ["k": [v...],] with each element as a decimal uint64. */
+void
+writeVec(std::FILE *f, const char *k,
+         const std::vector<std::uint64_t> &v, bool last = false)
+{
+    std::fprintf(f, "  \"%s\": [", k);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        std::fprintf(f, "%s%llu", i ? ", " : "",
+                     static_cast<unsigned long long>(v[i]));
+    }
+    std::fprintf(f, "]%s\n", last ? "" : ",");
+}
+
+std::vector<std::uint64_t>
+bitsOf(const std::vector<double> &v)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(v.size());
+    for (double d : v)
+        out.push_back(std::bit_cast<std::uint64_t>(d));
+    return out;
+}
+
+std::vector<double>
+doublesOf(const std::vector<std::uint64_t> &v)
+{
+    std::vector<double> out;
+    out.reserve(v.size());
+    for (std::uint64_t u : v)
+        out.push_back(std::bit_cast<double>(u));
+    return out;
+}
+
+/**
+ * Minimal parser for the subset of JSON the writer emits: one flat
+ * object whose values are decimal unsigned integers, double-quoted
+ * strings, or arrays of decimal unsigned integers.  Any deviation
+ * (truncation, corruption, foreign writer) fails the parse and the
+ * record is treated as a cache miss.
+ */
+class RecordParser
+{
+  public:
+    explicit RecordParser(std::string text) : s_(std::move(text)) {}
+
+    bool
+    parse()
+    {
+        skipWs();
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return posAtEnd();
+        for (;;) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (peek() == '"') {
+                std::string v;
+                if (!parseString(v))
+                    return false;
+                strings_[key] = v;
+            } else if (peek() == '[') {
+                std::vector<std::uint64_t> v;
+                if (!parseArray(v))
+                    return false;
+                arrays_[key] = std::move(v);
+            } else {
+                std::uint64_t v;
+                if (!parseUint(v))
+                    return false;
+                ints_[key] = v;
+            }
+            skipWs();
+            if (eat(',')) {
+                skipWs();
+                continue;
+            }
+            if (eat('}'))
+                return posAtEnd();
+            return false;
+        }
+    }
+
+    bool
+    getInt(const std::string &k, std::uint64_t &out) const
+    {
+        auto it = ints_.find(k);
+        if (it == ints_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    bool
+    getString(const std::string &k, std::string &out) const
+    {
+        auto it = strings_.find(k);
+        if (it == strings_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    bool
+    getArray(const std::string &k,
+             std::vector<std::uint64_t> &out) const
+    {
+        auto it = arrays_.find(k);
+        if (it == arrays_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+  private:
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    bool
+    eat(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    posAtEnd()
+    {
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!eat('"'))
+            return false;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            // The writer never emits escapes (keys and hex digests
+            // only); reject anything that would need them.
+            if (s_[pos_] == '\\')
+                return false;
+            out += s_[pos_++];
+        }
+        return eat('"');
+    }
+
+    bool
+    parseUint(std::uint64_t &out)
+    {
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        out = 0;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            std::uint64_t digit =
+                static_cast<std::uint64_t>(s_[pos_] - '0');
+            if (out > (UINT64_MAX - digit) / 10)
+                return false;
+            out = out * 10 + digit;
+            ++pos_;
+        }
+        return true;
+    }
+
+    bool
+    parseArray(std::vector<std::uint64_t> &out)
+    {
+        if (!eat('['))
+            return false;
+        skipWs();
+        if (eat(']'))
+            return true;
+        for (;;) {
+            std::uint64_t v;
+            if (!parseUint(v))
+                return false;
+            out.push_back(v);
+            skipWs();
+            if (eat(',')) {
+                skipWs();
+                continue;
+            }
+            return eat(']');
+        }
+    }
+
+    std::string s_;
+    std::size_t pos_ = 0;
+    std::unordered_map<std::string, std::uint64_t> ints_;
+    std::unordered_map<std::string, std::string> strings_;
+    std::unordered_map<std::string, std::vector<std::uint64_t>> arrays_;
+};
+
+} // namespace
+
+std::uint64_t
+runDigest(const RunJob &job)
+{
+    // Normalize first so "empty shares" and "explicit equal shares"
+    // digest identically (validate() fills the defaults).
+    SystemConfig cfg = job.config;
+    cfg.validate();
+
+    Fnv1a h;
+    h.u64(kRunCacheSchema);
+    digestConfig(h, cfg);
+    h.u64(job.workloads.size());
+    for (const WorkloadKey &w : job.workloads) {
+        h.str(w.spec);
+        h.u64(w.base);
+        h.u64(w.seed);
+    }
+    h.u64(job.warmup);
+    h.u64(job.measure);
+    return h.value();
+}
+
+RunCache::RunCache(std::string disk_dir) : dir_(std::move(disk_dir))
+{
+    if (!dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec);
+        if (ec) {
+            vpc_warn("run-cache: cannot create '{}': {}; disk store "
+                     "disabled", dir_, ec.message());
+            dir_.clear();
+        }
+    }
+}
+
+std::string
+RunCache::recordPath(std::uint64_t key) const
+{
+    if (dir_.empty())
+        return "";
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.json",
+                  static_cast<unsigned long long>(key));
+    return dir_ + "/" + name;
+}
+
+bool
+RunCache::loadFromDisk(std::uint64_t key, RunRecord &out) const
+{
+    std::string path = recordPath(key);
+    if (path.empty())
+        return false;
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    RecordParser p(ss.str());
+    if (!p.parse())
+        return false;
+
+    std::uint64_t schema = 0, stored_key = 0, end_cycle = 0,
+                  cycles = 0, threads = 0;
+    std::string key_hex;
+    if (!p.getInt("schema", schema) || schema != kRunCacheSchema)
+        return false;
+    if (!p.getString("key", key_hex) || key_hex.empty())
+        return false;
+    char *end = nullptr;
+    stored_key = std::strtoull(key_hex.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0' || stored_key != key)
+        return false;
+    if (!p.getInt("end_cycle", end_cycle) ||
+        !p.getInt("cycles", cycles) || !p.getInt("threads", threads)) {
+        return false;
+    }
+
+    std::vector<std::uint64_t> kernel, ipc, instrs, l2r, l2w, l2m,
+        sgbs, sgbg, utils;
+    if (!p.getArray("kernel", kernel) || kernel.size() != 8 ||
+        !p.getArray("ipc_bits", ipc) || !p.getArray("instrs", instrs) ||
+        !p.getArray("l2_reads", l2r) || !p.getArray("l2_writes", l2w) ||
+        !p.getArray("l2_misses", l2m) ||
+        !p.getArray("sgb_stores", sgbs) ||
+        !p.getArray("sgb_gathered", sgbg) ||
+        !p.getArray("util_bits", utils) || utils.size() != 3) {
+        return false;
+    }
+    if (ipc.size() != threads || instrs.size() != threads ||
+        l2r.size() != threads || l2w.size() != threads ||
+        l2m.size() != threads || sgbs.size() != threads ||
+        sgbg.size() != threads) {
+        return false;
+    }
+
+    out = RunRecord{};
+    out.endCycle = end_cycle;
+    out.stats.cycles = cycles;
+    out.stats.ipc = doublesOf(ipc);
+    out.stats.instrs = instrs;
+    out.stats.l2Reads = l2r;
+    out.stats.l2Writes = l2w;
+    out.stats.l2Misses = l2m;
+    out.stats.sgbStores = sgbs;
+    out.stats.sgbGathered = sgbg;
+    out.stats.tagUtil = std::bit_cast<double>(utils[0]);
+    out.stats.dataUtil = std::bit_cast<double>(utils[1]);
+    out.stats.busUtil = std::bit_cast<double>(utils[2]);
+    out.kernel.cyclesExecuted.inc(kernel[0]);
+    out.kernel.cyclesSkipped.inc(kernel[1]);
+    out.kernel.ticksExecuted.inc(kernel[2]);
+    out.kernel.eventsFired.inc(kernel[3]);
+    out.kernel.messagesSent.inc(kernel[4]);
+    out.kernel.wheelCascades.inc(kernel[5]);
+    out.kernel.epochs.inc(kernel[6]);
+    out.kernel.barrierStalls.inc(kernel[7]);
+    return true;
+}
+
+void
+RunCache::storeToDisk(std::uint64_t key, const RunRecord &r) const
+{
+    std::string path = recordPath(key);
+    if (path.empty())
+        return;
+    // Write-to-temp + rename so concurrent processes sharing the
+    // store never observe a torn record.
+    std::string tmp = format("{}.tmp.{}", path,
+                             static_cast<unsigned long long>(
+                                 reinterpret_cast<std::uintptr_t>(&r)));
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        vpc_warn("run-cache: cannot write '{}'", tmp);
+        return;
+    }
+    const IntervalStats &s = r.stats;
+    std::fprintf(f, "{\n  \"schema\": %llu,\n  \"key\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(kRunCacheSchema),
+                 static_cast<unsigned long long>(key));
+    std::fprintf(f, "  \"end_cycle\": %llu,\n  \"cycles\": %llu,\n"
+                 "  \"threads\": %llu,\n",
+                 static_cast<unsigned long long>(r.endCycle),
+                 static_cast<unsigned long long>(s.cycles),
+                 static_cast<unsigned long long>(s.ipc.size()));
+    writeVec(f, "kernel",
+             {r.kernel.cyclesExecuted.value(),
+              r.kernel.cyclesSkipped.value(),
+              r.kernel.ticksExecuted.value(),
+              r.kernel.eventsFired.value(),
+              r.kernel.messagesSent.value(),
+              r.kernel.wheelCascades.value(),
+              r.kernel.epochs.value(),
+              r.kernel.barrierStalls.value()});
+    writeVec(f, "ipc_bits", bitsOf(s.ipc));
+    writeVec(f, "instrs", s.instrs);
+    writeVec(f, "l2_reads", s.l2Reads);
+    writeVec(f, "l2_writes", s.l2Writes);
+    writeVec(f, "l2_misses", s.l2Misses);
+    writeVec(f, "sgb_stores", s.sgbStores);
+    writeVec(f, "sgb_gathered", s.sgbGathered);
+    writeVec(f, "util_bits",
+             bitsOf({s.tagUtil, s.dataUtil, s.busUtil}), true);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        vpc_warn("run-cache: cannot publish '{}': {}", path,
+                 ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+bool
+RunCache::probe(std::uint64_t key, RunRecord &out)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it != map_.end() && it->second.ready) {
+            out = it->second.record;
+            ++hits_;
+            return true;
+        }
+    }
+    if (loadFromDisk(key, out)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Entry &e = map_[key];
+        if (!e.ready) {
+            e.ready = true;
+            e.record = out;
+        }
+        ++hits_;
+        ++diskHits_;
+        return true;
+    }
+    return false;
+}
+
+RunRecord
+RunCache::lookupOrCompute(std::uint64_t key,
+                          const std::function<RunRecord()> &compute,
+                          bool *hit_out)
+{
+    bool must_compute = false;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            Entry &e = map_[key];
+            if (e.ready) {
+                ++hits_;
+                if (hit_out)
+                    *hit_out = true;
+                return e.record;
+            }
+            if (!e.computing) {
+                e.computing = true;
+                must_compute = true;
+                break;
+            }
+            // Another job is computing this key; share its record.
+            cv_.wait(lock);
+        }
+    }
+
+    RunRecord rec;
+    if (!must_compute)
+        vpc_panic("run-cache in-flight bookkeeping broke");
+    bool from_disk = loadFromDisk(key, rec);
+    if (!from_disk)
+        rec = compute();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Entry &e = map_[key];
+        e.record = rec;
+        e.ready = true;
+        e.computing = false;
+        if (from_disk) {
+            ++hits_;
+            ++diskHits_;
+        } else {
+            ++misses_;
+        }
+    }
+    cv_.notify_all();
+    if (!from_disk)
+        storeToDisk(key, rec);
+    if (hit_out)
+        *hit_out = from_disk;
+    return rec;
+}
+
+std::uint64_t
+RunCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+RunCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::uint64_t
+RunCache::diskHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diskHits_;
+}
+
+RunResult
+runAndMeasureCached(const RunJob &job, RunCache *cache)
+{
+    RunResult out;
+    auto compute = [&job, &out]() -> RunRecord {
+        std::vector<std::unique_ptr<Workload>> wl;
+        wl.reserve(job.workloads.size());
+        for (std::size_t t = 0; t < job.workloads.size(); ++t) {
+            const WorkloadKey &k = job.workloads[t];
+            std::string err;
+            auto w = makeWorkloadFromSpec(k.spec, k.base, k.seed, err);
+            if (!w)
+                vpc_fatal("run-cache job: {}", err);
+            wl.push_back(std::move(w));
+        }
+        CmpSystem sys(job.config, std::move(wl));
+        RunRecord rec;
+        rec.stats = sys.runAndMeasure(job.warmup, job.measure);
+        rec.endCycle = sys.now();
+        rec.kernel = sys.kernelStats();
+        if (sys.profiling()) {
+            out.hasProfile = true;
+            out.profile = sys.mergedProfile();
+        }
+        return rec;
+    };
+
+    if (cache) {
+        out.record = cache->lookupOrCompute(runDigest(job), compute,
+                                            &out.cacheHit);
+    } else {
+        out.record = compute();
+    }
+    return out;
+}
+
+} // namespace vpc

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Content-addressed simulation result cache.
+ *
+ * Every measured run of the simulator is a pure function of its
+ * inputs: the kernels are deterministic (DESIGN.md 5c/5d) and produce
+ * byte-identical statistics for a given (SystemConfig, workload
+ * streams, run lengths) triple.  That contract makes exact result
+ * memoization sound: a run is keyed by a stable FNV-1a digest of its
+ * normalized configuration, its workload (spec, base address, seed)
+ * tuples, its warmup/measure lengths and a stats-schema version, and
+ * a cache hit returns the stored IntervalStats / end cycle / kernel
+ * counters bit-for-bit.
+ *
+ * Two layers:
+ *
+ *  - an in-process map, always available, deduplicating identical jobs
+ *    within one bench invocation (the headline bench re-simulates the
+ *    same private-target run for every mix a benchmark appears in);
+ *    concurrent jobs computing the same key are collapsed — the first
+ *    computes, the rest block and reuse its record;
+ *  - an optional on-disk store (--run-cache=DIR), one versioned JSON
+ *    record per key, deduplicating runs *across* invocations.  Doubles
+ *    are stored as IEEE-754 bit patterns so disk round-trips are
+ *    exact; malformed, truncated or version-mismatched records are
+ *    treated as misses and overwritten.
+ *
+ * Anything that can alter either the model statistics or the kernel
+ * counters is part of the digest (config, shares, verify layer,
+ * kernel mode, run lengths, workload identity).  The only excluded
+ * field is `profile`, which is strictly observe-only and contributes
+ * nothing to a cached record; profiles are therefore only reported
+ * for runs that actually executed.
+ */
+
+#ifndef VPC_SYSTEM_RUN_CACHE_HH
+#define VPC_SYSTEM_RUN_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/profiler.hh"
+#include "system/cmp_system.hh"
+
+namespace vpc
+{
+
+/** Bump when the digested inputs or the record layout change. */
+constexpr std::uint64_t kRunCacheSchema = 1;
+
+/**
+ * Content identity of one workload stream: a vpcsim-style spec string
+ * ("art", "loads", "trace:<path>", ...), the thread's address-space
+ * base and the generator seed.  Building a workload from the same key
+ * yields a bit-identical op stream (workload_block_test asserts it).
+ */
+struct WorkloadKey
+{
+    std::string spec;
+    Addr base = 0;
+    std::uint64_t seed = 0;
+};
+
+/** One fully specified, cacheable simulation job. */
+struct RunJob
+{
+    SystemConfig config; //!< normalized by digest/run (validate())
+    std::vector<WorkloadKey> workloads; //!< one per processor
+    Cycle warmup = 0;
+    Cycle measure = 0;
+};
+
+/** The memoized outcome of a job (everything a bench consumes). */
+struct RunRecord
+{
+    Cycle endCycle = 0;    //!< CmpSystem::now() after the run
+    IntervalStats stats;   //!< the measured interval
+    KernelStats kernel;    //!< kernel work/skip counters
+};
+
+/** RunRecord plus provenance for the caller. */
+struct RunResult
+{
+    RunRecord record;
+    bool cacheHit = false;  //!< served from memory or disk
+    bool hasProfile = false;//!< profile below is meaningful
+    Profiler profile;       //!< merged profile (executed runs only)
+};
+
+/**
+ * @return the job's content digest (64-bit FNV-1a over the normalized
+ *         config, workload keys, run lengths and kRunCacheSchema)
+ */
+std::uint64_t runDigest(const RunJob &job);
+
+/** In-process + optional on-disk memoization of RunRecords. */
+class RunCache
+{
+  public:
+    /**
+     * @param disk_dir on-disk store directory (created if missing);
+     *        empty = in-process map only
+     */
+    explicit RunCache(std::string disk_dir = "");
+
+    /**
+     * Return the record for @p key, computing it at most once.
+     *
+     * Looks up the in-process map, then the disk store; on a miss runs
+     * @p compute, publishes the record to both layers and returns it.
+     * Concurrent callers with the same key block until the first
+     * finishes and share its record (counted as hits).
+     */
+    RunRecord lookupOrCompute(std::uint64_t key,
+                              const std::function<RunRecord()> &compute,
+                              bool *hit_out = nullptr);
+
+    /** Probe without computing. @return true and fill @p out on hit. */
+    bool probe(std::uint64_t key, RunRecord &out);
+
+    /** @return hits served (memory, disk, or wait-for-in-flight). */
+    std::uint64_t hits() const;
+
+    /** @return jobs that had to execute. */
+    std::uint64_t misses() const;
+
+    /** @return hits served specifically from the on-disk store. */
+    std::uint64_t diskHits() const;
+
+    /** @return the record path for @p key ("" without a disk store). */
+    std::string recordPath(std::uint64_t key) const;
+
+  private:
+    struct Entry
+    {
+        bool ready = false;
+        bool computing = false;
+        RunRecord record;
+    };
+
+    bool loadFromDisk(std::uint64_t key, RunRecord &out) const;
+    void storeToDisk(std::uint64_t key, const RunRecord &r) const;
+
+    std::string dir_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::unordered_map<std::uint64_t, Entry> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t diskHits_ = 0;
+};
+
+/**
+ * Run @p job through @p cache (nullptr = always execute).
+ *
+ * On a miss, builds the workloads from their keys
+ * (makeWorkloadFromSpec), constructs a CmpSystem and measures it; on a
+ * hit, returns the memoized record without simulating.  Results are
+ * bit-identical either way — the run-cache differential tests and the
+ * bench_headline cache differential enforce it.
+ */
+RunResult runAndMeasureCached(const RunJob &job, RunCache *cache);
+
+} // namespace vpc
+
+#endif // VPC_SYSTEM_RUN_CACHE_HH

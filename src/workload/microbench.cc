@@ -27,6 +27,27 @@ MicroBenchmark::next()
     return op;
 }
 
+void
+MicroBenchmark::nextBlock(std::span<MicroOp> out)
+{
+    const MicroOp::Kind mem_kind =
+        isStore ? MicroOp::Kind::Store : MicroOp::Kind::Load;
+    for (MicroOp &op : out) {
+        if (phase < kUnroll) {
+            op.kind = mem_kind;
+            op.addr = base + row;
+            op.dependsOnPrevLoad = false;
+            row += kRowBytes;
+            if (row >= kArrayBytes)
+                row = 0;
+            ++phase;
+        } else {
+            op = MicroOp{};
+            phase = 0;
+        }
+    }
+}
+
 std::string
 MicroBenchmark::name() const
 {

@@ -32,6 +32,7 @@ class MicroBenchmark : public Workload
     MicroBenchmark(bool is_store, Addr base_addr);
 
     MicroOp next() override;
+    void nextBlock(std::span<MicroOp> out) override;
     std::string name() const override;
     std::unique_ptr<Workload> clone(std::uint64_t seed) const override;
 

@@ -20,6 +20,20 @@ SyntheticWorkload::SyntheticWorkload(const SyntheticParams &params_,
 MicroOp
 SyntheticWorkload::next()
 {
+    return generate();
+}
+
+void
+SyntheticWorkload::nextBlock(std::span<MicroOp> out)
+{
+    // One virtual call per block; generate() is a direct call here.
+    for (MicroOp &op : out)
+        op = generate();
+}
+
+MicroOp
+SyntheticWorkload::generate()
+{
     MicroOp op;
     if (!rng.chance(params.memFrac)) {
         op.kind = MicroOp::Kind::Compute;

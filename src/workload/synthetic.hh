@@ -79,6 +79,7 @@ class SyntheticWorkload : public Workload
                       std::uint64_t seed);
 
     MicroOp next() override;
+    void nextBlock(std::span<MicroOp> out) override;
     std::string name() const override { return params.name; }
     std::unique_ptr<Workload> clone(std::uint64_t seed) const override;
 
@@ -87,6 +88,9 @@ class SyntheticWorkload : public Workload
 
   private:
     static constexpr Addr kLineBytes = 64;
+
+    /** Generate one op (the body shared by next() and nextBlock()). */
+    MicroOp generate();
 
     SyntheticParams params;
     Addr base;

@@ -1,5 +1,6 @@
 #include "workload/trace.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstring>
 #include <fstream>
@@ -109,6 +110,23 @@ TraceWorkload::next()
     return op;
 }
 
+void
+TraceWorkload::nextBlock(std::span<MicroOp> out)
+{
+    std::size_t filled = 0;
+    while (filled < out.size()) {
+        std::size_t run =
+            std::min(out.size() - filled, ops.size() - pos);
+        std::copy_n(ops.begin() + static_cast<std::ptrdiff_t>(pos),
+                    run, out.begin() +
+                    static_cast<std::ptrdiff_t>(filled));
+        filled += run;
+        pos += run;
+        if (pos == ops.size())
+            pos = 0;
+    }
+}
+
 std::unique_ptr<Workload>
 TraceWorkload::clone(std::uint64_t seed) const
 {
@@ -151,31 +169,45 @@ MicroOp
 TraceRecorder::next()
 {
     MicroOp op = inner->next();
-    if (file && written < maxOps) {
-        ++written;
-        switch (op.kind) {
-          case MicroOp::Kind::Compute:
-            ++pendingComputes;
-            break;
-          case MicroOp::Kind::Load:
-            flushComputes();
-            std::fprintf(file, "L %llx%s\n",
-                         static_cast<unsigned long long>(op.addr),
-                         op.dependsOnPrevLoad ? " d" : "");
-            break;
-          case MicroOp::Kind::Store:
-            flushComputes();
-            std::fprintf(file, "S %llx\n",
-                         static_cast<unsigned long long>(op.addr));
-            break;
-        }
-        if (written == maxOps) {
-            flushComputes();
-            std::fclose(file);
-            file = nullptr;
-        }
-    }
+    record(op);
     return op;
+}
+
+void
+TraceRecorder::nextBlock(std::span<MicroOp> out)
+{
+    inner->nextBlock(out);
+    for (const MicroOp &op : out)
+        record(op);
+}
+
+void
+TraceRecorder::record(const MicroOp &op)
+{
+    if (!file || written >= maxOps)
+        return;
+    ++written;
+    switch (op.kind) {
+      case MicroOp::Kind::Compute:
+        ++pendingComputes;
+        break;
+      case MicroOp::Kind::Load:
+        flushComputes();
+        std::fprintf(file, "L %llx%s\n",
+                     static_cast<unsigned long long>(op.addr),
+                     op.dependsOnPrevLoad ? " d" : "");
+        break;
+      case MicroOp::Kind::Store:
+        flushComputes();
+        std::fprintf(file, "S %llx\n",
+                     static_cast<unsigned long long>(op.addr));
+        break;
+    }
+    if (written == maxOps) {
+        flushComputes();
+        std::fclose(file);
+        file = nullptr;
+    }
 }
 
 std::unique_ptr<Workload>

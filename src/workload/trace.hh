@@ -46,6 +46,7 @@ class TraceWorkload : public Workload
                            Addr base_addr = 0);
 
     MicroOp next() override;
+    void nextBlock(std::span<MicroOp> out) override;
     std::string name() const override { return name_; }
     std::unique_ptr<Workload> clone(std::uint64_t seed) const override;
 
@@ -77,6 +78,7 @@ class TraceRecorder : public Workload
     ~TraceRecorder() override;
 
     MicroOp next() override;
+    void nextBlock(std::span<MicroOp> out) override;
     std::string name() const override { return inner->name(); }
     std::unique_ptr<Workload> clone(std::uint64_t seed) const override;
 
@@ -93,6 +95,9 @@ class TraceRecorder : public Workload
 
     /** Flush the run-length-encoded compute counter. */
     void flushComputes();
+
+    /** Record one op (shared by next() and nextBlock()). */
+    void record(const MicroOp &op);
 };
 
 } // namespace vpc

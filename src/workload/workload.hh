@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "sim/types.hh"
@@ -48,6 +49,21 @@ class Workload
 
     /** @return the next dynamic instruction. */
     virtual MicroOp next() = 0;
+
+    /**
+     * Fill @p out with the next out.size() dynamic instructions, in
+     * program order — exactly the ops that out.size() calls of next()
+     * would have returned.  Generators override this to amortize the
+     * per-op virtual dispatch over a whole block (the processor model
+     * fetches through a refillable block buffer); the default simply
+     * loops next() so trivial workloads stay one-method classes.
+     */
+    virtual void
+    nextBlock(std::span<MicroOp> out)
+    {
+        for (MicroOp &op : out)
+            op = next();
+    }
 
     /** @return the benchmark's display name. */
     virtual std::string name() const = 0;

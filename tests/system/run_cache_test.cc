@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Content-addressed run cache: key soundness and record fidelity.
+ *
+ * The cache is only allowed to exist because replayed records are
+ * bitwise-indistinguishable from executed runs.  These tests pin the
+ * three properties that guarantee it: digests are stable under
+ * normalization and change under any result-affecting perturbation;
+ * a hit returns the missed run's record exactly (memory and disk);
+ * and damaged or foreign disk records degrade to misses, never to
+ * wrong answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "sim/format.hh"
+#include "system/experiment.hh"
+#include "system/options.hh"
+#include "system/run_cache.hh"
+
+namespace vpc
+{
+namespace
+{
+
+/** A cheap two-thread job (about a millisecond of simulation). */
+RunJob
+smallJob()
+{
+    RunJob job;
+    job.config = makeBaselineConfig(2, ArbiterPolicy::Fcfs);
+    job.workloads = {WorkloadKey{"loads", threadBaseAddr(0), 1},
+                     WorkloadKey{"stores", threadBaseAddr(1), 2}};
+    job.warmup = 500;
+    job.measure = 2'000;
+    return job;
+}
+
+void
+expectSameRecord(const RunRecord &a, const RunRecord &b)
+{
+    EXPECT_EQ(a.endCycle, b.endCycle);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.ipc, b.stats.ipc); // exact: bit-identical runs
+    EXPECT_EQ(a.stats.instrs, b.stats.instrs);
+    EXPECT_EQ(a.stats.l2Reads, b.stats.l2Reads);
+    EXPECT_EQ(a.stats.l2Writes, b.stats.l2Writes);
+    EXPECT_EQ(a.stats.l2Misses, b.stats.l2Misses);
+    EXPECT_EQ(a.stats.sgbStores, b.stats.sgbStores);
+    EXPECT_EQ(a.stats.sgbGathered, b.stats.sgbGathered);
+    EXPECT_EQ(a.stats.tagUtil, b.stats.tagUtil);
+    EXPECT_EQ(a.stats.dataUtil, b.stats.dataUtil);
+    EXPECT_EQ(a.stats.busUtil, b.stats.busUtil);
+    EXPECT_EQ(a.kernel.cyclesExecuted.value(),
+              b.kernel.cyclesExecuted.value());
+    EXPECT_EQ(a.kernel.cyclesSkipped.value(),
+              b.kernel.cyclesSkipped.value());
+    EXPECT_EQ(a.kernel.ticksExecuted.value(),
+              b.kernel.ticksExecuted.value());
+    EXPECT_EQ(a.kernel.eventsFired.value(),
+              b.kernel.eventsFired.value());
+    EXPECT_EQ(a.kernel.messagesSent.value(),
+              b.kernel.messagesSent.value());
+    EXPECT_EQ(a.kernel.wheelCascades.value(),
+              b.kernel.wheelCascades.value());
+    EXPECT_EQ(a.kernel.epochs.value(), b.kernel.epochs.value());
+    EXPECT_EQ(a.kernel.barrierStalls.value(),
+              b.kernel.barrierStalls.value());
+}
+
+/** Fresh per-test directory under the gtest temp root. */
+std::string
+testDir(const std::string &name)
+{
+    std::string dir = format("{}/vpc_run_cache_{}", ::testing::TempDir(),
+                             name);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(RunDigest, StableAcrossCopies)
+{
+    RunJob a = smallJob();
+    RunJob b = a;
+    EXPECT_EQ(runDigest(a), runDigest(b));
+    EXPECT_EQ(runDigest(a), runDigest(a));
+}
+
+TEST(RunDigest, NormalizesDefaultedShares)
+{
+    // Empty shares mean "equal"; validate() fills them in, so the
+    // explicit and defaulted spellings are the same job.
+    RunJob expl = smallJob();
+    RunJob defaulted = expl;
+    defaulted.config.shares.clear();
+    EXPECT_EQ(runDigest(expl), runDigest(defaulted));
+}
+
+TEST(RunDigest, ChangesUnderAnyResultAffectingPerturbation)
+{
+    const RunJob base = smallJob();
+    const std::uint64_t d = runDigest(base);
+
+    RunJob j = base;
+    j.config.l2.ways /= 2;
+    EXPECT_NE(runDigest(j), d) << "l2 ways";
+
+    j = base;
+    j.config.arbiterPolicy = ArbiterPolicy::Vpc;
+    EXPECT_NE(runDigest(j), d) << "arbiter policy";
+
+    j = base;
+    j.config.shares = {QosShare{0.6, 0.5}, QosShare{0.4, 0.5}};
+    EXPECT_NE(runDigest(j), d) << "phi shares";
+
+    j = base;
+    j.config.kernelSkip = false;
+    EXPECT_NE(runDigest(j), d) << "kernel mode (counters differ)";
+
+    j = base;
+    j.config.kernelThreads = 3;
+    EXPECT_NE(runDigest(j), d) << "kernel threads (counters differ)";
+
+    j = base;
+    j.workloads[0].spec = "idle";
+    EXPECT_NE(runDigest(j), d) << "workload spec";
+
+    j = base;
+    j.workloads[1].seed = 99;
+    EXPECT_NE(runDigest(j), d) << "workload seed";
+
+    j = base;
+    j.workloads[0].base = threadBaseAddr(7);
+    EXPECT_NE(runDigest(j), d) << "workload base";
+
+    j = base;
+    j.warmup += 1;
+    EXPECT_NE(runDigest(j), d) << "warmup";
+
+    j = base;
+    j.measure += 1;
+    EXPECT_NE(runDigest(j), d) << "measure";
+
+    // The one deliberate exclusion: profiling observes, never alters.
+    j = base;
+    j.config.profile = true;
+    EXPECT_EQ(runDigest(j), d) << "profile must not key";
+}
+
+TEST(RunCacheTest, MissThenHitReturnsBitwiseSameRecord)
+{
+    RunJob job = smallJob();
+    RunCache cache;
+    RunResult miss = runAndMeasureCached(job, &cache);
+    RunResult hit = runAndMeasureCached(job, &cache);
+    RunResult uncached = runAndMeasureCached(job, nullptr);
+    EXPECT_FALSE(miss.cacheHit);
+    EXPECT_TRUE(hit.cacheHit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    expectSameRecord(miss.record, hit.record);
+    expectSameRecord(miss.record, uncached.record);
+}
+
+TEST(RunCacheTest, DiskRoundTripIsExact)
+{
+    std::string dir = testDir("roundtrip");
+    RunJob job = smallJob();
+    std::uint64_t key = runDigest(job);
+
+    RunCache writer(dir);
+    RunResult computed = runAndMeasureCached(job, &writer);
+    ASSERT_FALSE(computed.cacheHit);
+
+    // A fresh cache (new process, conceptually) must replay the
+    // record exactly, including the IEEE-754 bits of every double.
+    RunCache reader(dir);
+    RunRecord replayed;
+    ASSERT_TRUE(reader.probe(key, replayed));
+    EXPECT_EQ(reader.diskHits(), 1u);
+    expectSameRecord(computed.record, replayed);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RunCacheTest, CorruptRecordDegradesToMiss)
+{
+    std::string dir = testDir("corrupt");
+    RunJob job = smallJob();
+    std::uint64_t key = runDigest(job);
+
+    RunCache writer(dir);
+    RunResult computed = runAndMeasureCached(job, &writer);
+    ASSERT_FALSE(computed.cacheHit);
+
+    for (const char *garbage :
+         {"", "{", "not json at all", "{\"schema\": 999}"}) {
+        std::ofstream(writer.recordPath(key), std::ios::trunc)
+            << garbage;
+        RunCache reader(dir);
+        RunRecord out;
+        EXPECT_FALSE(reader.probe(key, out)) << garbage;
+        // The recompute must still give the right answer and heal
+        // the store.
+        RunResult healed = runAndMeasureCached(job, &reader);
+        EXPECT_FALSE(healed.cacheHit) << garbage;
+        expectSameRecord(computed.record, healed.record);
+    }
+    RunCache reader(dir);
+    RunRecord out;
+    EXPECT_TRUE(reader.probe(key, out));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RunCacheTest, ConcurrentSameKeyComputesOnce)
+{
+    RunJob job = smallJob();
+    RunCache cache;
+    std::atomic<int> computes{0};
+    std::vector<std::thread> threads;
+    std::vector<RunRecord> records(4);
+    for (int i = 0; i < 4; ++i) {
+        threads.emplace_back([&, i] {
+            records[i] = cache.lookupOrCompute(
+                runDigest(job), [&] {
+                    ++computes;
+                    return runAndMeasureCached(job, nullptr).record;
+                });
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 3u);
+    for (int i = 1; i < 4; ++i)
+        expectSameRecord(records[0], records[i]);
+}
+
+} // namespace
+} // namespace vpc
