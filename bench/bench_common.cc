@@ -39,11 +39,22 @@ BenchReporter::addProfile(const Profiler &p)
 
 void
 BenchReporter::setRunCacheStats(std::uint64_t hits,
-                                std::uint64_t misses)
+                                std::uint64_t misses,
+                                std::uint64_t disk_hits,
+                                std::uint64_t store_errors)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     cacheHits_ = hits;
     cacheMisses_ = misses;
+    cacheDiskHits_ = disk_hits;
+    cacheStoreErrors_ = store_errors;
+}
+
+void
+BenchReporter::setRunCacheStats(const RunCache &cache)
+{
+    setRunCacheStats(cache.hits(), cache.misses(), cache.diskHits(),
+                     cache.storeErrors());
 }
 
 const BenchReporter::MachineInfo &
@@ -120,14 +131,17 @@ BenchReporter::printSummary() const
         stderr,
         "bench %s: %.0f ms wall, %llu runs, %llu Msim-cycles, "
         "%.2f Mcycles/s, %.2f events/cycle, %llu cycles skipped, "
-        "run-cache %llu/%llu hit/miss\n",
+        "run-cache %llu/%llu hit/miss (%llu disk, %llu store "
+        "errors)\n",
         name_.c_str(), wallMs(),
         static_cast<unsigned long long>(runs_),
         static_cast<unsigned long long>(simCycles_ / 1'000'000),
         mcyclesPerSec(), eventsPerCycle(),
         static_cast<unsigned long long>(cyclesSkipped_),
         static_cast<unsigned long long>(cacheHits_),
-        static_cast<unsigned long long>(cacheMisses_));
+        static_cast<unsigned long long>(cacheMisses_),
+        static_cast<unsigned long long>(cacheDiskHits_),
+        static_cast<unsigned long long>(cacheStoreErrors_));
     if (haveProfile_)
         std::fprintf(stderr, "%s\n", profile_.report().c_str());
 }
@@ -181,7 +195,9 @@ BenchReporter::writeJson(const std::string &path) const
                  "  \"events_per_cycle\": %.4f,\n"
                  "  \"run_cache\": {\n"
                  "    \"hits\": %llu,\n"
-                 "    \"misses\": %llu\n"
+                 "    \"misses\": %llu,\n"
+                 "    \"disk_hits\": %llu,\n"
+                 "    \"store_errors\": %llu\n"
                  "  },\n"
                  "  \"machine\": {\n"
                  "    \"nproc\": %u,\n"
@@ -199,6 +215,8 @@ BenchReporter::writeJson(const std::string &path) const
                  eventsPerCycle(),
                  static_cast<unsigned long long>(cacheHits_),
                  static_cast<unsigned long long>(cacheMisses_),
+                 static_cast<unsigned long long>(cacheDiskHits_),
+                 static_cast<unsigned long long>(cacheStoreErrors_),
                  m.nproc,
                  jsonEscape(m.cpuModel).c_str(), m.loadavg1m);
     if (haveProfile_) {

@@ -87,12 +87,19 @@ class BenchReporter
     void addProfile(const Profiler &p);
 
     /**
-     * Record the bench's run-cache hit/miss totals (typically once,
-     * just before finish()).  They appear in the stderr summary and
-     * as the JSON's "run_cache" section; benches that never consult a
-     * cache report zeros.
+     * Record the bench's run-cache totals (typically once, just
+     * before finish()).  They appear in the stderr summary and as
+     * the JSON's "run_cache" section; benches that never consult a
+     * cache report zeros.  A non-zero @p store_errors means the disk
+     * store silently degraded (full disk, bad permissions) — CI can
+     * alert on the JSON field instead of scraping warn lines.
      */
-    void setRunCacheStats(std::uint64_t hits, std::uint64_t misses);
+    void setRunCacheStats(std::uint64_t hits, std::uint64_t misses,
+                          std::uint64_t disk_hits = 0,
+                          std::uint64_t store_errors = 0);
+
+    /** Convenience: record all four counters from @p cache. */
+    void setRunCacheStats(const RunCache &cache);
 
     /** Stop the wall clock (idempotent; addRun() after is an error). */
     void finish();
@@ -155,6 +162,8 @@ class BenchReporter
     bool haveProfile_ = false;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t cacheMisses_ = 0;
+    std::uint64_t cacheDiskHits_ = 0;
+    std::uint64_t cacheStoreErrors_ = 0;
 };
 
 } // namespace vpc

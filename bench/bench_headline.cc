@@ -230,7 +230,7 @@ main(int argc, char **argv)
                                       cache, rep);
         }
     }, opt.threads);
-    rep.setRunCacheStats(cache.hits(), cache.misses());
+    rep.setRunCacheStats(cache);
     rep.finish();
 
     TablePrinter t("Headline: heterogeneous 4-thread mixes, FCFS vs "

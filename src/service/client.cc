@@ -1,0 +1,130 @@
+#include "service/client.hh"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "service/job_codec.hh"
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+using Clock = std::chrono::steady_clock;
+
+ServiceClient::ServiceClient(std::string spool_dir,
+                             std::string cache_dir,
+                             std::uint64_t poll_ms)
+    : pollMs_(poll_ms)
+{
+    if (cache_dir.empty())
+        cache_dir = spool_dir + "/cache";
+    spool_ = std::make_unique<JobSpool>(std::move(spool_dir));
+    cache_ = std::make_unique<RunCache>(std::move(cache_dir));
+}
+
+bool
+ServiceClient::daemonAlive() const
+{
+    return spool_->ownerPid() != 0;
+}
+
+std::uint64_t
+ServiceClient::submit(const RunJob &job)
+{
+    std::uint64_t digest = runDigest(job);
+    JobState st = spool_->submit(digest, encodeJob(job));
+    if (st == JobState::Absent)
+        vpc_warn("client: could not spool {}",
+                 JobSpool::jobName(digest));
+    return digest;
+}
+
+JobState
+ServiceClient::wait(std::uint64_t digest, std::uint64_t timeout_ms)
+{
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        JobState st = spool_->state(digest);
+        if (st == JobState::Done || st == JobState::Failed ||
+            st == JobState::Absent)
+            return st;
+        if (!daemonAlive())
+            return st; // nobody will ever finish it
+        if (timeout_ms != 0 && Clock::now() >= deadline)
+            return st;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(pollMs_));
+    }
+}
+
+bool
+ServiceClient::fetch(std::uint64_t digest, RunResult &out)
+{
+    RunRecord rec;
+    if (!cache_->probe(digest, rec))
+        return false;
+    out = RunResult{};
+    out.record = rec;
+    out.cacheHit = true;
+    return true;
+}
+
+std::string
+ServiceClient::failReason(std::uint64_t digest)
+{
+    return spool_->failReason(digest);
+}
+
+RunResult
+ServiceClient::runJob(const RunJob &job, ServedBy *served)
+{
+    std::uint64_t digest = runDigest(job);
+
+    RunResult out;
+    if (fetch(digest, out)) {
+        // Already computed in some earlier life; no daemon needed.
+        if (served)
+            *served = ServedBy::Local;
+        return out;
+    }
+
+    if (daemonAlive()) {
+        submit(job);
+        for (;;) {
+            JobState st = spool_->state(digest);
+            if (st == JobState::Done) {
+                if (fetch(digest, out)) {
+                    if (served)
+                        *served = ServedBy::Daemon;
+                    return out;
+                }
+                // done/ but no record: cache-dir mismatch.  Recompute
+                // locally rather than spin.
+                vpc_warn("client: {} is done but has no cache record "
+                         "— daemon cache dir mismatch?",
+                         JobSpool::jobName(digest));
+                break;
+            }
+            if (st == JobState::Failed)
+                throw std::runtime_error(format(
+                    "job {} quarantined by the daemon: {}",
+                    JobSpool::jobName(digest), failReason(digest)));
+            if (!daemonAlive()) {
+                vpc_warn("client: daemon died with {} {}; degrading "
+                         "to local execution",
+                         JobSpool::jobName(digest), jobStateName(st));
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(pollMs_));
+        }
+    }
+
+    if (served)
+        *served = ServedBy::Local;
+    return runAndMeasureCached(job, cache_.get());
+}
+
+} // namespace vpc

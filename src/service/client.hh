@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Client side of the sweep service: submit, wait, fetch — and degrade
+ * gracefully to local execution when no daemon is alive.
+ *
+ * The client and the daemon share two rendezvous points and nothing
+ * else: the spool (jobs travel in, lifecycle state comes back) and
+ * the run cache directory (results come back, bit-exact).  There is
+ * no socket and no wire protocol — every interaction is an atomic
+ * rename on a shared filesystem, so a client can outlive daemons,
+ * daemons can outlive clients, and a SIGKILL on either side never
+ * corrupts the other.
+ *
+ * Degradation contract (runJob): if a live daemon owns the spool the
+ * job is submitted and awaited; if there is no daemon — or the daemon
+ * dies while the job is still queued or running — the client computes
+ * the job in-process against the same run cache directory.  Either
+ * path yields bit-identical results (the run cache differential tests
+ * enforce it), so callers never need to know which one served them.
+ */
+
+#ifndef VPC_SERVICE_CLIENT_HH
+#define VPC_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/spool.hh"
+#include "system/run_cache.hh"
+
+namespace vpc
+{
+
+/** How runJob() ultimately obtained its result. */
+enum class ServedBy
+{
+    Daemon, //!< submitted to and completed by a live daemon
+    Local,  //!< computed in-process (no daemon, or daemon died)
+};
+
+/** Submit/await/fetch client over a shared spool (see file comment). */
+class ServiceClient
+{
+  public:
+    /**
+     * @param spool_dir the daemon's spool root
+     * @param cache_dir run cache directory; "" = <spool_dir>/cache
+     *        (must match the daemon's, or results cannot be fetched)
+     * @param poll_ms wait() poll interval
+     */
+    explicit ServiceClient(std::string spool_dir,
+                           std::string cache_dir = "",
+                           std::uint64_t poll_ms = 50);
+
+    /** @return true when a live daemon owns the spool right now. */
+    bool daemonAlive() const;
+
+    /**
+     * Encode and spool @p job (no-op if already spooled or finished).
+     * @return the job digest (its identity everywhere else)
+     */
+    std::uint64_t submit(const RunJob &job);
+
+    /**
+     * Poll until @p digest reaches done/ or failed/, the daemon dies,
+     * or @p timeout_ms elapses (0 = wait forever).
+     *
+     * @return the job's state when polling stopped: Done / Failed are
+     *         terminal; Pending / Running mean the daemon died or the
+     *         timeout fired with the job still queued
+     */
+    JobState wait(std::uint64_t digest, std::uint64_t timeout_ms = 0);
+
+    /**
+     * Fetch a completed job's record from the shared run cache.
+     * @return true and fill @p out on success
+     */
+    bool fetch(std::uint64_t digest, RunResult &out);
+
+    /** @return the quarantine reason for a failed job ("" if none). */
+    std::string failReason(std::uint64_t digest);
+
+    /**
+     * The whole round trip with graceful degradation: daemon when
+     * alive, local execution otherwise (same cache, same bits).
+     *
+     * @throws std::runtime_error when the daemon quarantined the job
+     *         or the job itself is unrunnable
+     */
+    RunResult runJob(const RunJob &job, ServedBy *served = nullptr);
+
+    JobSpool &spool() { return *spool_; }
+    RunCache &cache() { return *cache_; }
+
+  private:
+    std::unique_ptr<JobSpool> spool_;
+    std::unique_ptr<RunCache> cache_;
+    std::uint64_t pollMs_;
+};
+
+} // namespace vpc
+
+#endif // VPC_SERVICE_CLIENT_HH

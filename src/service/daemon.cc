@@ -1,0 +1,367 @@
+#include "service/daemon.hh"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "service/job_codec.hh"
+#include "sim/cancel.hh"
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+using Clock = std::chrono::steady_clock;
+
+SweepDaemon::SweepDaemon(DaemonConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.cacheDir.empty())
+        cfg_.cacheDir = cfg_.spoolDir + "/cache";
+}
+
+SweepDaemon::~SweepDaemon()
+{
+    if (monitor_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lk(monitorMu_);
+            monitorStop_ = true;
+        }
+        monitorCv_.notify_all();
+        monitor_.join();
+    }
+    if (spool_)
+        spool_->release();
+}
+
+bool
+SweepDaemon::start()
+{
+    spool_ = std::make_unique<JobSpool>(cfg_.spoolDir);
+    if (!spool_->acquire()) {
+        vpc_warn("daemon: spool {} is owned by live pid {}",
+                 cfg_.spoolDir, spool_->ownerPid());
+        spool_.reset();
+        return false;
+    }
+    journal_ = std::make_unique<JobJournal>(cfg_.spoolDir +
+                                            "/journal.log");
+    cache_ = std::make_unique<RunCache>(cfg_.cacheDir);
+    pool_ = std::make_unique<ThreadPool>(cfg_.workers);
+
+    // Crash recovery: every running/ entry belonged to a dead owner
+    // (we hold the pid file now); requeue them all.
+    for (std::uint64_t d : spool_->list(JobState::Running)) {
+        if (spool_->requeue(d)) {
+            journal_->append(d, "recover");
+            ++stats_.orphansRecovered;
+        }
+    }
+    // Attempt history survives the crash through the journal.
+    attempts_ = journal_->replayAttempts();
+
+    if (cfg_.injectFaults) {
+        injector_ = std::make_unique<FaultInjector>(cfg_.faultRate,
+                                                    cfg_.faultSeed);
+        // The fault fns run on the scheduling thread inside
+        // planFaults(), which points planning_ at the job being
+        // claimed — see planFaults() for the contract.
+        injector_->addFault("stall-job", [this] {
+            if (cfg_.deadlineMs == 0)
+                return false; // a stall with no deadline never ends
+            planning_->faultStall = true;
+            return true;
+        });
+        injector_->addFault("fail-job", [this] {
+            planning_->faultFail = true;
+            return true;
+        });
+        injector_->addFault("abandon-job", [this] {
+            planning_->faultAbandon = true;
+            return true;
+        });
+        injector_->addFault("truncate-journal", [this] {
+            // Chop mid-line, as a crash during append would: replay
+            // must drop the torn tail and nothing else.
+            struct ::stat st;
+            const std::string &p = journal_->path();
+            if (::stat(p.c_str(), &st) != 0 || st.st_size < 4)
+                return false;
+            return ::truncate(p.c_str(), st.st_size - 3) == 0;
+        });
+    }
+
+    monitor_ = std::thread([this] { monitorLoop(); });
+    started_ = true;
+    vpc_inform("daemon: serving spool {} (cache {}, {} worker "
+               "thread(s), deadline {} ms, max {} attempts)",
+               cfg_.spoolDir, cfg_.cacheDir, cfg_.workers,
+               cfg_.deadlineMs, cfg_.maxAttempts);
+    return true;
+}
+
+std::uint64_t
+SweepDaemon::backoffFor(unsigned attempt) const
+{
+    std::uint64_t ms = cfg_.backoffMs;
+    for (unsigned i = 1; i < attempt && ms < cfg_.backoffCapMs; ++i)
+        ms *= 2;
+    return std::min(ms, cfg_.backoffCapMs);
+}
+
+void
+SweepDaemon::planFaults(BatchJob &bj)
+{
+    if (!injector_)
+        return;
+    planning_ = &bj;
+    // One roll per claim; the claim ordinal is the injector's "cycle"
+    // so a given (seed, rate, job sequence) replays identically.
+    injector_->maybeInject(static_cast<Cycle>(stats_.claimed));
+    planning_ = nullptr;
+    stats_.faultsInjected = injector_->injectedCount();
+}
+
+void
+SweepDaemon::executeOne(BatchJob &bj)
+{
+    bj.attempted = true;
+    bj.started = Clock::now();
+    bj.executing.store(true, std::memory_order_release);
+    try {
+        if (bj.faultStall) {
+            // Hold the job until the deadline monitor cancels it,
+            // like a wedged simulation would.
+            while (!bj.cancel.load(std::memory_order_relaxed))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            throw JobCancelled("injected stall: job held past its "
+                               "deadline");
+        }
+        if (bj.faultFail)
+            throw std::runtime_error("injected job failure");
+        if (bj.faultAbandon) {
+            // Walk away mid-claim, like a worker dying would; the
+            // stale-claim sweep at the next pass must requeue it.
+            bj.attempted = false;
+            bj.executing.store(false, std::memory_order_release);
+            return;
+        }
+        RunSupervision sup;
+        sup.cancel = &bj.cancel;
+        sup.deadlineMs = cfg_.deadlineMs;
+        RunResult res = runAndMeasureCached(bj.job, cache_.get(), &sup);
+        bj.cacheHit = res.cacheHit;
+        bj.ok = true;
+    } catch (const DeadlineExceeded &e) {
+        bj.timedOut = true;
+        bj.error = e.what();
+    } catch (const JobCancelled &e) {
+        // The only canceller of a live job is the deadline monitor.
+        bj.timedOut = true;
+        bj.error = e.what();
+    } catch (const std::exception &e) {
+        bj.error = e.what();
+    }
+    bj.executing.store(false, std::memory_order_release);
+}
+
+void
+SweepDaemon::settleOutcome(BatchJob &bj)
+{
+    std::uint64_t d = bj.digest;
+    if (!bj.attempted) {
+        // Never ran: shutdown skipped it, or an injected abandonment.
+        // The journaled "start" stands — after a real crash we could
+        // not tell either — but the in-memory count should not burn
+        // an attempt for a job we know never executed.
+        if (attempts_[d] > 0)
+            --attempts_[d];
+        if (bj.faultAbandon)
+            return; // left in running/ for the stale-claim sweep
+        if (spool_->requeue(d)) {
+            journal_->append(d, "requeue");
+            ++stats_.republished;
+        }
+        return;
+    }
+    if (bj.ok) {
+        journal_->append(d, "done");
+        spool_->markDone(d);
+        ++stats_.completed;
+        if (bj.cacheHit)
+            ++stats_.cacheHits;
+        eligible_.erase(d);
+        return;
+    }
+    ++stats_.failures;
+    if (bj.timedOut)
+        ++stats_.timeouts;
+    journal_->append(d, "fail");
+    unsigned att = attempts_[d];
+    if (att >= cfg_.maxAttempts) {
+        journal_->append(d, "quarantine");
+        spool_->markFailed(
+            d, format("quarantined after {} attempt(s); last error: {}",
+                      att, bj.error));
+        ++stats_.quarantined;
+        eligible_.erase(d);
+        vpc_warn("daemon: quarantined {} after {} attempt(s): {}",
+                 JobSpool::jobName(d), att, bj.error);
+    } else {
+        std::uint64_t wait_ms = backoffFor(att);
+        eligible_[d] = Clock::now() +
+                       std::chrono::milliseconds(wait_ms);
+        journal_->append(d, "requeue");
+        spool_->requeue(d);
+        ++stats_.retried;
+        vpc_inform("daemon: retrying {} in {} ms (attempt {}/{}): {}",
+                   JobSpool::jobName(d), wait_ms, att,
+                   cfg_.maxAttempts, bj.error);
+    }
+}
+
+std::uint64_t
+SweepDaemon::runOnce()
+{
+    if (!started_)
+        vpc_panic("SweepDaemon::runOnce before start()");
+
+    // Stale-claim sweep: nothing is executing between passes, so any
+    // running/ entry was abandoned (injected fault, or a claim we
+    // lost track of).  Requeue rather than leak it.
+    for (std::uint64_t d : spool_->list(JobState::Running)) {
+        if (spool_->requeue(d))
+            journal_->append(d, "requeue");
+    }
+
+    const unsigned lanes = pool_->workers() + 1;
+    const std::atomic<bool> *stop = stop_.load();
+    std::vector<std::unique_ptr<BatchJob>> batch;
+    Clock::time_point now = Clock::now();
+
+    for (std::uint64_t d : spool_->list(JobState::Pending)) {
+        if (batch.size() >= lanes)
+            break;
+        if (stop && stop->load())
+            break;
+        auto el = eligible_.find(d);
+        if (el != eligible_.end() && el->second > now)
+            continue; // still backing off
+        std::string text;
+        if (!spool_->claimJob(d, text))
+            continue;
+        ++stats_.claimed;
+        auto bj = std::make_unique<BatchJob>();
+        bj->digest = d;
+        if (!decodeJob(text, bj->job)) {
+            // Poison before it ever runs: corrupt record, codec skew
+            // or an insane config.  Quarantine, don't retry.
+            journal_->append(d, "quarantine");
+            spool_->markFailed(d, "undecodable or inconsistent job "
+                                  "record");
+            ++stats_.rejected;
+            ++stats_.quarantined;
+            continue;
+        }
+        unsigned prior = attempts_[d];
+        if (prior >= cfg_.maxAttempts) {
+            // Exhausted in a previous life (crash between the last
+            // failure and its quarantine transition).
+            journal_->append(d, "quarantine");
+            spool_->markFailed(
+                d, format("quarantined after {} attempt(s) (journal "
+                          "replay)", prior));
+            ++stats_.quarantined;
+            continue;
+        }
+        planFaults(*bj);
+        attempts_[d] = prior + 1;
+        journal_->append(d, "start");
+        batch.push_back(std::move(bj));
+    }
+    if (batch.empty())
+        return 0;
+
+    {
+        std::lock_guard<std::mutex> lk(monitorMu_);
+        activeBatch_ = &batch;
+    }
+    pool_->dispatch(batch.size(), [&](std::size_t i) {
+        executeOne(*batch[i]);
+    });
+    {
+        std::lock_guard<std::mutex> lk(monitorMu_);
+        activeBatch_ = nullptr;
+    }
+
+    std::uint64_t completed_before = stats_.completed;
+    for (auto &bj : batch)
+        settleOutcome(*bj);
+    return stats_.completed - completed_before;
+}
+
+std::uint64_t
+SweepDaemon::run(const std::atomic<bool> &stop)
+{
+    stop_.store(&stop);
+    std::uint64_t completed_at_entry = stats_.completed;
+    while (!stop.load()) {
+        std::uint64_t done = runOnce();
+        if (stop.load())
+            break;
+        if (done == 0) {
+            // Idle: nothing claimable.  Sleep in short slices so a
+            // stop request is honored promptly.
+            Clock::time_point until =
+                Clock::now() + std::chrono::milliseconds(cfg_.pollMs);
+            while (!stop.load() && Clock::now() < until)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+        }
+    }
+    // Graceful drain: anything still claimed goes back to pending/
+    // for the next daemon (in-flight jobs already settled above —
+    // dispatch() does not return while they run).
+    for (std::uint64_t d : spool_->list(JobState::Running)) {
+        if (spool_->requeue(d)) {
+            journal_->append(d, "requeue");
+            ++stats_.republished;
+        }
+    }
+    spool_->release();
+    stop_.store(nullptr);
+    vpc_inform("daemon: stopped ({} completed, {} retried, {} "
+               "quarantined, {} republished)",
+               stats_.completed, stats_.retried, stats_.quarantined,
+               stats_.republished);
+    return stats_.completed - completed_at_entry;
+}
+
+void
+SweepDaemon::monitorLoop()
+{
+    std::unique_lock<std::mutex> lk(monitorMu_);
+    while (!monitorStop_) {
+        monitorCv_.wait_for(lk, std::chrono::milliseconds(10));
+        if (monitorStop_)
+            break;
+        const std::atomic<bool> *stop = stop_.load();
+        if (stop && stop->load()) {
+            // Shutdown: skip the undispatched tail of the current
+            // batch; in-flight jobs drain normally.
+            pool_->requestCancel();
+        }
+        if (!activeBatch_)
+            continue;
+        Clock::time_point now = Clock::now();
+        for (auto &bj : *activeBatch_) {
+            if (!bj->executing.load(std::memory_order_acquire))
+                continue;
+            if (cfg_.deadlineMs != 0 &&
+                now - bj->started >=
+                    std::chrono::milliseconds(cfg_.deadlineMs))
+                bj->cancel.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+} // namespace vpc

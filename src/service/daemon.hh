@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The sweep daemon: fault-tolerant execution of spooled jobs.
+ *
+ * One SweepDaemon owns a JobSpool, its JobJournal and a RunCache, and
+ * turns pending jobs into cached RunRecords on a worker pool.  The
+ * robustness contract, end to end:
+ *
+ *  - exactly-once results: jobs are content-addressed, identical
+ *    in-flight jobs collapse in the RunCache, and completed jobs are
+ *    served from cache on resubmission;
+ *  - crash recovery: start() requeues every `running/` orphan (the
+ *    previous owner is dead) and replays the journal for attempt
+ *    counts, so a SIGKILLed daemon restarts exactly where it died;
+ *  - deadlines: every executing job carries a cancel token watched by
+ *    the deadline monitor thread; jobs whose config enables the
+ *    watchdog additionally get a wall deadline armed in-kernel.
+ *    Either way an over-budget job unwinds with JobCancelled /
+ *    DeadlineExceeded and counts one failed attempt;
+ *  - bounded retry: failed attempts are requeued with exponential
+ *    backoff (backoffMs * 2^(attempt-1), capped) and quarantined
+ *    into `failed/` after maxAttempts, with the reason recorded for
+ *    the client;
+ *  - graceful shutdown: when the stop flag rises the daemon claims
+ *    nothing new, skips the undispatched tail of the current batch
+ *    (ThreadPool::requestCancel), lets in-flight jobs drain, and
+ *    republishes every still-claimed job back to `pending/`.
+ *
+ * Deterministic fault injection (--inject-service-faults) reuses the
+ * verify layer's FaultInjector to stall jobs past their deadline,
+ * abandon claimed jobs (exercising the republish sweep), fail jobs
+ * (exercising retry + quarantine) and truncate the journal mid-line
+ * (exercising torn-line replay) — all bit-reproducible from a seed.
+ */
+
+#ifndef VPC_SERVICE_DAEMON_HH
+#define VPC_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/journal.hh"
+#include "service/spool.hh"
+#include "sim/thread_pool.hh"
+#include "system/run_cache.hh"
+#include "verify/fault_injector.hh"
+
+namespace vpc
+{
+
+/** Everything a SweepDaemon needs to run. */
+struct DaemonConfig
+{
+    std::string spoolDir;
+    std::string cacheDir;        //!< "" = <spoolDir>/cache
+    unsigned workers = 2;        //!< pool threads (lanes = workers + 1)
+    std::uint64_t deadlineMs = 0;//!< per-job wall budget; 0 = unbounded
+    unsigned maxAttempts = 3;    //!< quarantine after this many starts
+    std::uint64_t backoffMs = 100;   //!< retry backoff base
+    std::uint64_t backoffCapMs = 10000;
+    std::uint64_t pollMs = 200;  //!< idle sleep between spool scans
+    bool injectFaults = false;   //!< deterministic service-fault mode
+    double faultRate = 0.0;      //!< per-job fault probability
+    std::uint64_t faultSeed = 1;
+};
+
+/** Daemon-lifetime counters (monotonic; read after run()). */
+struct DaemonStats
+{
+    std::uint64_t claimed = 0;     //!< jobs taken from pending/
+    std::uint64_t completed = 0;   //!< jobs moved to done/
+    std::uint64_t cacheHits = 0;   //!< completed without executing
+    std::uint64_t failures = 0;    //!< failed attempts (all causes)
+    std::uint64_t timeouts = 0;    //!< failures that were deadline hits
+    std::uint64_t retried = 0;     //!< attempts requeued with backoff
+    std::uint64_t quarantined = 0; //!< jobs moved to failed/
+    std::uint64_t rejected = 0;    //!< undecodable / unrunnable jobs
+    std::uint64_t republished = 0; //!< running jobs requeued at shutdown
+    std::uint64_t orphansRecovered = 0; //!< running/ requeued at start
+    std::uint64_t faultsInjected = 0;   //!< service faults applied
+};
+
+/** The spooled-job execution service (see file comment). */
+class SweepDaemon
+{
+  public:
+    explicit SweepDaemon(DaemonConfig cfg);
+    ~SweepDaemon();
+
+    /**
+     * Acquire the spool (single daemon per spool), recover orphans,
+     * replay the journal, start the deadline monitor.
+     *
+     * @return false when another live daemon owns the spool
+     */
+    bool start();
+
+    /**
+     * Serve jobs until @p stop becomes true; then drain gracefully
+     * and release the spool.  @return jobs completed this run.
+     */
+    std::uint64_t run(const std::atomic<bool> &stop);
+
+    /**
+     * One scheduling pass: claim whatever is pending (subject to
+     * retry backoff), execute it on the pool, settle the outcomes.
+     * @return jobs completed in this pass.
+     */
+    std::uint64_t runOnce();
+
+    const DaemonStats &stats() const { return stats_; }
+    const RunCache &cache() const { return *cache_; }
+    JobSpool &spool() { return *spool_; }
+
+  private:
+    /** A claimed job travelling through one execution batch. */
+    struct BatchJob
+    {
+        std::uint64_t digest = 0;
+        RunJob job;
+        CancelToken cancel{false};
+        std::chrono::steady_clock::time_point started;
+        std::atomic<bool> executing{false};
+        // Outcome of the attempt:
+        bool attempted = false; //!< false: skipped by shutdown cancel
+        bool ok = false;
+        bool timedOut = false;
+        bool cacheHit = false;
+        std::string error;
+        // Injected fault plan for this attempt:
+        bool faultStall = false;   //!< hold the job past its deadline
+        bool faultFail = false;    //!< throw instead of computing
+        bool faultAbandon = false; //!< leave it claimed in running/
+    };
+
+    void executeOne(BatchJob &bj);
+    void settleOutcome(BatchJob &bj);
+    void monitorLoop();
+    void planFaults(BatchJob &bj);
+    std::uint64_t backoffFor(unsigned attempt) const;
+
+    DaemonConfig cfg_;
+    std::unique_ptr<JobSpool> spool_;
+    std::unique_ptr<JobJournal> journal_;
+    std::unique_ptr<RunCache> cache_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<FaultInjector> injector_;
+    /** The job planFaults() is rolling for (scheduling thread only). */
+    BatchJob *planning_ = nullptr;
+    DaemonStats stats_;
+
+    /** Attempts per digest (journal replay + live updates). */
+    std::unordered_map<std::uint64_t, unsigned> attempts_;
+    /** Earliest next claim time for backed-off digests. */
+    std::unordered_map<std::uint64_t,
+                       std::chrono::steady_clock::time_point> eligible_;
+
+    /** Deadline monitor. */
+    std::thread monitor_;
+    std::mutex monitorMu_;
+    std::condition_variable monitorCv_;
+    bool monitorStop_ = false;
+    /** Jobs the monitor must watch; guarded by monitorMu_. */
+    std::vector<std::unique_ptr<BatchJob>> *activeBatch_ = nullptr;
+
+    /** run()'s stop flag, published for the monitor thread. */
+    std::atomic<const std::atomic<bool> *> stop_{nullptr};
+    bool started_ = false;
+};
+
+} // namespace vpc
+
+#endif // VPC_SERVICE_DAEMON_HH

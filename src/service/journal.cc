@@ -1,0 +1,92 @@
+#include "service/journal.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace vpc
+{
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path))
+{
+    f_ = std::fopen(path_.c_str(), "ab");
+    if (!f_)
+        vpc_warn("journal: cannot open {} for append", path_);
+}
+
+JobJournal::~JobJournal()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+void
+JobJournal::append(std::uint64_t digest, const std::string &event)
+{
+    if (!f_)
+        return;
+    std::fprintf(f_, "%016llx %s\n",
+                 static_cast<unsigned long long>(digest),
+                 event.c_str());
+    std::fflush(f_);
+}
+
+std::vector<JobJournal::Event>
+JobJournal::replay() const
+{
+    std::vector<Event> out;
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    if (!f)
+        return out;
+    std::string line;
+    int c;
+    bool terminated = false;
+    auto flush_line = [&]() {
+        // A valid line is exactly "<16 hex> <word>" and must have
+        // ended in '\n' — a torn tail (no newline) is dropped.
+        if (!terminated || line.size() < 18 || line[16] != ' ') {
+            line.clear();
+            return;
+        }
+        for (int i = 0; i < 16; ++i)
+            if (!std::isxdigit(static_cast<unsigned char>(line[i]))) {
+                line.clear();
+                return;
+            }
+        std::string word = line.substr(17);
+        for (char w : word)
+            if (!std::isalpha(static_cast<unsigned char>(w))) {
+                line.clear();
+                return;
+            }
+        Event e;
+        e.digest = std::strtoull(line.substr(0, 16).c_str(), nullptr, 16);
+        e.name = std::move(word);
+        out.push_back(std::move(e));
+        line.clear();
+    };
+    while ((c = std::fgetc(f)) != EOF) {
+        if (c == '\n') {
+            terminated = true;
+            flush_line();
+            terminated = false;
+        } else {
+            line.push_back(static_cast<char>(c));
+        }
+    }
+    std::fclose(f);
+    return out;
+}
+
+std::unordered_map<std::uint64_t, unsigned>
+JobJournal::replayAttempts() const
+{
+    std::unordered_map<std::uint64_t, unsigned> attempts;
+    for (const Event &e : replay())
+        if (e.name == "start")
+            ++attempts[e.digest];
+    return attempts;
+}
+
+} // namespace vpc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Append-only job journal: the daemon's memory across crashes.
+ *
+ * The spool's rename-based state machine is crash-safe but memoryless
+ * — after `running/X` is requeued to `pending/X` nothing in the spool
+ * says the job already ran (and failed, or timed out) twice.  The
+ * journal supplies that history: one text line per lifecycle event,
+ * appended and flushed before the corresponding spool transition, so
+ * a restarted daemon can count prior attempts and quarantine a poison
+ * job instead of retrying it forever.
+ *
+ * Format: `<16-hex-digest> <event>\n`, events being start / done /
+ * fail / requeue / quarantine / recover.  Recovery tolerates torn
+ * writes: a process killed mid-append leaves a final line without a
+ * terminating newline (or with garbage), and replay() skips any line
+ * that does not parse exactly — losing at most one event, never
+ * misreading one.  The journal is advisory history, not the source
+ * of truth (the spool is), so a skipped torn line only costs one
+ * uncounted attempt.
+ */
+
+#ifndef VPC_SERVICE_JOURNAL_HH
+#define VPC_SERVICE_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vpc
+{
+
+/** Append-only, torn-write-tolerant job event log. */
+class JobJournal
+{
+  public:
+    /** One parsed journal line. */
+    struct Event
+    {
+        std::uint64_t digest = 0;
+        std::string name;
+    };
+
+    /** Open (creating if needed) the journal at @p path for append. */
+    explicit JobJournal(std::string path);
+    ~JobJournal();
+
+    JobJournal(const JobJournal &) = delete;
+    JobJournal &operator=(const JobJournal &) = delete;
+
+    /** Append one event line and flush it to the OS. */
+    void append(std::uint64_t digest, const std::string &event);
+
+    /**
+     * Parse the whole journal; malformed or torn lines are skipped.
+     * Reads the file fresh (not the append handle), so it sees other
+     * writers' history too.
+     */
+    std::vector<Event> replay() const;
+
+    /** @return per-digest count of "start" events (attempts so far). */
+    std::unordered_map<std::uint64_t, unsigned> replayAttempts() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *f_ = nullptr;
+};
+
+} // namespace vpc
+
+#endif // VPC_SERVICE_JOURNAL_HH

@@ -1,0 +1,320 @@
+#include "service/spool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+#include "system/run_cache.hh"
+
+namespace fs = std::filesystem;
+
+namespace vpc
+{
+
+namespace
+{
+
+constexpr const char *kStateDirs[] = {"", "pending", "running", "done",
+                                      "failed"};
+
+bool
+slurpFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+/**
+ * Publish @p text at @p path via pid-stamped temp + rename, the same
+ * protocol (and janitor) as the run cache's record store.
+ */
+bool
+writeFileAtomic(const std::string &path, const std::string &text)
+{
+    static std::atomic<std::uint64_t> seq{0};
+    std::string tmp = format("{}.tmp.{}.{}", path,
+                             static_cast<std::uint64_t>(::getpid()),
+                             seq.fetch_add(1));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+              text.size() && !std::ferror(f);
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Parse "job-<16 hex>" back into a digest. */
+bool
+parseJobName(const std::string &name, std::uint64_t &digest_out)
+{
+    if (name.size() != 4 + 16 || name.compare(0, 4, "job-") != 0)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    std::uint64_t v = std::strtoull(name.c_str() + 4, &end, 16);
+    if (errno != 0 || end != name.c_str() + name.size())
+        return false;
+    digest_out = v;
+    return true;
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState st)
+{
+    switch (st) {
+    case JobState::Absent: return "absent";
+    case JobState::Pending: return "pending";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    }
+    return "?";
+}
+
+bool
+processAlive(std::uint64_t pid)
+{
+    if (pid == 0 || pid > static_cast<std::uint64_t>(INT32_MAX))
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0)
+        return true;
+    // EPERM means the pid exists but belongs to someone else.
+    return errno == EPERM;
+}
+
+JobSpool::JobSpool(std::string root) : root_(std::move(root))
+{
+    std::error_code ec;
+    for (const char *d : kStateDirs) {
+        std::string dir = *d ? root_ + "/" + d : root_;
+        fs::create_directories(dir, ec);
+        if (ec)
+            vpc_warn("spool: cannot create {}: {}", dir, ec.message());
+        RunCache::gcStaleTemps(dir);
+    }
+}
+
+std::string
+JobSpool::jobName(std::uint64_t digest)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "job-%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+std::string
+JobSpool::stateDir(JobState st) const
+{
+    return root_ + "/" + kStateDirs[static_cast<int>(st)];
+}
+
+std::string
+JobSpool::jobPath(JobState st, std::uint64_t digest) const
+{
+    return stateDir(st) + "/" + jobName(digest);
+}
+
+JobState
+JobSpool::submit(std::uint64_t digest, const std::string &text)
+{
+    JobState cur = state(digest);
+    if (cur != JobState::Absent)
+        return cur;
+    if (!writeFileAtomic(jobPath(JobState::Pending, digest), text))
+        return JobState::Absent;
+    return JobState::Pending;
+}
+
+bool
+JobSpool::claim(std::uint64_t &digest_out, std::string &text_out)
+{
+    struct Candidate
+    {
+        fs::file_time_type mtime;
+        std::string name;
+        std::uint64_t digest;
+    };
+    std::vector<Candidate> cands;
+    std::error_code ec;
+    for (const auto &e :
+         fs::directory_iterator(stateDir(JobState::Pending), ec)) {
+        std::uint64_t d;
+        std::string name = e.path().filename().string();
+        if (!parseJobName(name, d))
+            continue;
+        std::error_code mec;
+        auto mt = fs::last_write_time(e.path(), mec);
+        if (mec)
+            mt = fs::file_time_type::min(); // vanished: sort first, lose race
+        cands.push_back({mt, name, d});
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.name < b.name;
+              });
+    for (const Candidate &c : cands) {
+        if (!moveJob(JobState::Pending, JobState::Running, c.digest))
+            continue; // lost the race to another claimant
+        if (slurpFile(jobPath(JobState::Running, c.digest), text_out)) {
+            digest_out = c.digest;
+            return true;
+        }
+        // Claimed but unreadable — quarantine rather than spin on it.
+        markFailed(c.digest, "job file unreadable after claim");
+    }
+    return false;
+}
+
+bool
+JobSpool::claimJob(std::uint64_t digest, std::string &text_out)
+{
+    if (!moveJob(JobState::Pending, JobState::Running, digest))
+        return false;
+    if (slurpFile(jobPath(JobState::Running, digest), text_out))
+        return true;
+    markFailed(digest, "job file unreadable after claim");
+    return false;
+}
+
+bool
+JobSpool::moveJob(JobState from, JobState to, std::uint64_t digest)
+{
+    return std::rename(jobPath(from, digest).c_str(),
+                       jobPath(to, digest).c_str()) == 0;
+}
+
+bool
+JobSpool::markDone(std::uint64_t digest)
+{
+    return moveJob(JobState::Running, JobState::Done, digest);
+}
+
+bool
+JobSpool::markFailed(std::uint64_t digest, const std::string &reason)
+{
+    if (!moveJob(JobState::Running, JobState::Failed, digest))
+        return false;
+    writeFileAtomic(jobPath(JobState::Failed, digest) + ".err", reason);
+    return true;
+}
+
+bool
+JobSpool::requeue(std::uint64_t digest)
+{
+    return moveJob(JobState::Running, JobState::Pending, digest);
+}
+
+bool
+JobSpool::rejectPending(std::uint64_t digest, const std::string &reason)
+{
+    if (!moveJob(JobState::Pending, JobState::Failed, digest))
+        return false;
+    writeFileAtomic(jobPath(JobState::Failed, digest) + ".err", reason);
+    return true;
+}
+
+std::size_t
+JobSpool::recoverOrphans()
+{
+    std::size_t n = 0;
+    for (std::uint64_t d : list(JobState::Running))
+        if (requeue(d))
+            ++n;
+    if (n)
+        vpc_inform("spool: requeued {} orphaned running job(s)", n);
+    return n;
+}
+
+JobState
+JobSpool::state(std::uint64_t digest) const
+{
+    std::error_code ec;
+    for (JobState st : {JobState::Done, JobState::Failed,
+                        JobState::Running, JobState::Pending}) {
+        if (fs::exists(jobPath(st, digest), ec))
+            return st;
+    }
+    return JobState::Absent;
+}
+
+std::vector<std::uint64_t>
+JobSpool::list(JobState st) const
+{
+    std::vector<std::uint64_t> out;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(stateDir(st), ec)) {
+        std::uint64_t d;
+        if (parseJobName(e.path().filename().string(), d))
+            out.push_back(d);
+    }
+    return out;
+}
+
+std::string
+JobSpool::failReason(std::uint64_t digest) const
+{
+    std::string text;
+    if (!slurpFile(jobPath(JobState::Failed, digest) + ".err", text))
+        return "";
+    return text;
+}
+
+bool
+JobSpool::acquire()
+{
+    std::uint64_t owner = ownerPid();
+    std::uint64_t self = static_cast<std::uint64_t>(::getpid());
+    if (owner != 0 && owner != self)
+        return false;
+    return writeFileAtomic(root_ + "/daemon.pid",
+                           format("{}\n", self));
+}
+
+void
+JobSpool::release()
+{
+    if (ownerPid() == static_cast<std::uint64_t>(::getpid()))
+        std::remove((root_ + "/daemon.pid").c_str());
+}
+
+std::uint64_t
+JobSpool::ownerPid() const
+{
+    std::string text;
+    if (!slurpFile(root_ + "/daemon.pid", text))
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    std::uint64_t pid = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str())
+        return 0;
+    return processAlive(pid) ? pid : 0;
+}
+
+} // namespace vpc

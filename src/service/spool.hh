@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Crash-safe on-disk job spool: a directory-per-state machine.
+ *
+ * A job's lifecycle state IS its location — `pending/`, `running/`,
+ * `done/` or `failed/` under the spool root — and every transition is
+ * a single atomic rename on one filesystem, so no crash at any point
+ * can duplicate a job, lose a job, or leave one half in two states:
+ *
+ *     submit:  <tmp>       -> pending/job-<digest>   (publish)
+ *     claim:   pending/X    -> running/X             (daemon takes it)
+ *     done:    running/X    -> done/X
+ *     fail:    running/X    -> failed/X              (quarantine)
+ *     requeue: running/X    -> pending/X             (retry / recovery)
+ *
+ * Jobs are named by their content digest (job_codec embeds and checks
+ * it), which gives exactly-once semantics for free: a second submit of
+ * the same job, from any process, lands on the same name and becomes a
+ * no-op against whatever state the first copy already reached.
+ *
+ * Crash recovery: anything in `running/` belongs to a daemon; a
+ * starting daemon requeues all of it (the previous owner is dead or
+ * about to be fenced out by the pid file).  Half-written submissions
+ * are invisible by construction (tmp + rename) and stale temps are
+ * reclaimed by the same janitor the run cache uses.
+ *
+ * Single-daemon fencing: `daemon.pid` at the spool root holds the
+ * owner's pid, published by tmp + rename.  acquire() refuses when the
+ * recorded pid is a different live process; a dead owner's file is
+ * simply replaced.  Clients use the same file for daemonAlive().
+ */
+
+#ifndef VPC_SERVICE_SPOOL_HH
+#define VPC_SERVICE_SPOOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpc
+{
+
+/** Where a spooled job currently lives. */
+enum class JobState
+{
+    Absent,  //!< not in the spool at all
+    Pending, //!< submitted, waiting for the daemon
+    Running, //!< claimed by the daemon
+    Done,    //!< completed; result is in the run cache
+    Failed,  //!< quarantined after exhausting its attempts
+};
+
+/** @return a human-readable name for @p st. */
+const char *jobStateName(JobState st);
+
+/** @return true when @p pid names a live process (kill-0 probe). */
+bool processAlive(std::uint64_t pid);
+
+/** The directory-per-state job spool (see file comment). */
+class JobSpool
+{
+  public:
+    /**
+     * Open (creating if needed) the spool at @p root.  Runs the
+     * stale-temp janitor over the state directories.
+     */
+    explicit JobSpool(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    /** @return "job-<16-hex-digest>", the spool name for @p digest. */
+    static std::string jobName(std::uint64_t digest);
+
+    /** @return the path of @p digest in state @p st. */
+    std::string jobPath(JobState st, std::uint64_t digest) const;
+
+    /**
+     * Publish @p text as a pending job (tmp + rename).  If the digest
+     * already exists anywhere in the spool, nothing is written.
+     *
+     * @return the job's state after the call: Pending for a fresh or
+     *         already-pending submit, else the state the existing copy
+     *         is in; Absent only if the publish itself failed
+     */
+    JobState submit(std::uint64_t digest, const std::string &text);
+
+    /**
+     * Claim the oldest pending job by renaming it into running/.
+     * Lost races (another claimant got the file first) move on to the
+     * next candidate.
+     *
+     * @return true with @p digest_out and the job file's @p text_out
+     *         filled; false when nothing was claimable
+     */
+    bool claim(std::uint64_t &digest_out, std::string &text_out);
+
+    /**
+     * Claim a specific pending job.  @return true with @p text_out
+     * filled; false when the job was not pending or was taken first.
+     */
+    bool claimJob(std::uint64_t digest, std::string &text_out);
+
+    /** running -> done. @return false if the job was not running. */
+    bool markDone(std::uint64_t digest);
+
+    /**
+     * running -> failed (quarantine).  @p reason is written next to
+     * the job as `<name>.err` (best effort) for the client to read.
+     */
+    bool markFailed(std::uint64_t digest, const std::string &reason);
+
+    /** running -> pending (retry or crash recovery). */
+    bool requeue(std::uint64_t digest);
+
+    /** pending -> failed (poison job rejected before it ever ran). */
+    bool rejectPending(std::uint64_t digest, const std::string &reason);
+
+    /**
+     * Startup recovery: requeue every job in running/ — their owner
+     * is gone.  @return the number of orphans requeued.
+     */
+    std::size_t recoverOrphans();
+
+    /** @return the state @p digest is currently in. */
+    JobState state(std::uint64_t digest) const;
+
+    /** @return digests currently in state @p st (unordered). */
+    std::vector<std::uint64_t> list(JobState st) const;
+
+    /** @return the quarantine reason for a failed job ("" if none). */
+    std::string failReason(std::uint64_t digest) const;
+
+    /**
+     * @name Single-daemon fencing via daemon.pid
+     *
+     * acquire() publishes this process as the spool's daemon; it
+     * fails when another live process holds the file.  release()
+     * removes the file if this process owns it.  ownerPid() reads
+     * the file (0 = none); a dead owner is reported as 0.
+     */
+    /// @{
+    bool acquire();
+    void release();
+    std::uint64_t ownerPid() const;
+    /// @}
+
+  private:
+    std::string stateDir(JobState st) const;
+    bool moveJob(JobState from, JobState to, std::uint64_t digest);
+
+    std::string root_;
+};
+
+} // namespace vpc
+
+#endif // VPC_SERVICE_SPOOL_HH

@@ -12,6 +12,7 @@
 #define VPC_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -276,58 +277,67 @@ struct SystemConfig
      */
     std::vector<PrefetchConfig> l1PrefetchPerThread;
 
-    /**
-     * Check internal consistency and normalize the shares vector.
-     * Calls vpc_fatal on user errors (over-allocation, bad sizes).
-     */
+    /** Fill defaulted fields in place (the shares vector); no checks. */
     void
-    validate()
+    normalize()
     {
-        if (numProcessors == 0)
-            vpc_fatal("numProcessors must be > 0");
-        if (!isPowerOf2(l2.lineBytes) || !isPowerOf2(l2.banks))
-            vpc_fatal("L2 line size and bank count must be powers of 2");
-        if (l2.ways == 0)
-            vpc_fatal("L2 must have at least one way");
-        // The size must factor exactly into banks x sets x ways x
-        // lines; a remainder silently truncates capacity, and a
-        // non-power-of-2 set count breaks the mask-based set index.
-        std::uint64_t l2_divisor = static_cast<std::uint64_t>(l2.banks) *
-                                   l2.ways * l2.lineBytes;
-        if (l2.sizeBytes % l2_divisor != 0)
-            vpc_fatal("L2 size {} not divisible by banks*ways*line "
-                      "({})", l2.sizeBytes, l2_divisor);
-        if (!isPowerOf2(l2.setsPerBank()))
-            vpc_fatal("L2 geometry gives {} sets per bank; must be a "
-                      "non-zero power of 2", l2.setsPerBank());
-        // The L1 uses the same mask-based indexing; check it the same
-        // way.
-        if (!isPowerOf2(l1.lineBytes))
-            vpc_fatal("L1 line size must be a power of 2");
-        if (l1.ways == 0)
-            vpc_fatal("L1 must have at least one way");
-        std::uint64_t l1_divisor =
-            static_cast<std::uint64_t>(l1.ways) * l1.lineBytes;
-        if (l1.sizeBytes % l1_divisor != 0 ||
-            !isPowerOf2(l1.sizeBytes / l1_divisor)) {
-            vpc_fatal("L1 geometry gives {} sets; must be a non-zero "
-                      "power of 2", l1.sizeBytes / l1_divisor);
-        }
         if (shares.empty()) {
             // Default: equal allocation of everything.
             shares.assign(numProcessors,
                           QosShare{1.0 / numProcessors,
                                    1.0 / numProcessors});
         }
+    }
+
+    /**
+     * @return "" when the (normalized) configuration is internally
+     *         consistent, else a description of the first problem.
+     *         Never exits — the service layer uses this to reject
+     *         malformed spooled jobs without killing the daemon.
+     */
+    std::string
+    check() const
+    {
+        if (numProcessors == 0)
+            return "numProcessors must be > 0";
+        if (!isPowerOf2(l2.lineBytes) || !isPowerOf2(l2.banks))
+            return "L2 line size and bank count must be powers of 2";
+        if (l2.ways == 0)
+            return "L2 must have at least one way";
+        // The size must factor exactly into banks x sets x ways x
+        // lines; a remainder silently truncates capacity, and a
+        // non-power-of-2 set count breaks the mask-based set index.
+        std::uint64_t l2_divisor = static_cast<std::uint64_t>(l2.banks) *
+                                   l2.ways * l2.lineBytes;
+        if (l2_divisor == 0 || l2.sizeBytes % l2_divisor != 0)
+            return format("L2 size {} not divisible by banks*ways*line "
+                          "({})", l2.sizeBytes, l2_divisor);
+        if (!isPowerOf2(l2.setsPerBank()))
+            return format("L2 geometry gives {} sets per bank; must be "
+                          "a non-zero power of 2", l2.setsPerBank());
+        // The L1 uses the same mask-based indexing; check it the same
+        // way.
+        if (!isPowerOf2(l1.lineBytes))
+            return "L1 line size must be a power of 2";
+        if (l1.ways == 0)
+            return "L1 must have at least one way";
+        std::uint64_t l1_divisor =
+            static_cast<std::uint64_t>(l1.ways) * l1.lineBytes;
+        if (l1.sizeBytes % l1_divisor != 0 ||
+            !isPowerOf2(l1.sizeBytes / l1_divisor)) {
+            return format("L1 geometry gives {} sets; must be a "
+                          "non-zero power of 2",
+                          l1.sizeBytes / l1_divisor);
+        }
         if (shares.size() != numProcessors)
-            vpc_fatal("shares.size() ({}) != numProcessors ({})",
-                      shares.size(), numProcessors);
+            return format("shares.size() ({}) != numProcessors ({})",
+                          shares.size(), numProcessors);
         double phi_sum = 0.0, beta_sum = 0.0;
         for (std::size_t t = 0; t < shares.size(); ++t) {
             const QosShare &s = shares[t];
             if (s.phi < 0.0 || s.phi > 1.0 ||
                 s.beta < 0.0 || s.beta > 1.0) {
-                vpc_fatal("QoS shares must lie in [0, 1]");
+                return "QoS shares must lie in [0, 1]";
             }
             // A zero share under the VPC policies gives the thread no
             // guarantee at all, and its private-equivalent reference
@@ -335,54 +345,72 @@ struct SystemConfig
             // a configuration mistake rather than an intent.
             if (!allowUnallocatedShares &&
                 arbiterPolicy == ArbiterPolicy::Vpc && s.phi == 0.0) {
-                vpc_fatal("thread {} has phi = 0 under the VPC "
-                          "arbiter: its bandwidth guarantee and "
-                          "private-equivalent latency L/phi are "
-                          "undefined (set allowUnallocatedShares to "
-                          "model deliberately unallocated threads)",
-                          t);
+                return format(
+                    "thread {} has phi = 0 under the VPC arbiter: its "
+                    "bandwidth guarantee and private-equivalent "
+                    "latency L/phi are undefined (set "
+                    "allowUnallocatedShares to model deliberately "
+                    "unallocated threads)", t);
             }
             if (!allowUnallocatedShares &&
                 capacityPolicy == CapacityPolicy::Vpc &&
                 s.beta * l2.ways < 1.0) {
-                vpc_fatal("thread {} has beta = {} under the VPC "
-                          "capacity manager: its way quota "
-                          "floor(beta * {}) rounds to zero ways (set "
-                          "allowUnallocatedShares to model "
-                          "deliberately unallocated threads)",
-                          t, s.beta, l2.ways);
+                return format(
+                    "thread {} has beta = {} under the VPC capacity "
+                    "manager: its way quota floor(beta * {}) rounds "
+                    "to zero ways (set allowUnallocatedShares to "
+                    "model deliberately unallocated threads)",
+                    t, s.beta, l2.ways);
             }
             phi_sum += s.phi;
             beta_sum += s.beta;
         }
         if (phi_sum > 1.0 + 1e-9)
-            vpc_fatal("bandwidth over-allocated: sum(phi) = {}", phi_sum);
+            return format("bandwidth over-allocated: sum(phi) = {}",
+                          phi_sum);
         if (beta_sum > 1.0 + 1e-9)
-            vpc_fatal("capacity over-allocated: sum(beta) = {}", beta_sum);
+            return format("capacity over-allocated: sum(beta) = {}",
+                          beta_sum);
         if (!l1PrefetchPerThread.empty() &&
             l1PrefetchPerThread.size() != numProcessors) {
-            vpc_fatal("l1PrefetchPerThread.size() ({}) != "
-                      "numProcessors ({})",
-                      l1PrefetchPerThread.size(), numProcessors);
+            return format("l1PrefetchPerThread.size() ({}) != "
+                          "numProcessors ({})",
+                          l1PrefetchPerThread.size(), numProcessors);
         }
         if (kernelThreads == 0)
-            vpc_fatal("--threads must be >= 1");
+            return "--threads must be >= 1";
         if (kernelThreads > 1) {
             // The shard-parallel kernel's lookahead window is the
             // cross-shard latency; zero latency means zero lookahead.
             if (l2.interconnectLatency < 1 || l2.busBeatCycles < 1) {
-                vpc_fatal("--threads > 1 needs interconnect and bus "
-                          "beat latencies >= 1 (got {} and {})",
-                          l2.interconnectLatency, l2.busBeatCycles);
+                return format("--threads > 1 needs interconnect and "
+                              "bus beat latencies >= 1 (got {} and {})",
+                              l2.interconnectLatency, l2.busBeatCycles);
             }
             if (verify.enabled())
-                vpc_fatal("--threads > 1 is incompatible with the "
-                          "verify layer (per-cycle audits assume the "
-                          "sequential kernel)");
+                return "--threads > 1 is incompatible with the verify "
+                       "layer (per-cycle audits assume the sequential "
+                       "kernel)";
             if (!kernelSkip)
-                vpc_fatal("--threads > 1 requires kernel skipping "
-                          "(drop --no-skip)");
+                return "--threads > 1 requires kernel skipping (drop "
+                       "--no-skip)";
         }
+        return "";
+    }
+
+    /**
+     * Check internal consistency and normalize the shares vector.
+     * Calls vpc_fatal on user errors (over-allocation, bad sizes);
+     * callers that must survive bad configs (the sweep daemon) use
+     * normalize() + check() instead.
+     */
+    void
+    validate()
+    {
+        normalize();
+        std::string err = check();
+        if (!err.empty())
+            vpc_fatal("{}", err);
     }
 
     /** @return thread @p t's effective L1 configuration. */

@@ -398,6 +398,15 @@ ShardedSimulator::workerLoop(std::size_t w)
 {
     const std::size_t n = shards_.size();
     while (finished_.load(std::memory_order_acquire) < n) {
+        // Every worker observes the cancel token, so all of them
+        // unwind and dispatch() rethrows the first JobCancelled after
+        // the pool settles; no worker is left spinning for progress
+        // a cancelled peer will never make.
+        if (cancel_ != nullptr &&
+            cancel_->load(std::memory_order_relaxed)) {
+            throw JobCancelled("sharded run cancelled before cycle " +
+                               std::to_string(end_));
+        }
         bool progress = false;
         for (std::size_t i = 0; i < n; ++i) {
             std::size_t s = (w + i) % n;

@@ -181,6 +181,15 @@ class ShardedSimulator
     /** Advance all shards by @p cycles cycles; returns when done. */
     void run(Cycle cycles);
 
+    /**
+     * Install a cooperative cancel token (nullptr to remove); same
+     * contract as Simulator::setCancelToken.  Every worker polls it
+     * once per scheduling pass and unwinds with JobCancelled; run()
+     * rethrows after all workers have stopped, leaving the shards
+     * torn — the caller must discard the system.
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
     /** @return the current cycle (between run() calls). */
     Cycle now() const { return cycle_; }
 
@@ -238,6 +247,7 @@ class ShardedSimulator
 
     std::mutex jumpMtx_;
     std::atomic<unsigned> finished_{0};
+    const CancelToken *cancel_ = nullptr; //!< null unless supervised
     ThreadPool pool_;
     mutable KernelStats merged_;
 };

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/cancel.hh"
 #include "sim/event_queue.hh"
 #include "sim/profiler.hh"
 #include "sim/stats.hh"
@@ -166,6 +167,17 @@ class Simulator
     /** @return whether run() may fast-forward quiescent spans. */
     bool skipping() const { return skipping_; }
 
+    /**
+     * Install a cooperative cancel token (nullptr to remove).  run()
+     * polls it once per executed loop iteration and throws
+     * JobCancelled when it is set, leaving the machine torn mid-run —
+     * the caller must discard the system.  Observe-only for runs that
+     * complete: with the token unset (or absent) cycle ordering,
+     * events and every kernel counter are unchanged (see
+     * sim/cancel.hh).
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
     /** @return kernel work counters for this simulator's lifetime. */
     const KernelStats &kernelStats() const { return kernel_; }
 
@@ -204,12 +216,15 @@ class Simulator
         Cycle end = cycles > kCycleMax - cycle_ ? kCycleMax
                                                 : cycle_ + cycles;
         if (!skipping_ || auditor_ != nullptr) {
-            while (cycle_ < end)
+            while (cycle_ < end) {
+                checkCancelled();
                 step();
+            }
             syncWheelStats();
             return;
         }
         while (cycle_ < end) {
+            checkCancelled();
             kernel_.eventsFired.inc(queue.runDue(cycle_));
             // Active set: poll each hint immediately before the
             // component's slot so feeds from events and from earlier
@@ -250,6 +265,17 @@ class Simulator
     }
 
   private:
+    /** Throw JobCancelled when the installed token is set. */
+    void
+    checkCancelled() const
+    {
+        if (cancel_ != nullptr &&
+            cancel_->load(std::memory_order_relaxed)) {
+            throw JobCancelled("simulation cancelled at cycle " +
+                               std::to_string(cycle_));
+        }
+    }
+
     /** Timed tick of component @p i with its owner context active. */
     void
     profiledTick(std::size_t i, Cycle now)
@@ -278,6 +304,7 @@ class Simulator
     Profiler *prof_ = nullptr;            //!< null unless --profile
     Cycle cycle_ = 0;
     Auditable *auditor_ = nullptr;
+    const CancelToken *cancel_ = nullptr; //!< null unless supervised
     bool skipping_ = true;
     KernelStats kernel_;
     std::uint64_t cascadesSeen_ = 0;

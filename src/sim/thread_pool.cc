@@ -28,6 +28,19 @@ ThreadPool::drainTasks()
         std::size_t i;
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (cancel_.load(std::memory_order_relaxed) &&
+                nextTask_ < taskCount_) {
+                // Cancellation: retire the undispatched tail without
+                // running it.  In-flight tasks still finish and are
+                // still counted down by their own workers.
+                std::size_t tail = taskCount_ - nextTask_;
+                nextTask_ = taskCount_;
+                skipped_.fetch_add(tail, std::memory_order_relaxed);
+                pending_ -= tail;
+                if (pending_ == 0)
+                    done_.notify_all();
+                return;
+            }
             if (nextTask_ >= taskCount_)
                 return;
             i = nextTask_++;

@@ -32,6 +32,7 @@
 #ifndef VPC_SIM_THREAD_POOL_HH
 #define VPC_SIM_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -69,9 +70,38 @@ class ThreadPool
      * and the calling thread.  Blocks until all tasks finished; the
      * first exception thrown by any task is rethrown here after every
      * task has completed.
+     *
+     * Under requestCancel() "each exactly once" weakens to "each at
+     * most once": tasks not yet started are skipped (see below).
      */
     void dispatch(std::size_t n,
                   const std::function<void(std::size_t)> &fn);
+
+    /**
+     * @name Cancellation hook
+     *
+     * requestCancel() asks the current (and any future) dispatch to
+     * stop handing out tasks: indices not yet started are skipped,
+     * tasks already running finish normally, and dispatch() returns
+     * once the in-flight ones drain.  skippedTasks() counts what was
+     * dropped, so a supervisor (the sweep daemon's SIGTERM drain)
+     * can tell a completed batch from a truncated one.  The flag is
+     * sticky until clearCancel() — cancellation usually precedes
+     * teardown, and a new batch must not silently resurrect work.
+     * Safe to call from any thread, including signal-handler-adjacent
+     * contexts (one relaxed atomic store).
+     */
+    /// @{
+    void requestCancel() { cancel_.store(true,
+                                         std::memory_order_relaxed); }
+    bool cancelRequested() const { return cancel_.load(
+        std::memory_order_relaxed); }
+    void clearCancel() { cancel_.store(false,
+                                       std::memory_order_relaxed); }
+    /** @return tasks skipped by cancellation since construction. */
+    std::uint64_t skippedTasks() const { return skipped_.load(
+        std::memory_order_relaxed); }
+    /// @}
 
   private:
     /** Body of a parked pool thread. */
@@ -92,6 +122,8 @@ class ThreadPool
     std::uint64_t batch_ = 0;        //!< generation counter for wake_
     bool stop_ = false;
     std::exception_ptr firstError_;
+    std::atomic<bool> cancel_{false};
+    std::atomic<std::uint64_t> skipped_{0};
 };
 
 } // namespace vpc

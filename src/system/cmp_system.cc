@@ -444,6 +444,23 @@ CmpSystem::run(Cycle cycles)
         sim.run(cycles);
 }
 
+void
+CmpSystem::setCancelToken(const CancelToken *token)
+{
+    if (psim_)
+        psim_->setCancelToken(token);
+    sim.setCancelToken(token);
+    if (verifier_ && verifier_->watchdog())
+        verifier_->watchdog()->setCancelToken(token);
+}
+
+void
+CmpSystem::armWallDeadline(std::chrono::milliseconds budget)
+{
+    if (verifier_ && verifier_->watchdog())
+        verifier_->watchdog()->armWallDeadline(budget);
+}
+
 SystemSnapshot
 CmpSystem::snapshot() const
 {

@@ -11,6 +11,7 @@
 #ifndef VPC_SYSTEM_CMP_SYSTEM_HH
 #define VPC_SYSTEM_CMP_SYSTEM_HH
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -132,6 +133,24 @@ class CmpSystem
      *         beyond the simulator's null-auditor branch).
      */
     Verifier *verifier() { return verifier_.get(); }
+
+    /**
+     * @name Supervision (the sweep daemon's per-job robustness hooks)
+     *
+     * setCancelToken() installs a cooperative cancel flag on the
+     * active kernel (and the Watchdog when one is configured): when
+     * the owner sets it, run() unwinds with JobCancelled and the
+     * system must be discarded.  armWallDeadline() bounds the run's
+     * host time through the Watchdog; it requires
+     * cfg.verify.watchdogCycles > 0 and is a silent no-op otherwise
+     * (deadlines for watchdog-less jobs come from the supervisor's
+     * own monitor via the cancel token).  Both are observe-only for
+     * runs that complete — results and kernel counters are unchanged.
+     */
+    /// @{
+    void setCancelToken(const CancelToken *token);
+    void armWallDeadline(std::chrono::milliseconds budget);
+    /// @}
 
     /** Render the machine state for the panic dump (also tests). */
     std::string dumpState() const;

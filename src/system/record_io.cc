@@ -1,0 +1,242 @@
+#include "system/record_io.hh"
+
+#include <bit>
+#include <cctype>
+#include <utility>
+
+namespace vpc
+{
+
+void
+Fnv1a::bytes(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        hash_ ^= p[i];
+        hash_ *= 0x100000001b3ULL;
+    }
+}
+
+void
+Fnv1a::u64(std::uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, sizeof(b));
+}
+
+void
+Fnv1a::dbl(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+Fnv1a::str(const std::string &s)
+{
+    u64(s.size());
+    bytes(s.data(), s.size());
+}
+
+RecordParser::RecordParser(std::string text) : s_(std::move(text)) {}
+
+bool
+RecordParser::parse()
+{
+    skipWs();
+    if (!eat('{'))
+        return false;
+    skipWs();
+    if (eat('}'))
+        return posAtEnd();
+    for (;;) {
+        std::string key;
+        if (!parseString(key))
+            return false;
+        skipWs();
+        if (!eat(':'))
+            return false;
+        skipWs();
+        if (peek() == '"') {
+            std::string v;
+            if (!parseString(v))
+                return false;
+            strings_[key] = v;
+        } else if (peek() == '[') {
+            std::vector<std::uint64_t> v;
+            if (!parseArray(v))
+                return false;
+            arrays_[key] = std::move(v);
+        } else {
+            std::uint64_t v;
+            if (!parseUint(v))
+                return false;
+            ints_[key] = v;
+        }
+        skipWs();
+        if (eat(',')) {
+            skipWs();
+            continue;
+        }
+        if (eat('}'))
+            return posAtEnd();
+        return false;
+    }
+}
+
+bool
+RecordParser::getInt(const std::string &k, std::uint64_t &out) const
+{
+    auto it = ints_.find(k);
+    if (it == ints_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+RecordParser::getString(const std::string &k, std::string &out) const
+{
+    auto it = strings_.find(k);
+    if (it == strings_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+RecordParser::getArray(const std::string &k,
+                       std::vector<std::uint64_t> &out) const
+{
+    auto it = arrays_.find(k);
+    if (it == arrays_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+RecordParser::eat(char c)
+{
+    if (peek() != c)
+        return false;
+    ++pos_;
+    return true;
+}
+
+void
+RecordParser::skipWs()
+{
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+    }
+}
+
+bool
+RecordParser::posAtEnd()
+{
+    skipWs();
+    return pos_ == s_.size();
+}
+
+bool
+RecordParser::parseString(std::string &out)
+{
+    if (!eat('"'))
+        return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+        // The writers never emit escapes; reject anything that would
+        // need them.
+        if (s_[pos_] == '\\')
+            return false;
+        out += s_[pos_++];
+    }
+    return eat('"');
+}
+
+bool
+RecordParser::parseUint(std::uint64_t &out)
+{
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+    out = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        std::uint64_t digit = static_cast<std::uint64_t>(s_[pos_] - '0');
+        if (out > (UINT64_MAX - digit) / 10)
+            return false;
+        out = out * 10 + digit;
+        ++pos_;
+    }
+    return true;
+}
+
+bool
+RecordParser::parseArray(std::vector<std::uint64_t> &out)
+{
+    if (!eat('['))
+        return false;
+    skipWs();
+    if (eat(']'))
+        return true;
+    for (;;) {
+        std::uint64_t v;
+        if (!parseUint(v))
+            return false;
+        out.push_back(v);
+        skipWs();
+        if (eat(',')) {
+            skipWs();
+            continue;
+        }
+        return eat(']');
+    }
+}
+
+void
+writeRecordVec(std::FILE *f, const char *k,
+               const std::vector<std::uint64_t> &v, bool last)
+{
+    std::fprintf(f, "  \"%s\": [", k);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        std::fprintf(f, "%s%llu", i ? ", " : "",
+                     static_cast<unsigned long long>(v[i]));
+    }
+    std::fprintf(f, "]%s\n", last ? "" : ",");
+}
+
+std::vector<std::uint64_t>
+recordBits(const std::vector<double> &v)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(v.size());
+    for (double d : v)
+        out.push_back(std::bit_cast<std::uint64_t>(d));
+    return out;
+}
+
+std::vector<double>
+recordDoubles(const std::vector<std::uint64_t> &v)
+{
+    std::vector<double> out;
+    out.reserve(v.size());
+    for (std::uint64_t u : v)
+        out.push_back(std::bit_cast<double>(u));
+    return out;
+}
+
+bool
+recordStringSafe(const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\' ||
+            static_cast<unsigned char>(c) < 0x20) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace vpc

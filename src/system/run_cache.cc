@@ -1,63 +1,29 @@
 #include "system/run_cache.hh"
 
 #include <bit>
-#include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
+
+#include <signal.h>
+#include <unistd.h>
 
 #include "sim/format.hh"
 #include "sim/logging.hh"
 #include "system/options.hh"
+#include "system/record_io.hh"
 
 namespace vpc
 {
 
 namespace
 {
-
-/** Incremental 64-bit FNV-1a over explicitly enumerated fields. */
-class Fnv1a
-{
-  public:
-    void
-    bytes(const void *data, std::size_t n)
-    {
-        const auto *p = static_cast<const unsigned char *>(data);
-        for (std::size_t i = 0; i < n; ++i) {
-            hash_ ^= p[i];
-            hash_ *= 0x100000001b3ULL;
-        }
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        // Fixed-width little-endian serialization, independent of the
-        // host's integer widths and struct padding.
-        unsigned char b[8];
-        for (int i = 0; i < 8; ++i)
-            b[i] = static_cast<unsigned char>(v >> (8 * i));
-        bytes(b, sizeof(b));
-    }
-
-    void dbl(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-
-    void
-    str(const std::string &s)
-    {
-        u64(s.size());
-        bytes(s.data(), s.size());
-    }
-
-    std::uint64_t value() const { return hash_; }
-
-  private:
-    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
 
 void
 digestPrefetch(Fnv1a &h, const PrefetchConfig &p)
@@ -155,215 +121,17 @@ digestConfig(Fnv1a &h, const SystemConfig &cfg)
         digestPrefetch(h, p);
 }
 
-/** Append ["k": [v...],] with each element as a decimal uint64. */
-void
-writeVec(std::FILE *f, const char *k,
-         const std::vector<std::uint64_t> &v, bool last = false)
+/** @return whether a process with pid @p pid is still alive. */
+bool
+pidAlive(std::uint64_t pid)
 {
-    std::fprintf(f, "  \"%s\": [", k);
-    for (std::size_t i = 0; i < v.size(); ++i) {
-        std::fprintf(f, "%s%llu", i ? ", " : "",
-                     static_cast<unsigned long long>(v[i]));
-    }
-    std::fprintf(f, "]%s\n", last ? "" : ",");
+    if (pid == 0 || pid > static_cast<std::uint64_t>(INT32_MAX))
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0)
+        return true;
+    // EPERM means the pid exists but belongs to someone else.
+    return errno == EPERM;
 }
-
-std::vector<std::uint64_t>
-bitsOf(const std::vector<double> &v)
-{
-    std::vector<std::uint64_t> out;
-    out.reserve(v.size());
-    for (double d : v)
-        out.push_back(std::bit_cast<std::uint64_t>(d));
-    return out;
-}
-
-std::vector<double>
-doublesOf(const std::vector<std::uint64_t> &v)
-{
-    std::vector<double> out;
-    out.reserve(v.size());
-    for (std::uint64_t u : v)
-        out.push_back(std::bit_cast<double>(u));
-    return out;
-}
-
-/**
- * Minimal parser for the subset of JSON the writer emits: one flat
- * object whose values are decimal unsigned integers, double-quoted
- * strings, or arrays of decimal unsigned integers.  Any deviation
- * (truncation, corruption, foreign writer) fails the parse and the
- * record is treated as a cache miss.
- */
-class RecordParser
-{
-  public:
-    explicit RecordParser(std::string text) : s_(std::move(text)) {}
-
-    bool
-    parse()
-    {
-        skipWs();
-        if (!eat('{'))
-            return false;
-        skipWs();
-        if (eat('}'))
-            return posAtEnd();
-        for (;;) {
-            std::string key;
-            if (!parseString(key))
-                return false;
-            skipWs();
-            if (!eat(':'))
-                return false;
-            skipWs();
-            if (peek() == '"') {
-                std::string v;
-                if (!parseString(v))
-                    return false;
-                strings_[key] = v;
-            } else if (peek() == '[') {
-                std::vector<std::uint64_t> v;
-                if (!parseArray(v))
-                    return false;
-                arrays_[key] = std::move(v);
-            } else {
-                std::uint64_t v;
-                if (!parseUint(v))
-                    return false;
-                ints_[key] = v;
-            }
-            skipWs();
-            if (eat(',')) {
-                skipWs();
-                continue;
-            }
-            if (eat('}'))
-                return posAtEnd();
-            return false;
-        }
-    }
-
-    bool
-    getInt(const std::string &k, std::uint64_t &out) const
-    {
-        auto it = ints_.find(k);
-        if (it == ints_.end())
-            return false;
-        out = it->second;
-        return true;
-    }
-
-    bool
-    getString(const std::string &k, std::string &out) const
-    {
-        auto it = strings_.find(k);
-        if (it == strings_.end())
-            return false;
-        out = it->second;
-        return true;
-    }
-
-    bool
-    getArray(const std::string &k,
-             std::vector<std::uint64_t> &out) const
-    {
-        auto it = arrays_.find(k);
-        if (it == arrays_.end())
-            return false;
-        out = it->second;
-        return true;
-    }
-
-  private:
-    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-
-    bool
-    eat(char c)
-    {
-        if (peek() != c)
-            return false;
-        ++pos_;
-        return true;
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-            ++pos_;
-        }
-    }
-
-    bool
-    posAtEnd()
-    {
-        skipWs();
-        return pos_ == s_.size();
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        if (!eat('"'))
-            return false;
-        out.clear();
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            // The writer never emits escapes (keys and hex digests
-            // only); reject anything that would need them.
-            if (s_[pos_] == '\\')
-                return false;
-            out += s_[pos_++];
-        }
-        return eat('"');
-    }
-
-    bool
-    parseUint(std::uint64_t &out)
-    {
-        if (!std::isdigit(static_cast<unsigned char>(peek())))
-            return false;
-        out = 0;
-        while (std::isdigit(static_cast<unsigned char>(peek()))) {
-            std::uint64_t digit =
-                static_cast<std::uint64_t>(s_[pos_] - '0');
-            if (out > (UINT64_MAX - digit) / 10)
-                return false;
-            out = out * 10 + digit;
-            ++pos_;
-        }
-        return true;
-    }
-
-    bool
-    parseArray(std::vector<std::uint64_t> &out)
-    {
-        if (!eat('['))
-            return false;
-        skipWs();
-        if (eat(']'))
-            return true;
-        for (;;) {
-            std::uint64_t v;
-            if (!parseUint(v))
-                return false;
-            out.push_back(v);
-            skipWs();
-            if (eat(',')) {
-                skipWs();
-                continue;
-            }
-            return eat(']');
-        }
-    }
-
-    std::string s_;
-    std::size_t pos_ = 0;
-    std::unordered_map<std::string, std::uint64_t> ints_;
-    std::unordered_map<std::string, std::string> strings_;
-    std::unordered_map<std::string, std::vector<std::uint64_t>> arrays_;
-};
 
 } // namespace
 
@@ -398,8 +166,57 @@ RunCache::RunCache(std::string disk_dir) : dir_(std::move(disk_dir))
             vpc_warn("run-cache: cannot create '{}': {}; disk store "
                      "disabled", dir_, ec.message());
             dir_.clear();
+            storeErrors_.fetch_add(1, std::memory_order_relaxed);
+            return;
         }
+        // Janitor: a writer that crashed between temp create and
+        // rename leaks its temp forever; reclaim such orphans on
+        // every store open.
+        gcStaleTemps(dir_);
     }
+}
+
+std::size_t
+RunCache::gcStaleTemps(const std::string &dir,
+                       std::chrono::seconds max_age)
+{
+    namespace fs = std::filesystem;
+    std::size_t removed = 0;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return 0;
+    const auto now = fs::file_time_type::clock::now();
+    for (const fs::directory_entry &e : it) {
+        const std::string name = e.path().filename().string();
+        // Temp names are "<record>.tmp.<pid>.<seq>"; anything else in
+        // the store (records, foreign files) is not ours to clean.
+        std::size_t tag = name.find(".tmp.");
+        if (tag == std::string::npos || !e.is_regular_file(ec))
+            continue;
+        std::uint64_t pid = 0;
+        bool have_pid = false;
+        {
+            const char *p = name.c_str() + tag + 5;
+            char *end = nullptr;
+            pid = std::strtoull(p, &end, 10);
+            have_pid = end != p && end != nullptr && *end == '.';
+        }
+        bool stale;
+        if (have_pid) {
+            stale = !pidAlive(pid);
+        } else {
+            // Legacy/foreign temp: age is the only signal.
+            auto mtime = fs::last_write_time(e.path(), ec);
+            stale = !ec && now - mtime > max_age;
+        }
+        if (stale && fs::remove(e.path(), ec) && !ec)
+            ++removed;
+    }
+    if (removed > 0)
+        vpc_inform("run-cache: reclaimed {} stale temp file(s) in '{}'",
+                   removed, dir);
+    return removed;
 }
 
 std::string
@@ -465,7 +282,7 @@ RunCache::loadFromDisk(std::uint64_t key, RunRecord &out) const
     out = RunRecord{};
     out.endCycle = end_cycle;
     out.stats.cycles = cycles;
-    out.stats.ipc = doublesOf(ipc);
+    out.stats.ipc = recordDoubles(ipc);
     out.stats.instrs = instrs;
     out.stats.l2Reads = l2r;
     out.stats.l2Writes = l2w;
@@ -493,13 +310,18 @@ RunCache::storeToDisk(std::uint64_t key, const RunRecord &r) const
     if (path.empty())
         return;
     // Write-to-temp + rename so concurrent processes sharing the
-    // store never observe a torn record.
-    std::string tmp = format("{}.tmp.{}", path,
-                             static_cast<unsigned long long>(
-                                 reinterpret_cast<std::uintptr_t>(&r)));
+    // store never observe a torn record.  The temp name embeds our
+    // pid (for the janitor) and a per-call discriminator so two
+    // threads of one process publishing the same key never collide.
+    static std::atomic<std::uint64_t> seq{0};
+    std::string tmp = format("{}.tmp.{}.{}", path,
+                             static_cast<unsigned long long>(::getpid()),
+                             seq.fetch_add(1,
+                                           std::memory_order_relaxed));
     std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f) {
         vpc_warn("run-cache: cannot write '{}'", tmp);
+        storeErrors_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
     const IntervalStats &s = r.stats;
@@ -511,7 +333,7 @@ RunCache::storeToDisk(std::uint64_t key, const RunRecord &r) const
                  static_cast<unsigned long long>(r.endCycle),
                  static_cast<unsigned long long>(s.cycles),
                  static_cast<unsigned long long>(s.ipc.size()));
-    writeVec(f, "kernel",
+    writeRecordVec(f, "kernel",
              {r.kernel.cyclesExecuted.value(),
               r.kernel.cyclesSkipped.value(),
               r.kernel.ticksExecuted.value(),
@@ -520,23 +342,32 @@ RunCache::storeToDisk(std::uint64_t key, const RunRecord &r) const
               r.kernel.wheelCascades.value(),
               r.kernel.epochs.value(),
               r.kernel.barrierStalls.value()});
-    writeVec(f, "ipc_bits", bitsOf(s.ipc));
-    writeVec(f, "instrs", s.instrs);
-    writeVec(f, "l2_reads", s.l2Reads);
-    writeVec(f, "l2_writes", s.l2Writes);
-    writeVec(f, "l2_misses", s.l2Misses);
-    writeVec(f, "sgb_stores", s.sgbStores);
-    writeVec(f, "sgb_gathered", s.sgbGathered);
-    writeVec(f, "util_bits",
-             bitsOf({s.tagUtil, s.dataUtil, s.busUtil}), true);
+    writeRecordVec(f, "ipc_bits", recordBits(s.ipc));
+    writeRecordVec(f, "instrs", s.instrs);
+    writeRecordVec(f, "l2_reads", s.l2Reads);
+    writeRecordVec(f, "l2_writes", s.l2Writes);
+    writeRecordVec(f, "l2_misses", s.l2Misses);
+    writeRecordVec(f, "sgb_stores", s.sgbStores);
+    writeRecordVec(f, "sgb_gathered", s.sgbGathered);
+    writeRecordVec(f, "util_bits",
+             recordBits({s.tagUtil, s.dataUtil, s.busUtil}), true);
     std::fprintf(f, "}\n");
-    std::fclose(f);
-
+    // A full disk shows up here, not in the fprintfs: check the
+    // stream error state before trusting the temp enough to publish.
+    bool ok = std::ferror(f) == 0;
+    ok = std::fclose(f) == 0 && ok;
     std::error_code ec;
+    if (!ok) {
+        vpc_warn("run-cache: short write on '{}'", tmp);
+        storeErrors_.fetch_add(1, std::memory_order_relaxed);
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
         vpc_warn("run-cache: cannot publish '{}': {}", path,
                  ec.message());
+        storeErrors_.fetch_add(1, std::memory_order_relaxed);
         std::filesystem::remove(tmp, ec);
     }
 }
@@ -597,8 +428,22 @@ RunCache::lookupOrCompute(std::uint64_t key,
     if (!must_compute)
         vpc_panic("run-cache in-flight bookkeeping broke");
     bool from_disk = loadFromDisk(key, rec);
-    if (!from_disk)
-        rec = compute();
+    if (!from_disk) {
+        try {
+            rec = compute();
+        } catch (...) {
+            // A failed compute (cancelled job, deadline, workload
+            // error) must not strand the waiters: drop the in-flight
+            // claim so the next caller retries, then let the failure
+            // propagate.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                map_.erase(key);
+            }
+            cv_.notify_all();
+            throw;
+        }
+    }
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -642,22 +487,39 @@ RunCache::diskHits() const
     return diskHits_;
 }
 
+std::uint64_t
+RunCache::storeErrors() const
+{
+    return storeErrors_.load(std::memory_order_relaxed);
+}
+
 RunResult
-runAndMeasureCached(const RunJob &job, RunCache *cache)
+runAndMeasureCached(const RunJob &job, RunCache *cache,
+                    const RunSupervision *sup)
 {
     RunResult out;
-    auto compute = [&job, &out]() -> RunRecord {
+    auto compute = [&job, &out, sup]() -> RunRecord {
         std::vector<std::unique_ptr<Workload>> wl;
         wl.reserve(job.workloads.size());
         for (std::size_t t = 0; t < job.workloads.size(); ++t) {
             const WorkloadKey &k = job.workloads[t];
             std::string err;
             auto w = makeWorkloadFromSpec(k.spec, k.base, k.seed, err);
+            // Catchable (not vpc_fatal): a daemon must be able to
+            // quarantine a poison job instead of dying with it.
             if (!w)
-                vpc_fatal("run-cache job: {}", err);
+                throw std::runtime_error(
+                    format("run-cache job: {}", err));
             wl.push_back(std::move(w));
         }
         CmpSystem sys(job.config, std::move(wl));
+        if (sup != nullptr) {
+            sys.setCancelToken(sup->cancel);
+            if (sup->deadlineMs > 0) {
+                sys.armWallDeadline(
+                    std::chrono::milliseconds(sup->deadlineMs));
+            }
+        }
         RunRecord rec;
         rec.stats = sys.runAndMeasure(job.warmup, job.measure);
         rec.endCycle = sys.now();

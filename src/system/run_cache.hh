@@ -25,6 +25,15 @@
  *    exact; malformed, truncated or version-mismatched records are
  *    treated as misses and overwritten.
  *
+ * The disk store is built for many concurrent writer processes (the
+ * sweep daemon, its clients' local fallbacks, parallel benches):
+ * records are published by write-to-temp + rename so readers never see
+ * a torn record, temp names carry the writer's pid so a janitor pass
+ * on store open can reclaim temps orphaned by crashed writers
+ * (gcStaleTemps), and every failed write or publish is counted in
+ * storeErrors() so silent degradation (full disk, bad permissions)
+ * is visible in bench output instead of vanishing into a warn line.
+ *
  * Anything that can alter either the model statistics or the kernel
  * counters is part of the digest (config, shares, verify layer,
  * kernel mode, run lengths, workload identity).  The only excluded
@@ -36,6 +45,8 @@
 #ifndef VPC_SYSTEM_RUN_CACHE_HH
 #define VPC_SYSTEM_RUN_CACHE_HH
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -132,8 +143,28 @@ class RunCache
     /** @return hits served specifically from the on-disk store. */
     std::uint64_t diskHits() const;
 
+    /**
+     * @return disk-store write failures (temp create/write, publish
+     *         rename, store-dir create).  A non-zero count means the
+     *         cache silently degraded to compute-only for some runs.
+     */
+    std::uint64_t storeErrors() const;
+
     /** @return the record path for @p key ("" without a disk store). */
     std::string recordPath(std::uint64_t key) const;
+
+    /**
+     * Janitor: remove `*.tmp.*` files in @p dir left behind by crashed
+     * writers.  A temp is stale when its embedded writer pid is no
+     * longer alive, or — when the pid cannot be determined — when the
+     * file is older than @p max_age.  Fresh temps of live writers are
+     * never touched.  Runs automatically on store open.
+     *
+     * @return the number of temps removed
+     */
+    static std::size_t gcStaleTemps(
+        const std::string &dir,
+        std::chrono::seconds max_age = std::chrono::minutes(15));
 
   private:
     struct Entry
@@ -153,6 +184,34 @@ class RunCache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t diskHits_ = 0;
+    /** Atomic: bumped from storeToDisk() outside mutex_. */
+    mutable std::atomic<std::uint64_t> storeErrors_{0};
+};
+
+/**
+ * Supervision hooks for a cached run (the sweep daemon's robustness
+ * layer).  Observe-only for runs that complete: neither field enters
+ * the job digest and neither perturbs results — they only decide
+ * whether a run is *allowed* to finish.
+ */
+struct RunSupervision
+{
+    /**
+     * Cooperative cancel token, polled by the kernels (and the
+     * Watchdog when one is configured); when set, the run throws
+     * JobCancelled.  nullptr = unsupervised.
+     */
+    const CancelToken *cancel = nullptr;
+    /**
+     * Wall-clock budget armed on the Watchdog (DeadlineExceeded on
+     * expiry).  Takes effect only when the job's own config enables
+     * a watchdog (verify.watchdogCycles > 0): the deadline must not
+     * alter the kernel counters of an unsupervised run, and
+     * installing an auditor disables quiescence skipping.  Jobs
+     * without a watchdog are bounded by the supervisor's deadline
+     * monitor through @ref cancel instead.  0 = no deadline.
+     */
+    std::uint64_t deadlineMs = 0;
 };
 
 /**
@@ -163,8 +222,13 @@ class RunCache
  * hit, returns the memoized record without simulating.  Results are
  * bit-identical either way — the run-cache differential tests and the
  * bench_headline cache differential enforce it.
+ *
+ * With @p sup, executed runs are supervised: they can be cancelled or
+ * deadline-bounded, in which case JobCancelled escapes here (the
+ * in-flight dedup entry is released so a retry recomputes).
  */
-RunResult runAndMeasureCached(const RunJob &job, RunCache *cache);
+RunResult runAndMeasureCached(const RunJob &job, RunCache *cache,
+                              const RunSupervision *sup = nullptr);
 
 } // namespace vpc
 

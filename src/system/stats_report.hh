@@ -17,6 +17,8 @@
 #include <ostream>
 
 #include "system/cmp_system.hh"
+#include "system/options.hh"
+#include "system/run_cache.hh"
 
 namespace vpc
 {
@@ -30,6 +32,21 @@ namespace vpc
  *        sys.now() for whole-run statistics
  */
 void dumpStats(CmpSystem &sys, std::ostream &os, Cycle window);
+
+/**
+ * The model-facing per-thread report vpcsim prints: shared verbatim
+ * by the live, cached and service-client paths, so their stdout is
+ * byte-identical for the same job.
+ */
+void printRunReport(const SimOptions &opts, const IntervalStats &stats,
+                    const KernelStats &k);
+
+/**
+ * The stderr run-cache provenance line ("run-cache: N hits ...").
+ * Store errors are appended only when non-zero, so healthy runs keep
+ * the historical format.
+ */
+void printRunCacheLine(const RunCache &cache);
 
 } // namespace vpc
 

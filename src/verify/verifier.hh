@@ -39,6 +39,9 @@ class Verifier : public Auditable
     /** Install the forward-progress watchdog. */
     void setWatchdog(std::unique_ptr<Watchdog> watchdog);
 
+    /** @return the installed watchdog, or nullptr. */
+    Watchdog *watchdog() { return watchdog_.get(); }
+
     /**
      * @return the fault injector, or nullptr when faultRate == 0;
      *         callers register their fault hooks on it.

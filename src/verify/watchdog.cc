@@ -23,8 +23,30 @@ Watchdog::addThread(Source src)
 }
 
 void
+Watchdog::armWallDeadline(std::chrono::milliseconds budget)
+{
+    deadlineArmed_ = budget.count() > 0;
+    if (deadlineArmed_)
+        deadline_ = std::chrono::steady_clock::now() + budget;
+    checksSinceWall_ = 0;
+}
+
+void
 Watchdog::check(Cycle now)
 {
+    if (cancel_ != nullptr &&
+        cancel_->load(std::memory_order_relaxed)) {
+        throw JobCancelled(format("watchdog: run cancelled at cycle {}",
+                                  now));
+    }
+    if (deadlineArmed_ && ++checksSinceWall_ >= kWallCheckInterval) {
+        checksSinceWall_ = 0;
+        if (std::chrono::steady_clock::now() >= deadline_) {
+            throw DeadlineExceeded(format(
+                "watchdog: wall-clock deadline exceeded at cycle {}",
+                now));
+        }
+    }
     for (std::size_t t = 0; t < threads.size(); ++t) {
         ThreadWatch &w = threads[t];
         std::uint64_t p = w.src.progress();

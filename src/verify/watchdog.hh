@@ -11,15 +11,25 @@
  * trips, and the panic-dump registry prints the machine snapshot
  * (arbiter queues, virtual clocks, occupancy, MSHRs) that explains
  * who was starving whom.
+ *
+ * The watchdog also guards the *host* time domain for supervised
+ * runs (the sweep daemon's per-job deadlines): armWallDeadline()
+ * bounds a run's wall-clock time and setCancelToken() lets a
+ * supervisor abort it.  Both trip by throwing (DeadlineExceeded /
+ * JobCancelled — catchable, unlike the starvation panic) because an
+ * over-deadline job is an operational event to be retried or
+ * quarantined, not a simulator bug.
  */
 
 #ifndef VPC_VERIFY_WATCHDOG_HH
 #define VPC_VERIFY_WATCHDOG_HH
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/cancel.hh"
 #include "verify/invariant.hh"
 
 namespace vpc
@@ -48,8 +58,25 @@ class Watchdog : public InvariantChecker
     /** Register one thread; threads are numbered in call order. */
     void addThread(Source src);
 
+    /**
+     * Bound the run's wall-clock time: once @p budget host time has
+     * elapsed, the next check() throws DeadlineExceeded.  The clock
+     * is sampled every kWallCheckInterval checks, so enforcement
+     * granularity is a few thousand cycles, not exact; 0 disarms.
+     */
+    void armWallDeadline(std::chrono::milliseconds budget);
+
+    /**
+     * Observe a supervisor's cancel token (nullptr to remove): when
+     * it is set, the next check() throws JobCancelled.
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
     void check(Cycle now) override;
     std::string name() const override { return "watchdog"; }
+
+    /** Checks between wall-clock samples (cheap vs. clock reads). */
+    static constexpr std::uint64_t kWallCheckInterval = 1024;
 
   private:
     struct ThreadWatch
@@ -61,6 +88,10 @@ class Watchdog : public InvariantChecker
 
     Cycle limit_;
     std::vector<ThreadWatch> threads;
+    bool deadlineArmed_ = false;
+    std::chrono::steady_clock::time_point deadline_;
+    const CancelToken *cancel_ = nullptr;
+    std::uint64_t checksSinceWall_ = 0;
 };
 
 } // namespace vpc

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Journal tests: the append-only event log must replay exactly what
+ * was written, skip torn or foreign lines instead of misreading them,
+ * and count attempts ("start" events) per job across daemon restarts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "service/journal.hh"
+#include "sim/format.hh"
+
+namespace vpc
+{
+namespace
+{
+
+std::string
+testPath(const std::string &name)
+{
+    std::string path =
+        format("{}/vpc_journal_{}.log", ::testing::TempDir(), name);
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(JobJournal, AppendThenReplay)
+{
+    std::string path = testPath("roundtrip");
+    JobJournal j(path);
+    j.append(0x1, "start");
+    j.append(0x1, "done");
+    j.append(0xabcdef0123456789ull, "start");
+
+    auto events = j.replay();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].digest, 0x1u);
+    EXPECT_EQ(events[0].name, "start");
+    EXPECT_EQ(events[1].name, "done");
+    EXPECT_EQ(events[2].digest, 0xabcdef0123456789ull);
+}
+
+TEST(JobJournal, ReplaySurvivesReopen)
+{
+    std::string path = testPath("reopen");
+    {
+        JobJournal j(path);
+        j.append(0x5, "start");
+        j.append(0x5, "fail");
+        j.append(0x5, "requeue");
+    }
+    // A restarted daemon opens the same file and sees the history.
+    JobJournal j(path);
+    j.append(0x5, "start");
+    auto attempts = j.replayAttempts();
+    EXPECT_EQ(attempts[0x5], 2u);
+    EXPECT_EQ(j.replay().size(), 4u);
+}
+
+TEST(JobJournal, ReplayAttemptsCountsStartsOnly)
+{
+    std::string path = testPath("attempts");
+    JobJournal j(path);
+    j.append(0xa, "start");
+    j.append(0xa, "fail");
+    j.append(0xa, "requeue");
+    j.append(0xa, "start");
+    j.append(0xa, "done");
+    j.append(0xb, "recover");
+
+    auto attempts = j.replayAttempts();
+    EXPECT_EQ(attempts[0xa], 2u);
+    EXPECT_EQ(attempts.count(0xb), 0u); // no starts: not an attempt
+}
+
+TEST(JobJournal, TornFinalLineIsSkippedNotMisread)
+{
+    std::string path = testPath("torn");
+    {
+        JobJournal j(path);
+        j.append(0x1, "start");
+        j.append(0x2, "start");
+    }
+    // Simulate a crash mid-append: chop the file inside the last line
+    // (no terminating newline).
+    std::uintmax_t size = std::filesystem::file_size(path);
+    ASSERT_EQ(::truncate(path.c_str(), size - 3), 0);
+
+    JobJournal j(path);
+    auto events = j.replay();
+    ASSERT_EQ(events.size(), 1u); // only the intact first line
+    EXPECT_EQ(events[0].digest, 0x1u);
+
+    // Appending after the torn tail produces a merged garbage line;
+    // it too is skipped, and later lines still parse.
+    j.append(0x3, "done");
+    events = j.replay();
+    ASSERT_EQ(events.size(), 1u);
+    j.append(0x4, "start");
+    events = j.replay();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[1].digest, 0x4u);
+}
+
+TEST(JobJournal, GarbageLinesAreSkipped)
+{
+    std::string path = testPath("garbage");
+    {
+        std::ofstream f(path);
+        f << "not a journal line\n";
+        f << "0123456789abcdef start\n";        // valid
+        f << "0123456789abcdeZ start\n";        // bad hex
+        f << "0123456789abcdef\n";              // missing event
+        f << "0123456789abcdef st4rt\n";        // non-alpha event
+        f << "0123456789abcdefdone\n";          // missing separator
+        f << "\n";
+        f << "0123456789abcdef done\n";         // valid
+    }
+    JobJournal j(path);
+    auto events = j.replay();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].name, "start");
+    EXPECT_EQ(events[1].name, "done");
+    EXPECT_EQ(events[0].digest, 0x0123456789abcdefull);
+}
+
+TEST(JobJournal, MissingFileReplaysEmpty)
+{
+    std::string path = testPath("fresh");
+    JobJournal j(path);
+    EXPECT_TRUE(j.replay().empty());
+    EXPECT_TRUE(j.replayAttempts().empty());
+}
+
+} // namespace
+} // namespace vpc

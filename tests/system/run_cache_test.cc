@@ -14,11 +14,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "sim/cancel.hh"
 #include "sim/format.hh"
 #include "system/experiment.hh"
 #include "system/options.hh"
@@ -240,6 +245,167 @@ TEST(RunCacheTest, ConcurrentSameKeyComputesOnce)
     EXPECT_EQ(cache.hits(), 3u);
     for (int i = 1; i < 4; ++i)
         expectSameRecord(records[0], records[i]);
+}
+
+TEST(RunCacheJanitor, ReclaimsTempsOfDeadWritersOnly)
+{
+    namespace fs = std::filesystem;
+    std::string dir = testDir("janitor");
+    fs::create_directories(dir);
+
+    // A temp stamped with a pid that cannot be alive (beyond
+    // pid_max), one stamped with our own live pid, and a record.
+    std::string dead = dir + "/aa.json.tmp.4194304999.0";
+    std::string live = format("{}/bb.json.tmp.{}.0", dir,
+                              static_cast<std::uint64_t>(::getpid()));
+    std::string record = dir + "/cc.json";
+    for (const std::string &p : {dead, live, record})
+        std::ofstream(p) << "x";
+
+    EXPECT_EQ(RunCache::gcStaleTemps(dir), 1u);
+    EXPECT_FALSE(fs::exists(dead));
+    EXPECT_TRUE(fs::exists(live));
+    EXPECT_TRUE(fs::exists(record));
+}
+
+TEST(RunCacheJanitor, ReclaimsPidlessTempsByAgeOnly)
+{
+    namespace fs = std::filesystem;
+    std::string dir = testDir("janitor_age");
+    fs::create_directories(dir);
+
+    std::string old_tmp = dir + "/aa.json.tmp.x";
+    std::string new_tmp = dir + "/bb.json.tmp.y";
+    std::ofstream(old_tmp) << "x";
+    std::ofstream(new_tmp) << "x";
+    fs::last_write_time(old_tmp, fs::file_time_type::clock::now() -
+                                     std::chrono::hours(2));
+
+    EXPECT_EQ(RunCache::gcStaleTemps(dir, std::chrono::minutes(15)),
+              1u);
+    EXPECT_FALSE(fs::exists(old_tmp));
+    EXPECT_TRUE(fs::exists(new_tmp));
+}
+
+TEST(RunCacheJanitor, RunsOnStoreOpen)
+{
+    namespace fs = std::filesystem;
+    std::string dir = testDir("janitor_open");
+    fs::create_directories(dir);
+    std::string dead = dir + "/aa.json.tmp.4194304999.0";
+    std::ofstream(dead) << "x";
+    RunCache cache(dir);
+    EXPECT_FALSE(fs::exists(dead));
+}
+
+TEST(RunCacheTest, UnusableStoreDirCountsAStoreError)
+{
+    // A store dir that is actually a file cannot be created; the
+    // cache must degrade to in-process-only and say so in the
+    // counter (works even when the tests run as root, unlike a
+    // permissions-based probe).
+    std::string dir = testDir("store_err");
+    std::filesystem::create_directories(dir);
+    std::string blocker = dir + "/not_a_dir";
+    std::ofstream(blocker) << "x";
+
+    RunCache cache(blocker + "/sub");
+    EXPECT_GE(cache.storeErrors(), 1u);
+
+    // Still fully functional as an in-process cache.
+    RunRecord rec = cache.lookupOrCompute(1, [] {
+        RunRecord r;
+        r.endCycle = 42;
+        return r;
+    });
+    EXPECT_EQ(rec.endCycle, 42u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RunCacheTest, ThrowingComputeReleasesKeyAndWaiters)
+{
+    RunCache cache;
+    EXPECT_THROW(cache.lookupOrCompute(
+                     7, []() -> RunRecord {
+                         throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+
+    // The key is not stuck "computing": a retry computes fresh.
+    RunRecord rec = cache.lookupOrCompute(7, [] {
+        RunRecord r;
+        r.endCycle = 9;
+        return r;
+    });
+    EXPECT_EQ(rec.endCycle, 9u);
+
+    // Concurrent flavor: the computer throws while a waiter blocks
+    // on the same key; the waiter must take over, not hang.
+    std::atomic<bool> first_entered{false};
+    std::atomic<bool> release_first{false};
+    std::thread thrower([&] {
+        try {
+            cache.lookupOrCompute(8, [&]() -> RunRecord {
+                first_entered.store(true);
+                while (!release_first.load())
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                throw std::runtime_error("boom");
+            });
+        } catch (const std::runtime_error &) {
+        }
+    });
+    while (!first_entered.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::thread waiter([&] {
+        release_first.store(true);
+        RunRecord r = cache.lookupOrCompute(8, [] {
+            RunRecord rr;
+            rr.endCycle = 11;
+            return rr;
+        });
+        EXPECT_EQ(r.endCycle, 11u);
+    });
+    thrower.join();
+    waiter.join();
+}
+
+TEST(RunSupervision, PreCancelledJobThrowsOnBothKernels)
+{
+    for (unsigned threads : {1u, 2u}) {
+        RunJob job = smallJob();
+        job.config.kernelThreads = threads;
+        CancelToken cancel{true}; // already cancelled
+        RunSupervision sup;
+        sup.cancel = &cancel;
+        EXPECT_THROW(runAndMeasureCached(job, nullptr, &sup),
+                     JobCancelled)
+            << "kernelThreads=" << threads;
+    }
+}
+
+TEST(RunSupervision, ObserveOnlyForCompletingRuns)
+{
+    // A supervised run that is never cancelled must produce the
+    // exact record an unsupervised run does (counters included) —
+    // otherwise the daemon's records would diverge from direct
+    // execution.
+    RunJob job = smallJob();
+    RunResult plain = runAndMeasureCached(job, nullptr);
+    CancelToken cancel{false};
+    RunSupervision sup;
+    sup.cancel = &cancel;
+    sup.deadlineMs = 60'000; // generous; must not fire
+    RunResult supervised = runAndMeasureCached(job, nullptr, &sup);
+    expectSameRecord(plain.record, supervised.record);
+}
+
+TEST(RunSupervision, BadWorkloadSpecThrowsCatchably)
+{
+    RunJob job = smallJob();
+    job.workloads[0].spec = "no-such-workload";
+    EXPECT_THROW(runAndMeasureCached(job, nullptr),
+                 std::runtime_error);
 }
 
 } // namespace

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "system/cmp_system.hh"
@@ -111,6 +113,55 @@ TEST(WatchdogSystemDeath, CatchesRowFcfsStoreStarvation)
     CmpSystem sys(cfg, loadsAndStores());
     ASSERT_NE(sys.verifier(), nullptr);
     EXPECT_DEATH(sys.run(60'000), "watchdog");
+}
+
+TEST(WatchdogSupervision, CancelTokenThrowsJobCancelled)
+{
+    Watchdog wd(100);
+    FakeThread t;
+    wd.addThread(t.source());
+    CancelToken cancel{false};
+    wd.setCancelToken(&cancel);
+    wd.check(0); // token clear: nothing happens
+    cancel.store(true);
+    EXPECT_THROW(wd.check(1), JobCancelled);
+}
+
+TEST(WatchdogSupervision, WallDeadlineThrowsDeadlineExceeded)
+{
+    Watchdog wd(1'000'000);
+    FakeThread t;
+    t.progress = 1;
+    wd.addThread(t.source());
+    wd.armWallDeadline(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // The wall clock is sampled every kWallCheckInterval checks, so
+    // drive it past one full sampling window.
+    auto drive = [&] {
+        for (std::uint64_t i = 0;
+             i <= Watchdog::kWallCheckInterval + 1; ++i) {
+            t.progress += 1; // never starving
+            wd.check(i);
+        }
+    };
+    EXPECT_THROW(drive(), DeadlineExceeded);
+}
+
+TEST(WatchdogSupervision, DisarmedDeadlineNeverTrips)
+{
+    Watchdog wd(1'000'000);
+    FakeThread t;
+    t.progress = 1;
+    wd.addThread(t.source());
+    wd.armWallDeadline(std::chrono::milliseconds(1));
+    wd.armWallDeadline(std::chrono::milliseconds(0)); // disarm
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    for (std::uint64_t i = 0;
+         i <= 2 * Watchdog::kWallCheckInterval; ++i) {
+        t.progress += 1;
+        wd.check(i);
+    }
+    SUCCEED();
 }
 
 TEST(WatchdogSystem, VpcSurvivesTheSameWorkloadMix)

@@ -26,54 +26,6 @@
 #include "system/options.hh"
 #include "system/run_cache.hh"
 #include "system/stats_report.hh"
-#include "system/table_printer.hh"
-
-namespace
-{
-
-using namespace vpc;
-
-/**
- * The model-facing report: shared verbatim by the live and cached
- * paths, so --run-cache stdout is byte-identical to a real run.
- */
-void
-printReport(const SimOptions &opts, const IntervalStats &stats,
-            const KernelStats &k)
-{
-    TablePrinter t(format("vpcsim: {} cycles measured after {} "
-                          "warmup",
-                          opts.measure, opts.warmup),
-                   {"Thread", "Workload", "phi", "beta", "IPC",
-                    "L2 reads", "L2 writes", "L2 misses"});
-    for (unsigned i = 0; i < opts.config.numProcessors; ++i) {
-        t.row({std::to_string(i), opts.workloadSpecs[i],
-               TablePrinter::num(opts.config.shares[i].phi, 2),
-               TablePrinter::num(opts.config.shares[i].beta, 2),
-               TablePrinter::num(stats.ipc[i]),
-               std::to_string(stats.l2Reads[i]),
-               std::to_string(stats.l2Writes[i]),
-               std::to_string(stats.l2Misses[i])});
-    }
-    t.rule();
-    std::printf("L2 utilization: tag %.1f%%  data %.1f%%  bus "
-                "%.1f%%\n", stats.tagUtil * 100.0,
-                stats.dataUtil * 100.0, stats.busUtil * 100.0);
-    // Kernel counters live outside the model-stats report: they vary
-    // between skipping and --no-skip runs by design, while everything
-    // dumpStats() prints must stay bit-identical.  They are part of
-    // the run-cache record, so a replay prints the same line.
-    std::printf("kernel: %llu events fired  %llu ticks  "
-                "%llu cycles executed  %llu skipped\n",
-                static_cast<unsigned long long>(k.eventsFired.value()),
-                static_cast<unsigned long long>(k.ticksExecuted.value()),
-                static_cast<unsigned long long>(
-                    k.cyclesExecuted.value()),
-                static_cast<unsigned long long>(
-                    k.cyclesSkipped.value()));
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -94,7 +46,7 @@ main(int argc, char **argv)
         CmpSystem sys(opts->config, opts->buildWorkloads());
         IntervalStats stats = sys.runAndMeasure(opts->warmup,
                                                 opts->measure);
-        printReport(*opts, stats, sys.kernelStats());
+        printRunReport(*opts, stats, sys.kernelStats());
         if (sys.profiling()) {
             std::fprintf(stderr, "%s\n",
                          sys.mergedProfile().report().c_str());
@@ -106,21 +58,24 @@ main(int argc, char **argv)
     std::unique_ptr<RunCache> cache;
     if (!opts->runCacheDir.empty())
         cache = std::make_unique<RunCache>(opts->runCacheDir);
-    RunResult r = runAndMeasureCached(opts->buildRunJob(),
-                                      cache.get());
-    printReport(*opts, r.record.stats, r.record.kernel);
+    RunResult r;
+    try {
+        r = runAndMeasureCached(opts->buildRunJob(), cache.get());
+    } catch (const std::exception &e) {
+        // Unrunnable job (e.g. a bad workload spec): the library
+        // throws so supervising callers can survive it; for the CLI
+        // that means a clean fatal.
+        std::fprintf(stderr, "vpcsim: fatal: %s\n", e.what());
+        return 1;
+    }
+    printRunReport(*opts, r.record.stats, r.record.kernel);
 
     // The profile is host-time diagnostics, not model output: stderr,
     // so differential stdout comparisons are unaffected.  Replayed
     // runs have no profile to report.
     if (r.hasProfile)
         std::fprintf(stderr, "%s\n", r.profile.report().c_str());
-    if (cache) {
-        std::fprintf(stderr,
-                     "run-cache: %llu hits (%llu disk), %llu misses\n",
-                     static_cast<unsigned long long>(cache->hits()),
-                     static_cast<unsigned long long>(cache->diskHits()),
-                     static_cast<unsigned long long>(cache->misses()));
-    }
+    if (cache)
+        printRunCacheLine(*cache);
     return 0;
 }

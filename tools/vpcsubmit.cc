@@ -1,0 +1,116 @@
+/**
+ * @file
+ * vpcsubmit: client for the vpcsvc sweep daemon.
+ *
+ * Takes the same experiment flags as vpcsim plus --spool, submits the
+ * job to the daemon serving that spool, waits for it, and prints the
+ * identical report vpcsim would have printed.  When no daemon is
+ * alive (or it dies mid-wait) the job is computed in-process against
+ * the same run cache — same bits either way, so scripts can treat
+ * vpcsubmit as a drop-in vpcsim that happens to offload work.
+ *
+ * Examples:
+ *
+ *   vpcsubmit --spool=/tmp/sweep --workload=art,mcf --arbiter=vpc
+ *   vpcsubmit --spool=/tmp/sweep --workload=loads,stores --no-wait
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/client.hh"
+#include "system/options.hh"
+#include "system/stats_report.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpc;
+
+    std::string spool_dir, cache_dir;
+    bool wait_for_result = true;
+    std::uint64_t timeout_ms = 0;
+    std::vector<std::string> sim_args;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string key = arg, val;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            val = arg.substr(eq + 1);
+        }
+        if (key == "--spool") {
+            spool_dir = val;
+        } else if (key == "--no-wait") {
+            wait_for_result = false;
+        } else if (key == "--timeout-ms") {
+            timeout_ms = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (key == "--help" || key == "-h") {
+            std::printf("usage: vpcsubmit --spool=DIR [--no-wait] "
+                        "[--timeout-ms=MS] <vpcsim options>\n"
+                        "  --run-cache defaults to <spool>/cache and "
+                        "must match the daemon's.\n\n%s",
+                        simUsage().c_str());
+            return 0;
+        } else {
+            if (key == "--run-cache")
+                cache_dir = val;
+            sim_args.push_back(arg); // a vpcsim flag
+        }
+    }
+    if (spool_dir.empty()) {
+        std::fprintf(stderr, "vpcsubmit: --spool is required\n");
+        return 1;
+    }
+
+    std::string error;
+    std::optional<SimOptions> opts = parseSimOptions(sim_args, error);
+    if (!opts) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    if (opts->dumpStats) {
+        std::fprintf(stderr, "vpcsubmit: --stats needs live component "
+                             "state; use vpcsim\n");
+        return 1;
+    }
+
+    ServiceClient client(spool_dir, cache_dir);
+    RunJob job = opts->buildRunJob();
+
+    if (!wait_for_result) {
+        std::uint64_t digest = client.submit(job);
+        std::printf("submitted %s (%s daemon alive)\n",
+                    JobSpool::jobName(digest).c_str(),
+                    client.daemonAlive() ? "with" : "NO");
+        return 0;
+    }
+
+    try {
+        ServedBy served = ServedBy::Local;
+        if (timeout_ms != 0 && client.daemonAlive()) {
+            std::uint64_t digest = client.submit(job);
+            JobState st = client.wait(digest, timeout_ms);
+            if (st != JobState::Done && st != JobState::Failed) {
+                std::fprintf(stderr,
+                             "vpcsubmit: timed out with %s %s\n",
+                             JobSpool::jobName(digest).c_str(),
+                             jobStateName(st));
+                return 2;
+            }
+        }
+        RunResult r = client.runJob(job, &served);
+        printRunReport(*opts, r.record.stats, r.record.kernel);
+        std::fprintf(stderr, "vpcsubmit: served %s\n",
+                     served == ServedBy::Daemon ? "by the daemon"
+                                                : "locally");
+        printRunCacheLine(client.cache());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "vpcsubmit: fatal: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

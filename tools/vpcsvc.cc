@@ -1,0 +1,193 @@
+/**
+ * @file
+ * vpcsvc: the long-lived sweep daemon over a job spool.
+ *
+ * Clients (vpcsubmit, or anything that writes job records into
+ * <spool>/pending) submit content-addressed jobs; this daemon
+ * executes them on a worker pool with per-job deadlines, bounded
+ * retry with exponential backoff, poison-job quarantine, crash
+ * recovery on restart and graceful SIGTERM/SIGINT drain.  Results
+ * land in the shared run cache, bit-identical to direct execution.
+ *
+ * Examples:
+ *
+ *   # serve /tmp/sweep with 4 workers and a 30 s per-job deadline:
+ *   vpcsvc --spool=/tmp/sweep --threads=4 --deadline-ms=30000
+ *
+ *   # drain the current backlog and exit:
+ *   vpcsvc --spool=/tmp/sweep --once
+ *
+ *   # deterministic robustness drill (stalls, failures, torn journal):
+ *   vpcsvc --spool=/tmp/sweep --inject-service-faults --fault-rate=0.5
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/daemon.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: vpcsvc --spool=DIR [options]\n"
+        "\n"
+        "  --spool=DIR             job spool root (required)\n"
+        "  --run-cache=DIR         result store (default: "
+        "<spool>/cache)\n"
+        "  --threads=N             worker pool threads (default 2)\n"
+        "  --deadline-ms=MS        per-job wall budget; 0 = none "
+        "(default 0)\n"
+        "  --max-attempts=N        quarantine after N attempts "
+        "(default 3)\n"
+        "  --backoff-ms=MS         retry backoff base (default 100)\n"
+        "  --poll-ms=MS            idle spool poll interval "
+        "(default 200)\n"
+        "  --once                  drain the pending backlog, then "
+        "exit\n"
+        "  --inject-service-faults deterministic fault drill "
+        "(stall/fail/\n"
+        "                          abandon jobs, truncate the "
+        "journal)\n"
+        "  --fault-rate=R          per-job fault probability "
+        "(default 0.5)\n"
+        "  --fault-seed=N          fault RNG seed (default 1)\n");
+}
+
+bool
+parseU64(const std::string &v, std::uint64_t &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(v.c_str(), &end, 10);
+    return errno == 0 && end != v.c_str() && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpc;
+
+    DaemonConfig cfg;
+    cfg.faultRate = 0.5;
+    bool once = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string key = arg, val;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            val = arg.substr(eq + 1);
+        }
+        std::uint64_t n = 0;
+        if (key == "--help" || key == "-h") {
+            usage();
+            return 0;
+        } else if (key == "--spool") {
+            cfg.spoolDir = val;
+        } else if (key == "--run-cache") {
+            cfg.cacheDir = val;
+        } else if (key == "--threads" && parseU64(val, n)) {
+            cfg.workers = static_cast<unsigned>(n);
+        } else if (key == "--deadline-ms" && parseU64(val, n)) {
+            cfg.deadlineMs = n;
+        } else if (key == "--max-attempts" && parseU64(val, n) &&
+                   n > 0) {
+            cfg.maxAttempts = static_cast<unsigned>(n);
+        } else if (key == "--backoff-ms" && parseU64(val, n)) {
+            cfg.backoffMs = n;
+        } else if (key == "--poll-ms" && parseU64(val, n) && n > 0) {
+            cfg.pollMs = n;
+        } else if (key == "--once") {
+            once = true;
+        } else if (key == "--inject-service-faults") {
+            cfg.injectFaults = true;
+        } else if (key == "--fault-rate") {
+            char *end = nullptr;
+            cfg.faultRate = std::strtod(val.c_str(), &end);
+            if (end == val.c_str() || cfg.faultRate < 0.0 ||
+                cfg.faultRate > 1.0) {
+                std::fprintf(stderr,
+                             "vpcsvc: bad --fault-rate '%s'\n",
+                             val.c_str());
+                return 1;
+            }
+        } else if (key == "--fault-seed" && parseU64(val, n)) {
+            cfg.faultSeed = n;
+        } else {
+            std::fprintf(stderr, "vpcsvc: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+    if (cfg.spoolDir.empty()) {
+        std::fprintf(stderr, "vpcsvc: --spool is required\n");
+        usage();
+        return 1;
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    SweepDaemon daemon(cfg);
+    if (!daemon.start())
+        return 1;
+
+    if (once) {
+        // Drain: keep passing until a pass completes nothing and the
+        // spool has no pending work left (backed-off retries count as
+        // pending work).
+        while (!g_stop.load()) {
+            std::uint64_t done = daemon.runOnce();
+            if (done == 0 &&
+                daemon.spool().list(JobState::Pending).empty() &&
+                daemon.spool().list(JobState::Running).empty())
+                break;
+            if (done == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(cfg.pollMs));
+        }
+    } else {
+        daemon.run(g_stop);
+    }
+
+    const DaemonStats &s = daemon.stats();
+    std::fprintf(stderr,
+                 "vpcsvc: %llu claimed, %llu completed (%llu cache "
+                 "hits), %llu failures (%llu timeouts), %llu retried, "
+                 "%llu quarantined, %llu republished, %llu orphans "
+                 "recovered, %llu faults injected\n",
+                 static_cast<unsigned long long>(s.claimed),
+                 static_cast<unsigned long long>(s.completed),
+                 static_cast<unsigned long long>(s.cacheHits),
+                 static_cast<unsigned long long>(s.failures),
+                 static_cast<unsigned long long>(s.timeouts),
+                 static_cast<unsigned long long>(s.retried),
+                 static_cast<unsigned long long>(s.quarantined),
+                 static_cast<unsigned long long>(s.republished),
+                 static_cast<unsigned long long>(s.orphansRecovered),
+                 static_cast<unsigned long long>(s.faultsInjected));
+    return 0;
+}
