@@ -57,6 +57,21 @@ BenchReporter::setRunCacheStats(const RunCache &cache)
                      cache.storeErrors());
 }
 
+void
+BenchReporter::setKernelThreads(unsigned kt)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    kernelThreads_ = kt < 1 ? 1 : kt;
+}
+
+void
+BenchReporter::setExtraSection(std::string key, std::string raw_json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    extraKey_ = std::move(key);
+    extraJson_ = std::move(raw_json);
+}
+
 const BenchReporter::MachineInfo &
 BenchReporter::machineInfo()
 {
@@ -187,6 +202,7 @@ BenchReporter::writeJson(const std::string &path) const
                  "  \"wall_ms\": %.1f,\n"
                  "  \"runs\": %llu,\n"
                  "  \"sim_cycles\": %llu,\n"
+                 "  \"kernel_threads\": %u,\n"
                  "  \"mcycles_per_sec\": %.3f,\n"
                  "  \"cycles_executed\": %llu,\n"
                  "  \"cycles_skipped\": %llu,\n"
@@ -207,6 +223,7 @@ BenchReporter::writeJson(const std::string &path) const
                  name_.c_str(), wallMs(),
                  static_cast<unsigned long long>(runs_),
                  static_cast<unsigned long long>(simCycles_),
+                 kernelThreads_,
                  mcyclesPerSec(),
                  static_cast<unsigned long long>(cyclesExecuted_),
                  static_cast<unsigned long long>(cyclesSkipped_),
@@ -247,6 +264,10 @@ BenchReporter::writeJson(const std::string &path) const
             first = false;
         }
         std::fprintf(f, "\n    ]\n  }");
+    }
+    if (!extraKey_.empty() && !extraJson_.empty()) {
+        std::fprintf(f, ",\n  \"%s\": %s",
+                     jsonEscape(extraKey_).c_str(), extraJson_.c_str());
     }
     std::fprintf(f, "\n}\n");
     std::fclose(f);

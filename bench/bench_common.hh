@@ -101,6 +101,22 @@ class BenchReporter
     /** Convenience: record all four counters from @p cache. */
     void setRunCacheStats(const RunCache &cache);
 
+    /**
+     * Record the kernel thread count the bench ran with.  Written as
+     * the JSON's "kernel_threads" field so before/after comparisons
+     * (tools/bench_diff) can tell a kernel-configuration change from
+     * a simulator speed change.  Defaults to 1 (the serial kernel).
+     */
+    void setKernelThreads(unsigned kt);
+
+    /**
+     * Attach a bench-specific JSON section.  @p raw_json must be a
+     * complete JSON value (object or array); it is emitted verbatim
+     * under @p key at the top level of the report.  bench_scaleup
+     * uses this for its per-cell wall-time matrix.
+     */
+    void setExtraSection(std::string key, std::string raw_json);
+
     /** Stop the wall clock (idempotent; addRun() after is an error). */
     void finish();
 
@@ -160,6 +176,9 @@ class BenchReporter
     std::uint64_t eventsFired_ = 0;
     Profiler profile_;       //!< merged across addProfile() calls
     bool haveProfile_ = false;
+    unsigned kernelThreads_ = 1;
+    std::string extraKey_;   //!< see setExtraSection()
+    std::string extraJson_;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t cacheMisses_ = 0;
     std::uint64_t cacheDiskHits_ = 0;

@@ -30,6 +30,10 @@
  *   --smoke       2 mixes, short runs, --paranoid auditing + watchdog
  *                 (serial: auditors install process-global hooks;
  *                 rejects explicit --threads/--kernel-threads > 1)
+ *   --quick       2 mixes, short runs, no auditors -- the bounded mode
+ *                 that still accepts --kernel-threads > 1, so CI can
+ *                 smoke the shard-parallel kernel under TSan without
+ *                 paying for the full mix set
  *   --profile     attach the cycle-attribution profiler to every
  *                 simulation; the merged per-component table goes to
  *                 stderr and into the JSON's "profile" section
@@ -71,6 +75,7 @@ using Mix = std::array<std::string, 4>;
 struct BenchOptions
 {
     bool smoke = false;
+    bool quick = false;
     bool skip = true;
     bool profile = false;
     unsigned threads = 0;
@@ -121,6 +126,8 @@ main(int argc, char **argv)
         const char *arg = argv[i];
         if (std::strcmp(arg, "--smoke") == 0) {
             opt.smoke = true;
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            opt.quick = true;
         } else if (std::strcmp(arg, "--no-skip") == 0) {
             opt.skip = false;
         } else if (std::strcmp(arg, "--profile") == 0) {
@@ -178,6 +185,12 @@ main(int argc, char **argv)
         opt.lens = RunLengths{2'000, 8'000};
         opt.threads = 1;
         opt.kernelThreads = 1;
+    } else if (opt.quick) {
+        // Same bound as --smoke but without the auditors, so any
+        // --threads/--kernel-threads combination is fair game (this
+        // is the TSan CI entry point for the shard-parallel kernel).
+        mixes.resize(2);
+        opt.lens = RunLengths{2'000, 8'000};
     }
 
     SystemConfig base = makeBaselineConfig(4, ArbiterPolicy::Vpc);
@@ -189,7 +202,9 @@ main(int argc, char **argv)
         base.verify.watchdogCycles = 10'000;
     }
 
-    BenchReporter rep(opt.smoke ? "headline_smoke" : "headline");
+    BenchReporter rep(opt.smoke ? "headline_smoke"
+                      : opt.quick ? "headline_quick" : "headline");
+    rep.setKernelThreads(opt.kernelThreads);
     // Always-on in-process memoization (repeated private targets
     // collapse); --run-cache adds the cross-invocation disk store.
     RunCache cache(opt.runCacheDir);

@@ -156,14 +156,16 @@ L2Bank::tryReserveStore(ThreadId t)
 void
 L2Bank::storeArrive(ThreadId t, Addr line_addr, Cycle now)
 {
-    sgbs.at(t).addStore(line_addr, now);
+    if (!sgbs.at(t).addStore(line_addr, now))
+        ++sgbOccVersion_; // new entry: occupancy grew
 }
 
 void
 L2Bank::remoteStoreArrive(ThreadId t, Addr line_addr, Cycle now)
 {
     sgbs.at(t).reserve();
-    sgbs[t].addStore(line_addr, now);
+    if (!sgbs[t].addStore(line_addr, now))
+        ++sgbOccVersion_;
 }
 
 void
@@ -272,6 +274,7 @@ L2Bank::tryAdmit(ThreadId t, Cycle now)
 
     if (is_write) {
         sgb.popRetire();
+        ++sgbOccVersion_;
         port.writes.inc();
     } else {
         port.loadQueue.pop_front();

@@ -150,6 +150,14 @@ class L2Bank
     /** @return thread @p t's store gathering buffer. */
     const StoreGatherBuffer &sgb(ThreadId t) const { return sgbs.at(t); }
 
+    /**
+     * Monotonic counter bumped whenever any thread's SGB occupancy
+     * changes.  Lets the sharded kernel's occupancy-snapshot hook
+     * skip its per-thread probe pass when nothing moved, instead of
+     * probing every (thread, bank) pair twice per uncore cycle.
+     */
+    std::uint64_t sgbOccVersion() const { return sgbOccVersion_; }
+
     /** @return L2 read requests admitted for thread @p t. */
     std::uint64_t readCount(ThreadId t) const;
 
@@ -251,6 +259,7 @@ class L2Bank
 
     CacheArray tags;
     std::vector<StoreGatherBuffer> sgbs;
+    std::uint64_t sgbOccVersion_ = 1; //!< see sgbOccVersion()
     std::vector<ThreadPort> ports;
     std::vector<Sm> sms;
     std::vector<unsigned> smsInUse; //!< per-thread active SM count

@@ -6,6 +6,7 @@
 #include "service/job_codec.hh"
 #include "sim/cancel.hh"
 #include "sim/logging.hh"
+#include "system/sweep.hh"
 
 namespace vpc
 {
@@ -45,6 +46,7 @@ SweepDaemon::start()
     journal_ = std::make_unique<JobJournal>(cfg_.spoolDir +
                                             "/journal.log");
     cache_ = std::make_unique<RunCache>(cfg_.cacheDir);
+    cfg_.workers = sweepThreads(cfg_.workers);
     pool_ = std::make_unique<ThreadPool>(cfg_.workers);
 
     // Crash recovery: every running/ entry belonged to a dead owner

@@ -61,7 +61,13 @@ struct DaemonConfig
 {
     std::string spoolDir;
     std::string cacheDir;        //!< "" = <spoolDir>/cache
-    unsigned workers = 2;        //!< pool threads (lanes = workers + 1)
+    /**
+     * Pool threads (lanes = workers + 1).  0 = auto: resolved through
+     * sweepThreads() at start(), i.e. VPC_SWEEP_THREADS if set, else
+     * the hardware concurrency — the same default the sweep harness
+     * and tools/sweep use.
+     */
+    unsigned workers = 0;
     std::uint64_t deadlineMs = 0;//!< per-job wall budget; 0 = unbounded
     unsigned maxAttempts = 3;    //!< quarantine after this many starts
     std::uint64_t backoffMs = 100;   //!< retry backoff base

@@ -1,5 +1,8 @@
 #include "sim/sharded_simulator.hh"
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "sim/debug.hh"
@@ -7,14 +10,60 @@
 namespace vpc
 {
 
+namespace
+{
+
+/**
+ * @name Adaptive-fallback tuning
+ *
+ * The load signal is executed work units (events fired + ticks run)
+ * per advanced shard epoch, smoothed by an EWMA (alpha = 1/8, x16
+ * fixed point).  One epoch is one lookahead window, so density is
+ * "how much real work a worker hands off per synchronization" — below
+ * kLowDensity the cross-thread handoff (ring traffic, frontier
+ * cache-line bounces, try_lock misses) costs more host time than the
+ * work itself and the kernel collapses onto one lane; above
+ * kHighDensity (4x hysteresis gap) it re-splits.  Both need
+ * kStreak consecutive passes and a kCooldown pass gap between flips
+ * so a bursty workload does not thrash the mode.
+ */
+/// @{
+constexpr std::uint64_t kLowDensity16 = 3 * 16;
+constexpr std::uint64_t kHighDensity16 = 12 * 16;
+constexpr unsigned kStreak = 8;
+constexpr unsigned kCooldown = 64;
+/// @}
+
+ShardedSimulator::FallbackMode
+fallbackModeFromEnv()
+{
+    const char *env = std::getenv("VPC_KERNEL_FALLBACK");
+    if (env == nullptr || *env == '\0')
+        return ShardedSimulator::FallbackMode::Adaptive;
+    if (std::strcmp(env, "serial") == 0)
+        return ShardedSimulator::FallbackMode::ForceSerial;
+    if (std::strcmp(env, "parallel") == 0)
+        return ShardedSimulator::FallbackMode::ForceParallel;
+    if (std::strcmp(env, "adaptive") == 0)
+        return ShardedSimulator::FallbackMode::Adaptive;
+    vpc_panic("VPC_KERNEL_FALLBACK must be serial, parallel or "
+              "adaptive (got \"{}\")", env);
+}
+
+} // namespace
+
 ShardedSimulator::ShardedSimulator(unsigned cores, unsigned workers,
                                    Cycle sendLatency, Cycle fillLatency)
     : cores_(cores),
       workers_(workers < 1 ? 1
                : workers > cores + 1 ? cores + 1
                                      : workers),
+      hwThreads_(std::thread::hardware_concurrency() < 1
+                     ? 1
+                     : std::thread::hardware_concurrency()),
       sendLat_(sendLatency),
-      pool_(workers_ - 1)
+      pool_(workers_ - 1),
+      fallback_(fallbackModeFromEnv())
 {
     if (cores < 1)
         vpc_panic("sharded kernel needs at least one core shard");
@@ -139,7 +188,19 @@ ShardedSimulator::setUncorePhaseHook(std::function<void(Cycle)> fn)
 void
 ShardedSimulator::sendCross(unsigned core, const CrossMsg &msg)
 {
-    toUncore_[core]->push(msg);
+    if (direct_) {
+        Shard &un = *shards_[cores_];
+        if (un.prof != nullptr)
+            un.queue.setProfileContext(un.arriveOwner[core]);
+        const CrossMsg m = msg;
+        un.queue.scheduleKeyed(m.key, [this, m] { arriveHandler_(m); });
+        if (un.prof != nullptr)
+            un.queue.setProfileContext(Profiler::kUnattributed);
+        if (m.key.when < nextAct_[cores_])
+            nextAct_[cores_] = m.key.when;
+    } else {
+        toUncore_[core]->push(msg);
+    }
     shards_[core]->stats.messagesSent.inc();
 }
 
@@ -150,7 +211,20 @@ ShardedSimulator::sendFill(unsigned core, Addr line, Cycle critical)
     m.key = shards_[cores_]->queue.makeKey(critical);
     m.line = line;
     m.kind = 0;
-    toCore_[core]->push(m);
+    if (direct_) {
+        Shard &sh = *shards_[core];
+        if (sh.prof != nullptr)
+            sh.queue.setProfileContext(sh.fillOwner);
+        sh.queue.scheduleKeyed(m.key, [this, core, m] {
+            fillHandler_(core, m.line, m.key.when);
+        });
+        if (sh.prof != nullptr)
+            sh.queue.setProfileContext(Profiler::kUnattributed);
+        if (critical < nextAct_[core])
+            nextAct_[core] = critical;
+    } else {
+        toCore_[core]->push(m);
+    }
     shards_[cores_]->stats.messagesSent.inc();
 }
 
@@ -169,7 +243,10 @@ ShardedSimulator::publishOcc(unsigned core, unsigned bank, Cycle eff,
     m.kind = 1;
     m.bank = static_cast<std::uint8_t>(bank);
     m.occ = static_cast<std::uint16_t>(occ);
-    toCore_[core]->push(m);
+    if (direct_)
+        shards_[core]->occPending.push_back(m);
+    else
+        toCore_[core]->push(m);
     shards_[cores_]->stats.messagesSent.inc();
 }
 
@@ -184,20 +261,31 @@ ShardedSimulator::drainInto(std::size_t s)
         // Fixed core order: arrival *events* are ordered by their
         // carried keys anyway, so drain order only affects queue
         // internals; keeping it fixed keeps those deterministic too.
+        // Whole spans at a time: one acquire snapshots the span, one
+        // release retires it (see SpscRing's consumer span interface).
         for (unsigned c = 0; c < cores_; ++c) {
+            auto &ring = *toUncore_[c];
+            const std::size_t n = ring.readable();
+            if (n == 0)
+                continue;
             if (sh.prof != nullptr)
                 sh.queue.setProfileContext(sh.arriveOwner[c]);
-            CrossMsg m;
-            while (toUncore_[c]->pop(m)) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const CrossMsg m = ring.peek(i);
                 sh.queue.scheduleKeyed(
                     m.key, [this, m] { arriveHandler_(m); });
             }
+            ring.release(n);
         }
     } else {
+        auto &ring = *toCore_[s];
+        const std::size_t n = ring.readable();
+        if (n == 0)
+            return;
         if (sh.prof != nullptr)
             sh.queue.setProfileContext(sh.fillOwner);
-        CoreMsg m;
-        while (toCore_[s]->pop(m)) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const CoreMsg m = ring.peek(i);
             if (m.kind == 0) {
                 sh.queue.scheduleKeyed(
                     m.key, [this, s, m] {
@@ -208,26 +296,32 @@ ShardedSimulator::drainInto(std::size_t s)
                 sh.occPending.push_back(m);
             }
         }
+        ring.release(n);
     }
     if (sh.prof != nullptr)
         sh.queue.setProfileContext(Profiler::kUnattributed);
 }
 
-void
+bool
 ShardedSimulator::applyOccUpTo(std::size_t s, Cycle c)
 {
     auto &pend = shards_[s]->occPending;
+    bool applied = false;
     while (!pend.empty() && pend.front().eff <= c) {
         const CoreMsg &m = pend.front();
         occHandler_(static_cast<unsigned>(s), m.bank, m.occ);
         pend.pop_front();
+        applied = true;
     }
+    return applied;
 }
 
 Cycle
 ShardedSimulator::nextActivity(const Shard &sh) const
 {
     Cycle next = sh.queue.nextEventCycle();
+    if (next <= sh.nextCycle)
+        return next; // due now: the component sweep cannot lower it
     for (Ticking *t : sh.comps) {
         Cycle w = t->nextWork(sh.nextCycle);
         if (w < next)
@@ -247,8 +341,48 @@ ShardedSimulator::markFinished(Shard &sh)
     }
 }
 
+void
+ShardedSimulator::execCycle(std::size_t s, Shard &sh,
+                            std::uint64_t *work)
+{
+    const Cycle c = sh.nextCycle;
+    sh.key.now = c;
+    if (s != cores_)
+        applyOccUpTo(s, c);
+    std::size_t fired = sh.queue.runDue(c);
+    sh.stats.eventsFired.inc(fired);
+    if (work != nullptr)
+        *work += fired;
+    if (s == cores_ && fired > 0 && phaseHook_)
+        phaseHook_(c);
+    std::size_t ticked = 0;
+    for (std::size_t i = 0; i < sh.comps.size(); ++i) {
+        Ticking *t = sh.comps[i];
+        if (t->nextWork(c) <= c) {
+            if (sh.prof != nullptr) {
+                Profiler::ComponentId id = sh.ids[i];
+                sh.queue.setProfileContext(id);
+                std::uint64_t t0 = Profiler::nowNs();
+                t->tick(c);
+                sh.prof->addTick(id, Profiler::nowNs() - t0);
+                sh.queue.setProfileContext(Profiler::kUnattributed);
+            } else {
+                t->tick(c);
+            }
+            ++ticked;
+        }
+    }
+    sh.stats.ticksExecuted.inc(ticked);
+    if (work != nullptr)
+        *work += ticked;
+    if (s == cores_ && ticked > 0 && phaseHook_)
+        phaseHook_(c + 1);
+    sh.stats.cyclesExecuted.inc();
+    sh.nextCycle = c + 1;
+}
+
 bool
-ShardedSimulator::advanceShard(std::size_t s)
+ShardedSimulator::advanceShard(std::size_t s, std::uint64_t *work)
 {
     Shard &sh = *shards_[s];
     if (sh.nextCycle >= end_) {
@@ -290,37 +424,7 @@ ShardedSimulator::advanceShard(std::size_t s)
 
     const Cycle start = sh.nextCycle;
     while (sh.nextCycle <= bound) {
-        const Cycle c = sh.nextCycle;
-        sh.key.now = c;
-        if (s != cores_)
-            applyOccUpTo(s, c);
-        std::size_t fired = sh.queue.runDue(c);
-        sh.stats.eventsFired.inc(fired);
-        if (s == cores_ && fired > 0 && phaseHook_)
-            phaseHook_(c);
-        std::size_t ticked = 0;
-        for (std::size_t i = 0; i < sh.comps.size(); ++i) {
-            Ticking *t = sh.comps[i];
-            if (t->nextWork(c) <= c) {
-                if (sh.prof != nullptr) {
-                    Profiler::ComponentId id = sh.ids[i];
-                    sh.queue.setProfileContext(id);
-                    std::uint64_t t0 = Profiler::nowNs();
-                    t->tick(c);
-                    sh.prof->addTick(id, Profiler::nowNs() - t0);
-                    sh.queue.setProfileContext(
-                        Profiler::kUnattributed);
-                } else {
-                    t->tick(c);
-                }
-                ++ticked;
-            }
-        }
-        sh.stats.ticksExecuted.inc(ticked);
-        if (s == cores_ && ticked > 0 && phaseHook_)
-            phaseHook_(c + 1);
-        sh.stats.cyclesExecuted.inc();
-        sh.nextCycle = c + 1;
+        execCycle(s, sh, work);
 
         // Fast-forward within the window, exactly like the
         // sequential skip kernel but clipped to bound + 1.
@@ -394,6 +498,222 @@ ShardedSimulator::tryGlobalJump()
 }
 
 void
+ShardedSimulator::setFallbackMode(FallbackMode m)
+{
+    fallback_ = m;
+}
+
+void
+ShardedSimulator::wakeParked()
+{
+    // Take the lock so a worker between its predicate check and its
+    // wait cannot miss the notification.
+    { std::lock_guard<std::mutex> lk(parkMtx_); }
+    parkCv_.notify_all();
+}
+
+void
+ShardedSimulator::parkWorker()
+{
+    std::unique_lock<std::mutex> lk(parkMtx_);
+    // The timeout is a lost-wakeup backstop only; every mode flip,
+    // finish and cancel notifies the condition variable explicitly.
+    // Keep it long: short timeouts make parked lanes steal timeslices
+    // from the one that is doing all the work.
+    parkCv_.wait_for(lk, std::chrono::milliseconds(50), [this] {
+        return !collapsed_.load(std::memory_order_acquire) ||
+               finished_.load(std::memory_order_acquire) >=
+                   shards_.size() ||
+               (cancel_ != nullptr &&
+                cancel_->load(std::memory_order_relaxed));
+    });
+}
+
+void
+ShardedSimulator::adaptMode(std::uint64_t pass_work,
+                            std::uint64_t pass_epochs)
+{
+    if (fallback_ != FallbackMode::Adaptive)
+        return;
+    // One hardware thread: parallelism can only lose.  Collapse once
+    // and stay there — no amount of measured density changes the host.
+    if (hwThreads_ < 2) {
+        if (!collapsed_.load(std::memory_order_relaxed)) {
+            collapsed_.store(true, std::memory_order_release);
+            ++collapses_;
+        }
+        return;
+    }
+    if (pass_epochs == 0)
+        return; // stalled pass: no density sample
+    const auto density16 =
+        static_cast<std::int64_t>(pass_work * 16 / pass_epochs);
+    const auto ewma = static_cast<std::int64_t>(ewmaDensity16_);
+    ewmaDensity16_ =
+        static_cast<std::uint64_t>(ewma + (density16 - ewma) / 8);
+    if (cooldown_ > 0) {
+        --cooldown_;
+        return;
+    }
+    // Only the collapse direction lives here (this runs after a
+    // parallel pass); the re-split direction is runCollapsed's
+    // periodic density check, against the same watermarks.
+    if (ewmaDensity16_ < kLowDensity16) {
+        lowStreak_++;
+        if (lowStreak_ >= kStreak) {
+            collapsed_.store(true, std::memory_order_release);
+            ++collapses_;
+            lowStreak_ = 0;
+            cooldown_ = kCooldown;
+        }
+    } else {
+        lowStreak_ = 0;
+    }
+}
+
+void
+ShardedSimulator::runCollapsed()
+{
+    const std::size_t n = shards_.size();
+    for (auto &sh : shards_)
+        sh->mtx.lock();
+
+    // Entry: make everything in flight visible, apply pending
+    // occupancy snapshots, and cache each shard's next activity.
+    // From here on sends deliver directly (direct_), so the rings
+    // stay empty until the lane re-splits or the run ends.
+    for (std::size_t s = 0; s < n; ++s)
+        drainInto(s);
+    for (std::size_t s = 0; s < cores_; ++s)
+        applyOccUpTo(s, shards_[s]->nextCycle);
+    direct_ = true;
+    nextAct_.assign(n, kCycleMax);
+    Cycle chunkStart = end_;
+    for (std::size_t s = 0; s < n; ++s) {
+        Shard &sh = *shards_[s];
+        if (sh.nextCycle < end_) {
+            nextAct_[s] = nextActivity(sh);
+            if (sh.nextCycle < chunkStart)
+                chunkStart = sh.nextCycle;
+        }
+    }
+
+    Shard &un = *shards_[cores_];
+    std::uint64_t chunkWork = 0;
+    unsigned sinceCheck = 0;
+
+    for (;;) {
+        if (cancel_ != nullptr &&
+            cancel_->load(std::memory_order_relaxed)) {
+            break; // the caller's loop observes the token and throws
+        }
+
+        // Global next cycle: the earliest activity of any unfinished
+        // shard.  Everything before it is a no-op span for everyone —
+        // the sequential fast-forward, with all locks held.
+        Cycle c = kCycleMax;
+        for (std::size_t s = 0; s < n; ++s) {
+            Shard &sh = *shards_[s];
+            if (sh.nextCycle >= end_)
+                continue;
+            Cycle a = nextAct_[s] > sh.nextCycle ? nextAct_[s]
+                                                 : sh.nextCycle;
+            if (a < c)
+                c = a;
+        }
+        if (c >= end_) {
+            for (auto &shp : shards_) {
+                Shard &sh = *shp;
+                if (sh.nextCycle < end_) {
+                    sh.stats.cyclesSkipped.inc(end_ - sh.nextCycle);
+                    sh.nextCycle = end_;
+                }
+            }
+            break;
+        }
+
+        // Uncore phase first: it leads the protocol.  Its fills and
+        // occupancy publishes for c deliver directly into the core
+        // queues / pend lists before the core phase below runs c,
+        // min-updating nextAct_ at the send — no ring round trip,
+        // no per-iteration drain or next-event refresh.
+        if (un.nextCycle <= c && nextAct_[cores_] <= c) {
+            if (un.nextCycle < c) {
+                un.stats.cyclesSkipped.inc(c - un.nextCycle);
+                un.nextCycle = c;
+            }
+            execCycle(cores_, un, &chunkWork);
+            nextAct_[cores_] = nextActivity(un);
+        }
+
+        // Core phase: execute, then apply eff <= c + 1 snapshots (the
+        // next executable cycle) so a blocked retire stage wakes the
+        // cached activity.  Core sends deliver directly into the
+        // uncore queue, so an arrival at c + sendLat min-updates
+        // nextAct_ before the next global-skip decision.
+        for (std::size_t s = 0; s < cores_; ++s) {
+            Shard &sh = *shards_[s];
+            if (sh.nextCycle >= end_)
+                continue;
+            if (sh.nextCycle <= c && nextAct_[s] <= c) {
+                if (sh.nextCycle < c) {
+                    sh.stats.cyclesSkipped.inc(c - sh.nextCycle);
+                    sh.nextCycle = c;
+                }
+                execCycle(s, sh, &chunkWork);
+                applyOccUpTo(s, c + 1);
+                nextAct_[s] = nextActivity(sh);
+            } else if (applyOccUpTo(s, c + 1)) {
+                nextAct_[s] = nextActivity(sh);
+            }
+        }
+
+        // Periodic re-split check against the same density measure
+        // the parallel passes use: work per equivalent window epoch
+        // (span * shards / sendLat epochs over the chunk's span).
+        if (++sinceCheck >= 4096) {
+            sinceCheck = 0;
+            const Cycle span = c >= chunkStart ? c - chunkStart + 1 : 1;
+            const std::uint64_t equiv =
+                (static_cast<std::uint64_t>(span) * n + sendLat_ - 1) /
+                sendLat_;
+            const std::uint64_t density16 =
+                chunkWork * 16 / (equiv ? equiv : 1);
+            ewmaDensity16_ = density16;
+            chunkWork = 0;
+            chunkStart = c + 1;
+            if (fallback_ == FallbackMode::Adaptive &&
+                hwThreads_ >= 2 && density16 > kHighDensity16) {
+                if (++highStreak_ >= kStreak) {
+                    highStreak_ = 0;
+                    cooldown_ = kCooldown;
+                    collapsed_.store(false, std::memory_order_release);
+                    ++resplits_;
+                    break;
+                }
+            } else {
+                highStreak_ = 0;
+            }
+        }
+    }
+
+    direct_ = false;
+    for (auto &shp : shards_) {
+        Shard &sh = *shp;
+        std::uint64_t casc = sh.queue.cascades();
+        sh.stats.wheelCascades.inc(casc - sh.cascadesSeen);
+        sh.cascadesSeen = casc;
+        sh.stats.epochs.inc();
+        sh.frontier.store(sh.nextCycle, std::memory_order_release);
+        markFinished(sh);
+    }
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
+        (*it)->mtx.unlock();
+    if (collapsed_.load(std::memory_order_relaxed) == false)
+        wakeParked();
+}
+
+void
 ShardedSimulator::workerLoop(std::size_t w)
 {
     const std::size_t n = shards_.size();
@@ -404,10 +724,25 @@ ShardedSimulator::workerLoop(std::size_t w)
         // a cancelled peer will never make.
         if (cancel_ != nullptr &&
             cancel_->load(std::memory_order_relaxed)) {
+            if (w == 0)
+                wakeParked();
             throw JobCancelled("sharded run cancelled before cycle " +
                                std::to_string(end_));
         }
+        if (w != 0 && collapsed_.load(std::memory_order_acquire)) {
+            parkWorker();
+            continue;
+        }
+        if (w == 0 && collapsed_.load(std::memory_order_relaxed)) {
+            // Collapsed: one lane drives every shard from a single
+            // global cycle loop — serial-kernel cost structure, no
+            // per-window frontier epochs (see runCollapsed).
+            runCollapsed();
+            continue;
+        }
         bool progress = false;
+        std::uint64_t passWork = 0;
+        std::uint64_t passEpochs = 0;
         for (std::size_t i = 0; i < n; ++i) {
             std::size_t s = (w + i) % n;
             Shard &sh = *shards_[s];
@@ -415,13 +750,20 @@ ShardedSimulator::workerLoop(std::size_t w)
                 continue;
             if (!sh.mtx.try_lock())
                 continue;
-            bool p = advanceShard(s);
+            bool p = advanceShard(s, &passWork);
             sh.mtx.unlock();
-            progress = progress || p;
+            if (p) {
+                progress = true;
+                ++passEpochs;
+            }
         }
+        if (w == 0)
+            adaptMode(passWork, passEpochs);
         if (!progress && !tryGlobalJump())
             std::this_thread::yield();
     }
+    if (w == 0)
+        wakeParked();
 }
 
 void
@@ -437,7 +779,33 @@ ShardedSimulator::run(Cycle cycles)
     finished_.store(0, std::memory_order_relaxed);
     for (auto &sh : shards_)
         sh->finished = false;
-    pool_.dispatch(workers_, [this](std::size_t w) { workerLoop(w); });
+    switch (fallback_) {
+      case FallbackMode::ForceSerial:
+        collapsed_.store(true, std::memory_order_relaxed);
+        break;
+      case FallbackMode::ForceParallel:
+        collapsed_.store(false, std::memory_order_relaxed);
+        break;
+      case FallbackMode::Adaptive:
+        // A single hardware thread decides immediately; otherwise the
+        // previous run's decision carries over (warm start) and the
+        // EWMA re-earns any flip.
+        if (hwThreads_ < 2)
+            collapsed_.store(true, std::memory_order_relaxed);
+        break;
+    }
+    lowStreak_ = highStreak_ = 0;
+    cooldown_ = 0;
+    if (!collapsed_.load(std::memory_order_relaxed))
+        ewmaDensity16_ = kHighDensity16;
+    // A permanent collapse (forced, or a single-threaded host) can
+    // never re-split, so the extra lanes would only ever park — skip
+    // dispatching them and run the whole thing on the calling thread.
+    const bool permanent =
+        collapsed_.load(std::memory_order_relaxed) &&
+        (fallback_ == FallbackMode::ForceSerial || hwThreads_ < 2);
+    pool_.dispatch(permanent ? 1 : workers_,
+                   [this](std::size_t w) { workerLoop(w); });
     cycle_ = end_;
     // Drain whatever the final cycles left in flight, so between runs
     // the queues hold exactly the events the sequential kernel would

@@ -55,12 +55,14 @@
 #define VPC_SIM_SHARDED_SIMULATOR_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/shard.hh"
 #include "sim/simulator.hh"
@@ -72,10 +74,62 @@
 namespace vpc
 {
 
+/**
+ * Per-link conservative lookahead, derived from the modeled machine.
+ *
+ * The frontier protocol synchronizes shards every `send` cycles: a
+ * core-to-uncore message sent at cycle s cannot arrive before
+ * s + send, so the uncore may run `send` cycles past the slowest core
+ * frontier before it must resynchronize.  `send` is exactly the
+ * crossbar request latency (SystemConfig::l2.interconnectLatency) —
+ * any larger value would let the uncore miss an arrival, any smaller
+ * one synchronizes more often than the model requires.  `fill` is the
+ * uncore-to-core minimum (the bus critical-word beat); the protocol
+ * relies on fill >= 1 but the binding core-side bound is H_uncore - 1
+ * regardless, because store-gather occupancy snapshots published
+ * while the uncore executes cycle c take effect at c — a true
+ * zero-lookahead coupling (see DESIGN.md 5h).  Machines modeled with
+ * deeper interconnects (the 8/16/32-thread scale-up configs) widen
+ * `send` and thus amortize every frontier publish and ring drain over
+ * more simulated cycles.
+ */
+struct ShardLookahead
+{
+    Cycle send = 1; //!< core -> uncore: crossbar request latency
+    Cycle fill = 1; //!< uncore -> core: bus critical-word beat
+
+    /** Derive both links from the modeled L2/interconnect timing. */
+    static ShardLookahead
+    fromConfig(const SystemConfig &cfg)
+    {
+        ShardLookahead la;
+        la.send = cfg.l2.interconnectLatency;
+        la.fill = cfg.l2.busBeatCycles;
+        return la;
+    }
+};
+
 /** Shard-parallel drop-in for Simulator::run (see file comment). */
 class ShardedSimulator
 {
   public:
+    /**
+     * Worker-collapse policy.  The kernel's scheduling layer may fold
+     * all shard execution onto one worker (the others park on a
+     * condition variable) without affecting model results — SchedKeys
+     * make event order independent of which worker advances a shard.
+     *
+     * - Adaptive (default): collapse when the measured runnable work
+     *   per shard epoch falls below a low-water mark or when the host
+     *   has a single hardware thread; re-split when work returns
+     *   (hysteresis, see DESIGN.md 5h).  The VPC_KERNEL_FALLBACK
+     *   environment variable ("serial" / "parallel" / "adaptive")
+     *   overrides the initial mode for whole-process experiments.
+     * - ForceSerial: always collapsed (parallel structure, one lane).
+     * - ForceParallel: never collapse, even on one hardware thread.
+     */
+    enum class FallbackMode { Adaptive, ForceSerial, ForceParallel };
+
     /**
      * @param cores        number of core shards (>= 1); the uncore
      *                     shard is created implicitly.
@@ -91,6 +145,12 @@ class ShardedSimulator
      */
     ShardedSimulator(unsigned cores, unsigned workers,
                      Cycle sendLatency, Cycle fillLatency);
+
+    /** Convenience: lookahead derived from the modeled machine. */
+    ShardedSimulator(unsigned cores, unsigned workers,
+                     ShardLookahead la)
+        : ShardedSimulator(cores, workers, la.send, la.fill)
+    {}
 
     ShardedSimulator(const ShardedSimulator &) = delete;
     ShardedSimulator &operator=(const ShardedSimulator &) = delete;
@@ -190,6 +250,30 @@ class ShardedSimulator
      */
     void setCancelToken(const CancelToken *token) { cancel_ = token; }
 
+    /**
+     * Set the worker-collapse policy (between run() calls).  The
+     * constructor reads VPC_KERNEL_FALLBACK for the initial value;
+     * this setter wins afterwards.  Pure scheduling policy: model
+     * results are byte-identical in every mode.
+     */
+    void setFallbackMode(FallbackMode m);
+
+    /** @return the active collapse policy. */
+    FallbackMode fallbackMode() const { return fallback_; }
+
+    /** @return true while execution is collapsed onto one worker. */
+    bool
+    collapsed() const
+    {
+        return collapsed_.load(std::memory_order_relaxed);
+    }
+
+    /** @return parallel-to-collapsed transitions so far (diagnostic). */
+    std::uint64_t fallbackCollapses() const { return collapses_; }
+
+    /** @return collapsed-to-parallel transitions so far (diagnostic). */
+    std::uint64_t fallbackResplits() const { return resplits_; }
+
     /** @return the current cycle (between run() calls). */
     Cycle now() const { return cycle_; }
 
@@ -223,15 +307,41 @@ class ShardedSimulator
 
     void installProfiler(Shard &sh, Profiler *p);
     void workerLoop(std::size_t w);
-    bool advanceShard(std::size_t s); //!< caller holds shards_[s]->mtx
+    /**
+     * Advance one shard (caller holds shards_[s]->mtx).  @p work, when
+     * non-null, accumulates the executed work units (events fired +
+     * ticks run) of this epoch — the adaptive fallback's load signal.
+     */
+    bool advanceShard(std::size_t s, std::uint64_t *work = nullptr);
+    /** Execute shard @p sh 's cycle sh.nextCycle (lock held). */
+    void execCycle(std::size_t s, Shard &sh, std::uint64_t *work);
     void drainInto(std::size_t s);    //!< caller holds shards_[s]->mtx
-    void applyOccUpTo(std::size_t s, Cycle c);
+    /** @return true when at least one snapshot was applied. */
+    bool applyOccUpTo(std::size_t s, Cycle c);
     bool tryGlobalJump();
+    /**
+     * Collapsed execution: hold every shard lock and drive all shards
+     * from one global cycle loop (uncore phase first, then cores) —
+     * the serial kernel's cost structure over the sharded plumbing,
+     * with no per-window frontier epochs.  Returns when the run
+     * finishes, the adaptive policy decides to re-split, or the
+     * cancel token fires (the caller's loop rethrows).
+     */
+    void runCollapsed();
     Cycle nextActivity(const Shard &sh) const;
     void markFinished(Shard &sh);
 
+    /** Coordinator-only (worker 0): EWMA + hysteresis mode switch. */
+    void adaptMode(std::uint64_t pass_work,
+                   std::uint64_t pass_epochs);
+    /** Park a non-coordinator worker while execution is collapsed. */
+    void parkWorker();
+    /** Wake every parked worker (mode change, finish, cancel). */
+    void wakeParked();
+
     unsigned cores_;
     unsigned workers_;
+    unsigned hwThreads_; //!< host hardware threads (>= 1)
     Cycle sendLat_;
     Cycle end_ = 0;
     Cycle cycle_ = 0;
@@ -250,6 +360,34 @@ class ShardedSimulator
     const CancelToken *cancel_ = nullptr; //!< null unless supervised
     ThreadPool pool_;
     mutable KernelStats merged_;
+
+    /**
+     * @name Adaptive serial fallback
+     *
+     * collapsed_ is the coordinator's published decision; parked
+     * workers re-check it (plus finish/cancel) under parkMtx_.  The
+     * EWMA state below belongs exclusively to worker 0.
+     */
+    /// @{
+    FallbackMode fallback_ = FallbackMode::Adaptive;
+    std::atomic<bool> collapsed_{false};
+    std::mutex parkMtx_;
+    std::condition_variable parkCv_;
+    std::uint64_t ewmaDensity16_ = 0; //!< work/epoch EWMA, x16 fixed pt
+    unsigned lowStreak_ = 0;          //!< passes below low water
+    unsigned highStreak_ = 0;         //!< passes above high water
+    unsigned cooldown_ = 0;           //!< passes until next flip allowed
+    std::uint64_t collapses_ = 0;
+    std::uint64_t resplits_ = 0;
+    std::vector<Cycle> nextAct_;      //!< runCollapsed per-shard scratch
+    /**
+     * True only inside runCollapsed (all shard locks held): sends
+     * bypass the SPSC rings and schedule straight onto the target
+     * shard's queue, min-updating nextAct_ — same keys, same handler
+     * order, none of the ring round-trip the single lane would pay.
+     */
+    bool direct_ = false;
+    /// @}
 };
 
 } // namespace vpc

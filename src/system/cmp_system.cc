@@ -132,7 +132,7 @@ CmpSystem::CmpSystem(SystemConfig cfg_,
     if (cfg.kernelThreads > 1) {
         psim_ = std::make_unique<ShardedSimulator>(
             cfg.numProcessors, cfg.kernelThreads,
-            cfg.l2.interconnectLatency, cfg.l2.busBeatCycles);
+            ShardLookahead::fromConfig(cfg));
     }
     // With the sharded kernel, uncore components live on the uncore
     // shard's queue and each L1 on its core's queue; serially there
@@ -232,9 +232,19 @@ CmpSystem::buildSharded()
         static_cast<ParallelL2Port &>(*corePorts_[core])
             .applyOcc(bank, occ);
     });
+    // Version gate: occupancy can only differ from the last publish
+    // when some SGB in the bank changed size, so an unchanged version
+    // skips the whole per-thread probe pass (it runs twice per uncore
+    // cycle).  publishOcc still dedups per (core, bank), so the
+    // message stream is identical to the ungated probe.
+    sgbVerSeen_.assign(l2_->numBanks(), 0);
     psim_->setUncorePhaseHook([this](Cycle eff) {
         for (unsigned b = 0; b < l2_->numBanks(); ++b) {
             const L2Bank &bank = l2_->bank(b);
+            const std::uint64_t v = bank.sgbOccVersion();
+            if (v == sgbVerSeen_[b])
+                continue;
+            sgbVerSeen_[b] = v;
             for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
                 psim_->publishOcc(
                     t, b, eff,

@@ -125,6 +125,9 @@ class CmpSystem
     const L2Cache &l2() const { return *l2_; }
     MemoryController &mem() { return *mem_; }
     const SystemConfig &config() const { return cfg; }
+
+    /** @return the sharded kernel, or nullptr when running serially. */
+    ShardedSimulator *shardedKernel() { return psim_.get(); }
     /// @}
 
     /**
@@ -185,6 +188,8 @@ class CmpSystem
     std::vector<std::unique_ptr<Cpu>> cpus;
     /** One per kernel (serial: 1; sharded: cores + 1); see --profile. */
     std::vector<std::unique_ptr<Profiler>> profilers_;
+    /** Last L2Bank::sgbOccVersion() seen by the uncore phase hook. */
+    std::vector<std::uint64_t> sgbVerSeen_;
 
     // Declared after the components so they are destroyed first:
     // the checkers and the dump callback hold references into them.

@@ -20,6 +20,35 @@ makeBaselineConfig(unsigned num_processors, ArbiterPolicy policy)
     return cfg;
 }
 
+SystemConfig
+makeScaledCmpConfig(unsigned num_processors, ArbiterPolicy policy)
+{
+    if (num_processors < 2 || num_processors > 32 ||
+        (num_processors & (num_processors - 1)) != 0) {
+        vpc_fatal("scaled CMP config needs a power-of-2 processor "
+                  "count in [2, 32], got {}", num_processors);
+    }
+    SystemConfig cfg;
+    cfg.numProcessors = num_processors;
+    cfg.arbiterPolicy = policy;
+    // One bank per two processors, 8 MB each: per-bank sets, ways and
+    // admission pressure match the Table 1 baseline, so scaling the
+    // machine scales the number of contention domains rather than
+    // reshaping each one.
+    cfg.l2.banks = num_processors / 2;
+    cfg.l2.sizeBytes = 8ULL * 1024 * 1024 * cfg.l2.banks;
+    // A crossbar serving more agents is deeper: 3/4/5 cycles at
+    // 8/16/32 processors (the 4-processor baseline uses 2).
+    cfg.l2.interconnectLatency =
+        num_processors >= 32 ? 5 : num_processors >= 16 ? 4
+        : num_processors >= 8 ? 3 : 2;
+    cfg.shares.assign(num_processors,
+                      QosShare{1.0 / num_processors,
+                               1.0 / num_processors});
+    cfg.validate();
+    return cfg;
+}
+
 Cycle
 ceilEven(double cycles)
 {

@@ -39,6 +39,25 @@ SystemConfig makeBaselineConfig(unsigned num_processors,
                                 ArbiterPolicy policy);
 
 /**
+ * @return a big-CMP scale-up of the Table 1 machine: @p num_processors
+ *         processors (8, 16 or 32), one L2 bank per two processors
+ *         (8 MB per bank, so per-bank capacity and set count match the
+ *         baseline), equal QoS shares, and an interconnect deepened
+ *         with machine size (3/4/5 cycles at 8/16/32 processors — a
+ *         crossbar serving more agents takes longer per hop).  The
+ *         deeper interconnect also widens the shard-parallel kernel's
+ *         conservative lookahead window (see ShardLookahead), so the
+ *         big configs synchronize shards less often per simulated
+ *         cycle than the 4-processor baseline.
+ *
+ * @pre num_processors is a power of 2 in [2, 32] (banks must be a
+ *      power of 2, and beta * ways must stay >= 1 way per thread
+ *      under equal shares)
+ */
+SystemConfig makeScaledCmpConfig(unsigned num_processors,
+                                 ArbiterPolicy policy);
+
+/**
  * Round @p cycles up to an even number of core cycles (the L2 runs at
  * half the core frequency, so occupancies are even).
  */

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -227,6 +228,115 @@ TEST(ParallelSmoke, FourWorkersShortRun)
     sys.run(8'000);
     EXPECT_EQ(sys.now(), 8'000u);
     EXPECT_GT(sys.kernelStats().eventsFired.value(), 0u);
+}
+
+/** Scoped VPC_KERNEL_FALLBACK override (restored on destruction). */
+class ScopedFallbackEnv
+{
+  public:
+    explicit ScopedFallbackEnv(const char *mode)
+    {
+        const char *old = ::getenv("VPC_KERNEL_FALLBACK");
+        if (old != nullptr) {
+            had_ = true;
+            old_ = old;
+        }
+        ::setenv("VPC_KERNEL_FALLBACK", mode, 1);
+    }
+    ~ScopedFallbackEnv()
+    {
+        if (had_)
+            ::setenv("VPC_KERNEL_FALLBACK", old_.c_str(), 1);
+        else
+            ::unsetenv("VPC_KERNEL_FALLBACK");
+    }
+
+  private:
+    bool had_ = false;
+    std::string old_;
+};
+
+TEST(ParallelDeterminism, FallbackModesAreModelInvisible)
+{
+    // The adaptive serial fallback (DESIGN.md 5h) is a scheduling
+    // decision: whether the run stays collapsed on one lane, splits
+    // across workers, or oscillates must never reach a model
+    // statistic.  Pin each mode via the environment knob and compare
+    // a 4-worker run against the serial kernel.
+    SystemConfig cfg = makeBaselineConfig(4, ArbiterPolicy::Vpc);
+    const std::vector<std::string> mix = {"art", "vpr", "mesa",
+                                          "crafty"};
+    RunDump serial = runOnce(cfg, specMix(mix), 1);
+    for (const char *mode : {"serial", "parallel", "adaptive"}) {
+        ScopedFallbackEnv env(mode);
+        RunDump par = runOnce(cfg, specMix(mix), 4);
+        SCOPED_TRACE(std::string("fallback=") + mode);
+        EXPECT_EQ(par.end, serial.end);
+        EXPECT_EQ(par.stats, serial.stats);
+        EXPECT_EQ(par.state, serial.state);
+        EXPECT_EQ(par.kernel.eventsFired.value(),
+                  serial.kernel.eventsFired.value());
+        EXPECT_EQ(par.kernel.ticksExecuted.value(),
+                  serial.kernel.ticksExecuted.value());
+    }
+}
+
+/** Shorter-run variant of expectDeterministic for the big machines. */
+void
+expectDeterministicLen(const SystemConfig &cfg, Cycle run_len,
+                       const char *label)
+{
+    // Cycle the scaled machine's threads through a heterogeneous mix.
+    const char *const names[] = {"art",  "mcf",  "mesa", "crafty",
+                                 "gzip", "swim", "vpr",  "gcc"};
+    auto build = [&] {
+        std::vector<std::unique_ptr<Workload>> wl;
+        for (unsigned t = 0; t < cfg.numProcessors; ++t)
+            wl.push_back(makeSpec2000(names[t % 8], (1ull << 40) * t,
+                                      t + 1));
+        return wl;
+    };
+    auto once = [&](unsigned threads) {
+        SystemConfig c = cfg;
+        c.kernelThreads = threads;
+        CmpSystem sys(c, build());
+        sys.run(run_len);
+        RunDump d;
+        std::ostringstream os;
+        dumpStats(sys, os, sys.now());
+        d.stats = os.str();
+        d.state = sys.dumpState();
+        d.end = sys.now();
+        d.kernel = sys.kernelStats();
+        return d;
+    };
+    RunDump serial = once(1);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        RunDump par = once(threads);
+        SCOPED_TRACE(std::string(label) + " threads=" +
+                     std::to_string(threads));
+        EXPECT_EQ(par.end, serial.end);
+        EXPECT_EQ(par.stats, serial.stats);
+        EXPECT_EQ(par.state, serial.state);
+        EXPECT_EQ(par.kernel.eventsFired.value(),
+                  serial.kernel.eventsFired.value());
+        EXPECT_EQ(par.kernel.ticksExecuted.value(),
+                  serial.kernel.ticksExecuted.value());
+    }
+}
+
+TEST(ParallelDeterminism, ScaledCmp16)
+{
+    expectDeterministicLen(
+        makeScaledCmpConfig(16, ArbiterPolicy::Vpc), 16'000,
+        "scaled-16");
+}
+
+TEST(ParallelDeterminism, ScaledCmp32)
+{
+    expectDeterministicLen(
+        makeScaledCmpConfig(32, ArbiterPolicy::Vpc), 10'000,
+        "scaled-32");
 }
 
 TEST(ParallelDeterminism, RepeatedRunsAreStable)

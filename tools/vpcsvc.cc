@@ -54,7 +54,10 @@ usage()
         "  --spool=DIR             job spool root (required)\n"
         "  --run-cache=DIR         result store (default: "
         "<spool>/cache)\n"
-        "  --threads=N             worker pool threads (default 2)\n"
+        "  --threads=N             worker pool threads (default: "
+        "auto --\n"
+        "                          VPC_SWEEP_THREADS if set, else all "
+        "cores)\n"
         "  --deadline-ms=MS        per-job wall budget; 0 = none "
         "(default 0)\n"
         "  --max-attempts=N        quarantine after N attempts "
