@@ -4,8 +4,10 @@
 #include <fstream>
 #include <thread>
 
+#include "sim/config.hh"
 #include "sim/format.hh"
 #include "sim/logging.hh"
+#include "sim/vec.hh"
 
 namespace vpc
 {
@@ -65,6 +67,13 @@ BenchReporter::setKernelThreads(unsigned kt)
 }
 
 void
+BenchReporter::setQuick(bool quick)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    quick_ = quick;
+}
+
+void
 BenchReporter::setExtraSection(std::string key, std::string raw_json)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -96,6 +105,17 @@ BenchReporter::machineInfo()
         double l1 = -1.0;
         if (loadavg >> l1)
             m.loadavg1m = l1;
+#if defined(__clang__)
+        m.compiler = format("clang {}.{}.{}", __clang_major__,
+                            __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+        m.compiler = format("gcc {}.{}.{}", __GNUC__, __GNUC_MINOR__,
+                            __GNUC_PATCHLEVEL__);
+#else
+        m.compiler = "unknown";
+#endif
+        m.simd = vec::kIsaName;
+        m.fuse = defaultKernelFuse();
         return m;
     }();
     return info;
@@ -209,6 +229,7 @@ BenchReporter::writeJson(const std::string &path) const
                  "  \"ticks_executed\": %llu,\n"
                  "  \"events_fired\": %llu,\n"
                  "  \"events_per_cycle\": %.4f,\n"
+                 "  \"quick\": %s,\n"
                  "  \"run_cache\": {\n"
                  "    \"hits\": %llu,\n"
                  "    \"misses\": %llu,\n"
@@ -218,7 +239,10 @@ BenchReporter::writeJson(const std::string &path) const
                  "  \"machine\": {\n"
                  "    \"nproc\": %u,\n"
                  "    \"cpu_model\": \"%s\",\n"
-                 "    \"loadavg_1m\": %.2f\n"
+                 "    \"loadavg_1m\": %.2f,\n"
+                 "    \"compiler\": \"%s\",\n"
+                 "    \"simd\": \"%s\",\n"
+                 "    \"fuse\": %s\n"
                  "  }",
                  name_.c_str(), wallMs(),
                  static_cast<unsigned long long>(runs_),
@@ -230,12 +254,16 @@ BenchReporter::writeJson(const std::string &path) const
                  static_cast<unsigned long long>(ticksExecuted_),
                  static_cast<unsigned long long>(eventsFired_),
                  eventsPerCycle(),
+                 quick_ ? "true" : "false",
                  static_cast<unsigned long long>(cacheHits_),
                  static_cast<unsigned long long>(cacheMisses_),
                  static_cast<unsigned long long>(cacheDiskHits_),
                  static_cast<unsigned long long>(cacheStoreErrors_),
                  m.nproc,
-                 jsonEscape(m.cpuModel).c_str(), m.loadavg1m);
+                 jsonEscape(m.cpuModel).c_str(), m.loadavg1m,
+                 jsonEscape(m.compiler).c_str(),
+                 jsonEscape(m.simd).c_str(),
+                 m.fuse ? "true" : "false");
     if (haveProfile_) {
         std::uint64_t ev_total = profile_.totalEventNs();
         double attributed = ev_total == 0

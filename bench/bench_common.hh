@@ -147,16 +147,31 @@ class BenchReporter
     void writeJson(const std::string &path = "") const;
 
     /**
-     * Host machine description, captured once per process: processor
-     * count, CPU model string (from /proc/cpuinfo when available) and
-     * the 1-minute load average.  Written into every bench JSON so
-     * cross-machine comparisons are detectable (see tools/bench_diff).
+     * Mark this report as a reduced-scale run (--quick).  Written as
+     * the JSON's "quick" field; tools/bench_diff refuses to gate a
+     * quick row against a full one (or vice versa) — their wall
+     * times are not comparable by construction.
+     */
+    void setQuick(bool quick);
+
+    /**
+     * Host machine and toolchain description, captured once per
+     * process: processor count, CPU model string (from /proc/cpuinfo
+     * when available), the 1-minute load average, the compiler
+     * id/version this binary was built with, the SoA-scan instruction
+     * set compiled in (src/sim/vec.hh) and whether fixed-latency
+     * event fusion is active (VPC_NO_FUSE).  Written into every bench
+     * JSON so cross-machine *and* cross-toolchain/flag comparisons
+     * are detectable (see tools/bench_diff).
      */
     struct MachineInfo
     {
         unsigned nproc = 0;
         std::string cpuModel; //!< empty when undeterminable
         double loadavg1m = -1.0; //!< negative when undeterminable
+        std::string compiler; //!< e.g. "gcc 12.2.0"
+        std::string simd;     //!< vec::kIsaName ("avx2", "scalar", ...)
+        bool fuse = true;     //!< defaultKernelFuse() at probe time
     };
 
     /** @return the host description (probed on first call). */
@@ -177,6 +192,7 @@ class BenchReporter
     Profiler profile_;       //!< merged across addProfile() calls
     bool haveProfile_ = false;
     unsigned kernelThreads_ = 1;
+    bool quick_ = false;
     std::string extraKey_;   //!< see setExtraSection()
     std::string extraJson_;
     std::uint64_t cacheHits_ = 0;

@@ -205,6 +205,11 @@ main(int argc, char **argv)
     BenchReporter rep(opt.smoke ? "headline_smoke"
                       : opt.quick ? "headline_quick" : "headline");
     rep.setKernelThreads(opt.kernelThreads);
+    // Stamp reduced-scale rows so bench_diff never wall-gates a
+    // quick row against a full one (--smoke already writes under a
+    // different bench name; --quick shares "headline_quick" but the
+    // stamp also guards hand-renamed rows).
+    rep.setQuick(opt.smoke || opt.quick);
     // Always-on in-process memoization (repeated private targets
     // collapse); --run-cache adds the cross-invocation disk store.
     RunCache cache(opt.runCacheDir);

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "sim/vec.hh"
 
 namespace vpc
 {
@@ -69,16 +70,11 @@ rowCandidateIndex(const Queue &queue, std::vector<Addr> &write_scratch)
             write_scratch.push_back(req.lineAddr);
             continue;
         }
-        bool blocked = false;
-        if (bloom & rowBloomBit(req.lineAddr)) {
-            for (Addr w : write_scratch) {
-                if (w == req.lineAddr) {
-                    blocked = true;
-                    break;
-                }
-            }
-        }
-        if (blocked)
+        // Bloom hit: confirm against the exact write set with a
+        // vectorized membership probe (the scratch is contiguous).
+        if ((bloom & rowBloomBit(req.lineAddr)) != 0 &&
+            vec::contains64(write_scratch.data(),
+                            write_scratch.size(), req.lineAddr))
             continue;
         if (!req.isPrefetch)
             return i; // oldest unblocked demand read wins outright

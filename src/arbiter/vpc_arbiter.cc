@@ -7,6 +7,7 @@
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "sim/vec.hh"
 
 namespace vpc
 {
@@ -132,16 +133,18 @@ VpcArbiter::select(Cycle now)
 
     // Earliest virtual finish time first (EDF); ties broken by global
     // arrival order so zero-share threads are FCFS among themselves.
-    bool found = false;
-    ThreadId best_t = 0;
-    std::size_t best_idx = 0;
-    double best_f = kInf;
-    SeqNum best_seq = 0;
-
+    //
     // Visit backlogged threads only (ascending t, as before, so the
     // (finish, seq) tie-break is unchanged).  Candidate indices are
     // cached per thread, so a thread whose buffer did not change since
-    // the last select costs one masked load, not a RoW rescan.
+    // the last select costs one masked load, not a RoW rescan.  The
+    // gather pass packs each eligible thread's (finish, seq) into
+    // flat arrays so the argmin itself runs vectorized.
+    double fin[kMaxThreads];
+    SeqNum seqs[kMaxThreads];
+    ThreadId tids[kMaxThreads];
+    std::uint32_t idxs[kMaxThreads];
+    unsigned cand = 0;
     for (std::uint64_t m = activeMask; m != 0; m &= m - 1) {
         auto t = static_cast<ThreadId>(std::countr_zero(m));
         if (!options.workConserving &&
@@ -152,18 +155,18 @@ VpcArbiter::select(Cycle now)
         }
         std::size_t idx = candidateIndex(t);
         const ArbRequest &req = buffers_[t][idx];
-        double f = rs_[t] + virtualService(t, req);
-        SeqNum seq = req.seq;
-        if (!found || f < best_f || (f == best_f && seq < best_seq)) {
-            found = true;
-            best_t = t;
-            best_idx = idx;
-            best_f = f;
-            best_seq = seq;
-        }
+        fin[cand] = rs_[t] + virtualService(t, req);
+        seqs[cand] = req.seq;
+        tids[cand] = t;
+        idxs[cand] = static_cast<std::uint32_t>(idx);
+        ++cand;
     }
-    if (!found)
+    if (cand == 0)
         return std::nullopt;
+    unsigned k = vec::argminF64Seq(fin, seqs, cand);
+    ThreadId best_t = tids[k];
+    std::size_t best_idx = idxs[k];
+    double best_f = fin[k];
 
     SmallRing<ArbRequest> &buf = buffers_[best_t];
     ArbRequest req = buf[best_idx];

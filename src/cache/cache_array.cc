@@ -29,8 +29,12 @@ CacheArray::CacheArray(std::uint64_t sets, unsigned ways,
     lineShift_ = log2i(lineBytes_);
     setShift_ = log2i(sets_);
     kind_ = policy_->kind();
-    tags_.assign(sets_ * ways_, 0);
-    stamps_.assign(sets_ * ways_, 0);
+    // The tag and stamp planes carry kWidth64 - 1 words of tail
+    // padding so the vectorized scans can load whole vectors from any
+    // set base without overreading the allocation (vec.hh's "padded"
+    // contract).  The padding is never addressed by a (set, way) pair.
+    tags_.assign(sets_ * ways_ + vec::kWidth64 - 1, 0);
+    stamps_.assign(sets_ * ways_ + vec::kWidth64 - 1, 0);
     owners_.assign(sets_ * ways_, kInvalidThread);
     validMask_.assign(sets_, 0);
     dirtyMask_.assign(sets_, 0);
@@ -115,19 +119,10 @@ CacheArray::setLines(std::uint64_t index) const
 unsigned
 CacheArray::minStampWay(std::uint64_t s, std::uint64_t mask) const
 {
-    // Ascending-way iteration with a strict compare reproduces the
-    // oracle's first-lowest-way tie-break exactly.
-    const std::uint64_t *st = &stamps_[s * ways_];
-    unsigned best = ways_;
-    std::uint64_t best_use = std::numeric_limits<std::uint64_t>::max();
-    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-        unsigned w = ctz64(m);
-        if (st[w] < best_use) {
-            best = w;
-            best_use = st[w];
-        }
-    }
-    return best;
+    // vec::minIndex64 resolves stamp ties to the lowest way,
+    // reproducing the oracle's ascending-scan first-lowest-way
+    // tie-break exactly.
+    return vec::minIndex64(&stamps_[s * ways_], mask, ways_);
 }
 
 unsigned
@@ -254,14 +249,13 @@ CacheArray::markDirty(Addr addr, ThreadId t)
     (void)t;
     std::uint64_t s = setIndex(addr);
     Addr tag = tagOf(addr);
-    const Addr *tags = &tags_[s * ways_];
-    for (std::uint64_t m = validMask_[s]; m != 0; m &= m - 1) {
-        unsigned w = ctz64(m);
-        if (tags[w] == tag) {
-            dirtyMask_[s] |= std::uint64_t{1} << w;
-            stamps_[s * ways_ + w] = ++useClock;
-            return true;
-        }
+    std::uint64_t eq = vec::eqMask64(&tags_[s * ways_], ways_, tag) &
+                       validMask_[s];
+    if (eq != 0) {
+        unsigned w = ctz64(eq);
+        dirtyMask_[s] |= std::uint64_t{1} << w;
+        stamps_[s * ways_ + w] = ++useClock;
+        return true;
     }
     return false;
 }
@@ -271,20 +265,18 @@ CacheArray::invalidate(Addr addr)
 {
     std::uint64_t s = setIndex(addr);
     Addr tag = tagOf(addr);
-    const Addr *tags = &tags_[s * ways_];
-    for (std::uint64_t m = validMask_[s]; m != 0; m &= m - 1) {
-        unsigned w = ctz64(m);
-        if (tags[w] == tag) {
-            std::uint64_t bit = std::uint64_t{1} << w;
-            validMask_[s] &= ~bit;
-            dirtyMask_[s] &= ~bit;
-            ThreadId owner = owners_[s * ways_ + w];
-            if (owner < maskThreads_)
-                ownerWays_[owner * sets_ + s] &= ~bit;
-            policy_->onEvict(owner);
-            bumpOcc(owner, -1);
-            return;
-        }
+    std::uint64_t eq = vec::eqMask64(&tags_[s * ways_], ways_, tag) &
+                       validMask_[s];
+    if (eq != 0) {
+        unsigned w = ctz64(eq);
+        std::uint64_t bit = std::uint64_t{1} << w;
+        validMask_[s] &= ~bit;
+        dirtyMask_[s] &= ~bit;
+        ThreadId owner = owners_[s * ways_ + w];
+        if (owner < maskThreads_)
+            ownerWays_[owner * sets_ + s] &= ~bit;
+        policy_->onEvict(owner);
+        bumpOcc(owner, -1);
     }
 }
 

@@ -30,6 +30,7 @@
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "sim/vec.hh"
 
 namespace vpc
 {
@@ -113,22 +114,41 @@ class CacheArray
         (void)t;
         std::uint64_t s = setIndex(addr);
         Addr tag = tagOf(addr);
-        const Addr *tags = &tags_[s * ways_];
-        // Stride-1 tag scan gated by the set's valid mask: iterate set
-        // bits only, so a half-filled set costs half the compares.
-        for (std::uint64_t m = validMask_[s]; m != 0; m &= m - 1) {
-            unsigned w = ctz64(m);
-            if (tags[w] == tag) {
-                if (touch) {
-                    stamps_[s * ways_ + w] = ++useClock;
-                    hits.inc();
-                }
-                return true;
+        // Way-parallel tag compare gated by the set's valid mask (the
+        // tag plane is padded so whole-vector loads never overread).
+        // At most one valid way can match, so the lowest set bit is
+        // the scalar scan's first hit.
+        std::uint64_t eq =
+            vec::eqMask64(&tags_[s * ways_], ways_, tag) &
+            validMask_[s];
+        if (eq != 0) {
+            if (touch) {
+                stamps_[s * ways_ + ctz64(eq)] = ++useClock;
+                hits.inc();
             }
+            return true;
         }
         if (touch)
             misses.inc();
         return false;
+    }
+
+    /**
+     * Hint the host prefetcher at the set that will service @p addr.
+     * The L2 tag/stamp planes are megabytes, so the tag-pipeline
+     * completion that runs several simulated cycles after admission
+     * takes a host cache miss on its first touch of the set's row;
+     * issuing the prefetch when the request is admitted overlaps that
+     * miss with the intervening simulation work.  Observe-only: no
+     * model state changes.
+     */
+    void
+    prefetchSet(Addr addr) const
+    {
+        std::uint64_t s = setIndex(addr);
+        __builtin_prefetch(&tags_[s * ways_]);
+        __builtin_prefetch(&stamps_[s * ways_]);
+        __builtin_prefetch(&validMask_[s]);
     }
 
     /**

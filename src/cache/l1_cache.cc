@@ -38,13 +38,18 @@ L1DCache::freeMshr() const
 L1DCache::LoadResult
 L1DCache::load(Addr addr, Cycle now, LoadCallback cb)
 {
-    Addr line = lineAlign(addr, cfg.lineBytes);
-    if (tags.lookup(addr, true, thread)) {
-        hits.inc();
-        events.schedule(now + cfg.hitLatency, std::move(cb));
+    if (probeTouch(addr)) {
+        completeHit();
+        scheduleHit(now, std::move(cb));
         return LoadResult::Hit;
     }
+    return loadMiss(addr, now, std::move(cb));
+}
 
+L1DCache::LoadResult
+L1DCache::loadMiss(Addr addr, Cycle now, LoadCallback cb)
+{
+    Addr line = lineAlign(addr, cfg.lineBytes);
     int idx = findMshr(line);
     if (idx >= 0) {
         // Secondary miss: merge with the outstanding fetch.

@@ -21,6 +21,7 @@
 #include "cache/prefetcher.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fused_chain.hh"
 #include "sim/stats.hh"
 
 namespace vpc
@@ -63,6 +64,37 @@ class L1DCache
      * @return hit/miss/blocked
      */
     LoadResult load(Addr addr, Cycle now, LoadCallback cb);
+
+    /**
+     * @name Split load path (the core's issue stage)
+     *
+     * The CPU probes once with probeTouch() — exactly the tag/LRU/
+     * statistics effects of load()'s internal lookup — and then either
+     * completes the hit itself (completeHit() plus its fused hit lane,
+     * or scheduleHit() on the event path) or takes the miss path via
+     * loadMiss(), which skips the redundant re-probe.  load() remains
+     * the single-call form for standalone users.
+     */
+    /// @{
+    /** Touching probe: @return hit, with load()'s lookup side effects. */
+    bool probeTouch(Addr addr) { return tags.lookup(addr, true, thread); }
+
+    /** Count a hit whose completion the caller delivers (fused lane). */
+    void completeHit() { hits.inc(); }
+
+    /** Schedule the unfused hit completion at the hit latency. */
+    void
+    scheduleHit(Cycle now, LoadCallback cb)
+    {
+        events.schedule(now + cfg.hitLatency, std::move(cb));
+    }
+
+    /** @return the constant hit latency (the fused lane's due offset). */
+    Cycle hitLatency() const { return cfg.hitLatency; }
+
+    /** load() for an address probeTouch() just missed: no re-probe. */
+    LoadResult loadMiss(Addr addr, Cycle now, LoadCallback cb);
+    /// @}
 
     /**
      * Perform a store (write-through, no-write-allocate).  Updates the

@@ -119,6 +119,9 @@ L2Bank::L2Bank(const SystemConfig &cfg_, unsigned bank_index,
             Cycle critical = start + cfg.l2.busBeatCycles;
             if (fillPort) {
                 fillPort(sm.thread, sm.lineAddr, critical);
+            } else if (respLane != nullptr) {
+                respLane->push(critical, events.profileContext(),
+                               RespMsg{this, sm.thread, sm.lineAddr});
             } else {
                 events.schedule(critical,
                     [this, t = sm.thread, la = sm.lineAddr]() {
@@ -251,6 +254,10 @@ L2Bank::tryAdmit(ThreadId t, Cycle now)
         return false;
     }
 
+    // The tag pipeline touches this line's set a few cycles from now;
+    // start pulling its plane rows into the host cache already.
+    tags.prefetchSet(line_addr);
+
     // A request may not enter the controller pipeline while another
     // request to the same line is active (consistency check).
     if (lineConflict(line_addr))
@@ -357,7 +364,10 @@ L2Bank::memReturn(unsigned sm_idx, Cycle now)
     sm.pendingOps = sm.isWrite ? 1 : 2;
     if (!sm.isWrite)
         requestResource(*busRes, sm_idx, false, now);
-    // The fill's tag install is a tag-state read-modify-write.
+    // The fill's tag install is a tag-state read-modify-write; it
+    // revisits the set after the tag-array grant, so prefetch the
+    // set's plane rows now.
+    tags.prefetchSet(sm.lineAddr);
     requestResource(*tagRes, sm_idx, true, now);
 }
 
@@ -454,8 +464,14 @@ L2Bank::tick(Cycle now)
     }
 
     // Admit one request per L2 cycle, round-robin across threads.
+    // With no queued load and an empty gathering buffer a thread has
+    // no candidate and tryAdmit() is a side-effect-free false, so the
+    // inline emptiness check skips the call entirely.
     for (unsigned i = 0; i < numThreads; ++i) {
         ThreadId t = (admissionRR + i) % numThreads;
+        const ThreadPort &port = ports[t];
+        if (port.loadQueue.empty() && port.sgb->empty())
+            continue;
         if (tryAdmit(t, now)) {
             admissionRR = (t + 1) % numThreads;
             break;

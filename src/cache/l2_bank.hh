@@ -43,6 +43,7 @@
 #include "mem/memory_controller.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fused_chain.hh"
 #include "sim/ring.hh"
 #include "sim/stats.hh"
 
@@ -85,6 +86,46 @@ class L2Bank
 
     /** Install the shard-parallel fill path (nullptr to remove). */
     void setFillPort(FillPort p);
+
+    /**
+     * @name Fused serial response lane
+     *
+     * The critical word always trails the bus grant by exactly
+     * busBeatCycles and the response handler is a pure L1/core-state
+     * write, so the lane replays the event path exactly from plain
+     * (bank, thread, line) records — no closure.  Counted: the
+     * sharded kernel delivers these as real fill events.  Serial
+     * kernel only — with a fill port installed the lane is never
+     * consulted.
+     */
+    /// @{
+    struct RespMsg
+    {
+        L2Bank *bank;
+        ThreadId thread;
+        Addr lineAddr;
+    };
+    struct RespSink
+    {
+        void
+        operator()(Cycle, const RespMsg &m) const
+        {
+            m.bank->deliverResponse(m.thread, m.lineAddr);
+        }
+    };
+    using ResponseLane = DataLane<RespMsg, RespSink>;
+
+    /** Route responses through @p lane (nullptr to revert). */
+    void setResponseLane(ResponseLane *lane) { respLane = lane; }
+
+    /** Invoke the response handler (a drained lane record's body). */
+    void
+    deliverResponse(ThreadId t, Addr line_addr)
+    {
+        if (respond)
+            respond(t, line_addr);
+    }
+    /// @}
 
     /**
      * Reserve store-buffer space for a store entering the crossbar.
@@ -283,6 +324,7 @@ class L2Bank
     SeqNum nextSeq = 0;
     ResponseHandler respond;
     FillPort fillPort;
+    ResponseLane *respLane = nullptr; //!< fused serial response path
 };
 
 } // namespace vpc

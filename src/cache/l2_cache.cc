@@ -59,12 +59,16 @@ L2Cache::store(ThreadId t, Addr addr, Cycle now)
     L2Bank &bank = *banks[bankOf(addr)];
     if (!bank.tryReserveStore(t))
         return false;
-    events.schedule(now + cfg.l2.interconnectLatency,
-                    [&bank, t, line, now, this]() {
-                        bank.storeArrive(t, line,
-                                         now +
-                                         cfg.l2.interconnectLatency);
-                    });
+    Cycle arrive = now + cfg.l2.interconnectLatency;
+    if (transitLane != nullptr) {
+        transitLane->push(arrive, events.profileContext(),
+                          TransitMsg{&bank, line, t,
+                                     /*isStore=*/true, false});
+    } else {
+        events.schedule(arrive, [&bank, t, line, arrive]() {
+            bank.storeArrive(t, line, arrive);
+        });
+    }
     return true;
 }
 
@@ -77,13 +81,16 @@ L2Cache::load(ThreadId t, Addr addr, Cycle now, bool prefetch)
         return;
     }
     L2Bank &bank = *banks[bankOf(addr)];
-    events.schedule(now + cfg.l2.interconnectLatency,
-                    [&bank, t, line, now, prefetch, this]() {
-                        bank.loadArrive(t, line,
-                                        now +
-                                        cfg.l2.interconnectLatency,
-                                        prefetch);
-                    });
+    Cycle arrive = now + cfg.l2.interconnectLatency;
+    if (transitLane != nullptr) {
+        transitLane->push(arrive, events.profileContext(),
+                          TransitMsg{&bank, line, t,
+                                     /*isStore=*/false, prefetch});
+    } else {
+        events.schedule(arrive, [&bank, t, line, arrive, prefetch]() {
+            bank.loadArrive(t, line, arrive, prefetch);
+        });
+    }
 }
 
 void

@@ -80,6 +80,44 @@ class L2Cache : public Ticking
     void setFillPort(L2Bank::FillPort p);
 
     /**
+     * @name Fused serial crossbar transit lane
+     *
+     * The crossbar latency is a configuration constant and arrivals
+     * are pure bank-queue writes consumed by later bank ticks, so the
+     * lane replays the event path exactly from plain (bank, line,
+     * thread, kind) records — no closure.  Counted: the sharded
+     * kernel fires these as real cross-shard events, and eventsFired
+     * must agree between kernels.  Serial kernel only — with core
+     * ports installed the lane is never consulted.
+     */
+    /// @{
+    struct TransitMsg
+    {
+        L2Bank *bank;
+        Addr lineAddr;
+        ThreadId thread;
+        bool isStore;
+        bool prefetch;
+    };
+    struct TransitSink
+    {
+        void
+        operator()(Cycle when, const TransitMsg &m) const
+        {
+            if (m.isStore)
+                m.bank->storeArrive(m.thread, m.lineAddr, when);
+            else
+                m.bank->loadArrive(m.thread, m.lineAddr, when,
+                                   m.prefetch);
+        }
+    };
+    using TransitLane = DataLane<TransitMsg, TransitSink>;
+
+    /** Route crossbar transits through @p lane (nullptr to revert). */
+    void setTransitLane(TransitLane *lane) { transitLane = lane; }
+    /// @}
+
+    /**
      * Issue a store from core @p t.
      *
      * @return false if the target bank's gathering buffer is full; the
@@ -140,6 +178,7 @@ class L2Cache : public Ticking
     EventQueue &events;
     std::vector<std::unique_ptr<L2Bank>> banks;
     std::vector<L2CorePort *> corePorts;
+    TransitLane *transitLane = nullptr; //!< fused serial crossbar
 };
 
 } // namespace vpc

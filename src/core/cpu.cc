@@ -8,8 +8,11 @@ namespace vpc
 Cpu::Cpu(const CoreConfig &cfg_, ThreadId thread_, Workload &workload_,
          L1DCache &l1_, L2Cache &l2_)
     : cfg(cfg_), thread(thread_), workload(workload_), l1(l1_),
-      l2(l2_), rng(0xc0ffee + thread_, 0xabcd1234 + thread_)
-{}
+      l2(l2_), rng(0xc0ffee + thread_, 0xabcd1234 + thread_),
+      lsuRejectB_(cfg.lsuRejectProb)
+{
+    waitQ_.reserve(cfg.loadQueueEntries);
+}
 
 Cycle
 Cpu::nextWork(Cycle now) const
@@ -25,7 +28,7 @@ Cpu::nextWork(Cycle now) const
     }
     // Issue scans for waiting loads; any such load consumes a port
     // and may draw from the RNG, even if it ends up rejected.
-    if (waitingLoads > 0)
+    if (!waitQ_.empty())
         return now;
     // Dispatch acts unless structurally blocked with the next op
     // already in the block buffer (an empty buffer means dispatch
@@ -103,57 +106,64 @@ Cpu::depSatisfied(const RobEntry &entry) const
 void
 Cpu::issueStage(Cycle now)
 {
-    if (waitingLoads == 0)
-        return; // nothing issuable; skip the ROB walk entirely
+    if (waitQ_.empty())
+        return; // nothing issuable
     unsigned ports_used = 0;
-    unsigned waiting_left = waitingLoads;
     SeqNum base = rob.front().seq;
-    std::size_t i = issueScanSeq > base ? issueScanSeq - base : 0;
-    SeqNum first_still_waiting = 0;
-    for (; i < rob.size(); ++i) {
-        if (ports_used >= cfg.lsuPorts || waiting_left == 0)
+    // Walk the waiting-load list in program order, compacting out the
+    // loads that issue; the ones that stay behind (dependence not yet
+    // satisfied, LSU reject, MSHRs full) keep their relative order.
+    std::size_t r = 0;
+    std::size_t w = 0;
+    for (; r < waitQ_.size(); ++r) {
+        if (ports_used >= cfg.lsuPorts)
             break;
-        RobEntry &e = rob[i];
-        if (e.op.kind != MicroOp::Kind::Load ||
-            e.state != State::Waiting) {
-            continue;
-        }
-        --waiting_left; // seen (whether or not it issues below)
+        RobEntry &e = rob[waitQ_[r] - base];
         if (!depSatisfied(e)) {
-            if (first_still_waiting == 0)
-                first_still_waiting = e.seq;
+            waitQ_[w++] = waitQ_[r];
             continue;
         }
         ++ports_used;
-        if (!l1.wouldHit(e.op.addr) &&
-            rng.chance(cfg.lsuRejectProb)) {
+        // One touching probe decides hit/miss up front.  This is
+        // load()'s internal lookup hoisted above the reject draw: the
+        // LRU touch only happens on a hit (where no RNG is consulted)
+        // and a miss leaves the array untouched, so state and the RNG
+        // sequence are identical to probing after the draw.
+        bool hit = l1.probeTouch(e.op.addr);
+        if (!hit && rng.chance(lsuRejectB_)) {
             // LSU reject on an L1 miss (LMQ allocation): the issue
             // slot is wasted and the load retries later, perturbing
             // the order loads reach the L2 and capping miss issue
             // bandwidth -- the 970 behaviour behind the Loads
             // benchmark's sub-100% utilization at >= 4 banks (Fig. 5).
             lsuRejects.inc();
-            if (first_still_waiting == 0)
-                first_still_waiting = e.seq;
+            waitQ_[w++] = waitQ_[r];
             continue;
         }
-        L1DCache::LoadResult res =
-            l1.load(e.op.addr, now,
-                    [this, seq = e.seq]() { complete(seq); });
-        if (res == L1DCache::LoadResult::Blocked) {
+        if (hit) {
+            l1.completeHit();
+            if (hitFused_)
+                hitLane_.push(now + l1.hitLatency(), e.seq);
+            else
+                l1.scheduleHit(now, [this, seq = e.seq]() {
+                    complete(seq);
+                });
+        } else if (l1.loadMiss(e.op.addr, now,
+                               [this, seq = e.seq]() {
+                                   complete(seq);
+                               }) == L1DCache::LoadResult::Blocked) {
             // all MSHRs busy; slot wasted, retry later
-            if (first_still_waiting == 0)
-                first_still_waiting = e.seq;
+            waitQ_[w++] = waitQ_[r];
             continue;
         }
         e.state = State::Issued;
-        --waitingLoads;
     }
-    // Advance the hint to the oldest load that is still Waiting, or
-    // past everything examined when none was left behind.
-    issueScanSeq = first_still_waiting != 0
-                   ? first_still_waiting
-                   : (i < rob.size() ? rob[i].seq : nextSeq);
+    if (w != r) {
+        // Keep the unexamined tail (ports ran out before the end).
+        while (r < waitQ_.size())
+            waitQ_[w++] = waitQ_[r++];
+        waitQ_.resize(w);
+    }
 }
 
 void
@@ -187,7 +197,8 @@ Cpu::dispatchStage(Cycle now)
             break;
         }
 
-        RobEntry entry;
+        bool was_empty = rob.empty();
+        RobEntry &entry = rob.emplace_back();
         entry.op = head;
         entry.op.dependsOnPrevLoad = fetchDeps_[fetchPos_] != 0;
         ++fetchPos_;
@@ -196,7 +207,7 @@ Cpu::dispatchStage(Cycle now)
         switch (entry.op.kind) {
           case MicroOp::Kind::Load:
             ++loadsInRob;
-            ++waitingLoads;
+            waitQ_.push_back(entry.seq);
             lastLoadSeq = entry.seq;
             break;
           case MicroOp::Kind::Store:
@@ -208,9 +219,8 @@ Cpu::dispatchStage(Cycle now)
             entry.state = State::Done;
             break;
         }
-        if (rob.empty())
+        if (was_empty)
             oldestInRob = entry.seq;
-        rob.push_back(std::move(entry));
     }
 }
 

@@ -25,10 +25,12 @@
 #define VPC_CORE_CPU_HH
 
 #include <array>
+#include <vector>
 
 #include "cache/l1_cache.hh"
 #include "cache/l2_cache.hh"
 #include "sim/config.hh"
+#include "sim/fused_chain.hh"
 #include "sim/random.hh"
 #include "sim/ring.hh"
 #include "sim/simulator.hh"
@@ -92,6 +94,38 @@ class Cpu : public Ticking
     /** @return this thread's id. */
     ThreadId threadId() const { return thread; }
 
+    /**
+     * @name Fused L1 hit completion lane
+     *
+     * The hit hop is (constant hitLatency, one SeqNum to complete) —
+     * pure data, no closure.  The system builder registers hitChain()
+     * with the owning kernel (serial addFusedChain / sharded
+     * addCoreChain on this core's shard) and flips setHitFused(true);
+     * issueStage then pushes (due, seq) records instead of scheduling
+     * an event, and the kernel's drain completes them the cycle the
+     * event would have fired.  Left unfused (unit tests, VPC_NO_FUSE)
+     * the hit completion is an ordinary event via L1::scheduleHit.
+     */
+    /// @{
+    /** Drained-record consumer: completes the recorded load. */
+    struct HitSink
+    {
+        Cpu *cpu;
+        void
+        operator()(Cycle, const SeqNum &seq) const
+        {
+            cpu->complete(seq);
+        }
+    };
+    using HitLane = DataLane<SeqNum, HitSink>;
+
+    /** @return the lane, for kernel registration (uncounted). */
+    FusedChain *hitChain() { return &hitLane_; }
+
+    /** Route hit completions through the lane (default: events). */
+    void setHitFused(bool on) { hitFused_ = on; }
+    /// @}
+
   private:
     enum class State
     {
@@ -140,6 +174,7 @@ class Cpu : public Ticking
     L1DCache &l1;
     L2Cache &l2;
     Rng rng;
+    Bernoulli lsuRejectB_; //!< cfg.lsuRejectProb in threshold form
 
     SmallRing<RobEntry> rob;
     /** @name Fetch block buffer (refilled via Workload::nextBlock) */
@@ -155,15 +190,18 @@ class Cpu : public Ticking
     SeqNum oldestInRob = 1;    //!< seq of the ROB head (retire frontier)
     unsigned loadsInRob = 0;
     unsigned storesInRob = 0;
-    unsigned waitingLoads = 0; //!< dispatched loads not yet issued
     /**
-     * Issue-scan start hint: every ROB entry with seq below this is
-     * known not to be a Waiting load.  Exact, not heuristic: states
-     * only move Waiting -> Issued -> Done and new Waiting entries only
-     * append at the back, so once a prefix is verified waiting-free it
-     * stays waiting-free and issueStage() need never rescan it.
+     * Dispatched loads not yet issued, in program order.  Exact
+     * mirror of the Waiting loads in the ROB: dispatch appends, issue
+     * compacts out the entries it issues (a Waiting load can neither
+     * complete nor retire, so membership changes nowhere else).  The
+     * issue stage visits the same loads in the same order as a ROB
+     * walk would, without touching the non-load entries in between.
      */
-    SeqNum issueScanSeq = 0;
+    std::vector<SeqNum> waitQ_;
+
+    HitLane hitLane_{/*counted=*/false, HitSink{this}};
+    bool hitFused_ = false; //!< hit completions ride hitLane_
 
     Counter retired;
     Counter loads;

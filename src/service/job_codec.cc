@@ -89,6 +89,7 @@ walkConfigScalars(U &&u, C &cfg)
 
     u(cfg.kernelSkip);
     u(cfg.kernelThreads);
+    u(cfg.kernelFuse);
     u(cfg.allowUnallocatedShares);
     u(cfg.vpcIntraThreadRow);
     u(cfg.vpcIdleReset);

@@ -161,6 +161,13 @@ class EventQueue
     void setProfileContext(Profiler::ComponentId id) { profCtx_ = id; }
 
     /**
+     * @return the owner context an event scheduled right now would be
+     * billed to.  Fused chains (sim/fused_chain.hh) capture it at push
+     * time so counted lane drains bill exactly like the event path.
+     */
+    Profiler::ComponentId profileContext() const { return profCtx_; }
+
+    /**
      * Schedule a callable under an explicit ordering key (the sharded
      * kernel constructs keys that replicate the sequential global
      * insertion order; see sim/sched_key.hh).

@@ -11,12 +11,58 @@
 #ifndef VPC_SIM_RANDOM_HH
 #define VPC_SIM_RANDOM_HH
 
+#include <cmath>
 #include <cstdint>
 
 #include "sim/logging.hh"
 
 namespace vpc
 {
+
+/**
+ * Precomputed integer-threshold form of Rng::chance(p).
+ *
+ * chance(p) evaluates `next32() * 2^-32 < p` in double.  Both sides
+ * are exact: a 32-bit integer scaled by a power of two only adjusts
+ * the exponent, and p is whatever double the caller holds.  The
+ * comparison therefore equals the real-number comparison
+ * `next32() < p * 2^32`, whose right side is again computed exactly
+ * and whose ceiling fits in 33 bits.  So `next32() < ceil(p * 2^32)`
+ * reproduces chance(p) bit-for-bit while replacing the per-draw
+ * convert/multiply/float-compare with one integer compare.  Callers
+ * that test the same probability millions of times (workload
+ * synthesis, the LSU reject draw) build the threshold once.
+ *
+ * Identity also requires preserving the *number of draws consumed*:
+ * chance(p) short-circuits p <= 0 and p >= 1 without advancing the
+ * generator, so those cases get sentinel encodings that answer
+ * without a draw.  (A p just under 1 whose ceiling is exactly 2^32
+ * is distinct from the p >= 1 case: it still consumes its draw.)
+ */
+class Bernoulli
+{
+  public:
+    /** Sentinel: certainly true, and no draw is consumed. */
+    static constexpr std::uint64_t kCertain = ~std::uint64_t{0};
+
+    Bernoulli() = default;
+
+    explicit Bernoulli(double p)
+    {
+        if (p <= 0.0)
+            thr_ = 0; // never true, no draw consumed
+        else if (p >= 1.0)
+            thr_ = kCertain;
+        else
+            thr_ = static_cast<std::uint64_t>(
+                std::ceil(p * 4294967296.0)); // in [1, 2^32]
+    }
+
+    std::uint64_t threshold() const { return thr_; }
+
+  private:
+    std::uint64_t thr_ = 0; //!< draw < thr_ <=> chance(p) true
+};
 
 /**
  * PCG32 (O'Neill) pseudo-random generator.
@@ -84,6 +130,22 @@ class Rng
         if (p >= 1.0)
             return true;
         return uniform() < p;
+    }
+
+    /**
+     * @return true with the probability @p b was built from;
+     * bit-identical to chance(p), including the draws consumed
+     * (see Bernoulli).
+     */
+    bool
+    chance(const Bernoulli &b)
+    {
+        std::uint64_t t = b.threshold();
+        if (t == 0)
+            return false; // chance(p <= 0): no draw
+        if (t == Bernoulli::kCertain)
+            return true; // chance(p >= 1): no draw
+        return next32() < t;
     }
 
     /**

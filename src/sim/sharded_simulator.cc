@@ -120,10 +120,23 @@ ShardedSimulator::addUncoreTicking(Ticking *t, std::string name)
 }
 
 void
+ShardedSimulator::addCoreChain(unsigned core, FusedChain *c)
+{
+    Shard &sh = *shards_.at(core);
+    sh.chains.push_back(c);
+    c->setProfiler(sh.prof);
+    c->setDueHook(&sh.chainsDue);
+    if (c->nextDue() < sh.chainsDue)
+        sh.chainsDue = c->nextDue();
+}
+
+void
 ShardedSimulator::installProfiler(Shard &sh, Profiler *p)
 {
     sh.prof = p;
     sh.queue.setProfiler(p);
+    for (FusedChain *c : sh.chains)
+        c->setProfiler(p);
     sh.ids.clear();
     if (p != nullptr) {
         sh.ids.reserve(sh.comps.size());
@@ -320,6 +333,8 @@ Cycle
 ShardedSimulator::nextActivity(const Shard &sh) const
 {
     Cycle next = sh.queue.nextEventCycle();
+    if (sh.chainsDue < next)
+        next = sh.chainsDue;
     if (next <= sh.nextCycle)
         return next; // due now: the component sweep cannot lower it
     for (Ticking *t : sh.comps) {
@@ -353,6 +368,24 @@ ShardedSimulator::execCycle(std::size_t s, Shard &sh,
     sh.stats.eventsFired.inc(fired);
     if (work != nullptr)
         *work += fired;
+    if (sh.chainsDue <= c) {
+        // Cached earliest-due hit: drain, then re-derive the exact
+        // minimum (drained handlers may push records due strictly
+        // later into any of this shard's lanes).
+        sh.chainsDue = kCycleMax;
+        for (FusedChain *ch : sh.chains) {
+            std::uint64_t n = ch->drain(c);
+            if (ch->counted())
+                sh.stats.eventsFired.inc(n);
+            if (work != nullptr)
+                *work += n;
+        }
+        for (const FusedChain *ch : sh.chains) {
+            Cycle d = ch->nextDue();
+            if (d < sh.chainsDue)
+                sh.chainsDue = d;
+        }
+    }
     if (s == cores_ && fired > 0 && phaseHook_)
         phaseHook_(c);
     std::size_t ticked = 0;
@@ -835,8 +868,11 @@ std::size_t
 ShardedSimulator::queuedEvents() const
 {
     std::size_t n = 0;
-    for (const auto &sh : shards_)
+    for (const auto &sh : shards_) {
         n += sh->queue.size();
+        for (const FusedChain *c : sh->chains)
+            n += c->pending();
+    }
     return n;
 }
 

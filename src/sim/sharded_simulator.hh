@@ -64,6 +64,7 @@
 
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fused_chain.hh"
 #include "sim/shard.hh"
 #include "sim/simulator.hh"
 #include "sim/spsc.hh"
@@ -173,6 +174,16 @@ class ShardedSimulator
      * @p name labels the component in --profile reports.
      */
     void addUncoreTicking(Ticking *t, std::string name = {});
+
+    /**
+     * Register a fused fixed-latency chain on core shard @p core (see
+     * sim/fused_chain.hh).  Fusion must respect shard boundaries: a
+     * chain's producer and consumer must both live on that shard (the
+     * L1 hit-completion lane — CPU to its own private L1 and back).
+     * Drained after the shard's events fire each executed cycle, in
+     * registration order.  Not owned; must outlive the run.
+     */
+    void addCoreChain(unsigned core, FusedChain *c);
 
     /**
      * Install a cycle-attribution profiler on core shard @p core
@@ -289,6 +300,8 @@ class ShardedSimulator
         EventQueue queue;
         KeySource key;
         std::vector<Ticking *> comps;
+        std::vector<FusedChain *> chains; //!< drained after runDue
+        Cycle chainsDue = kCycleMax; //!< earliest fused entry due
         std::vector<std::string> names;  //!< profile labels, parallel
         std::vector<Profiler::ComponentId> ids; //!< profiler accounts
         Profiler *prof = nullptr;        //!< null unless --profile

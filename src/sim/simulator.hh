@@ -41,6 +41,7 @@
 
 #include "sim/cancel.hh"
 #include "sim/event_queue.hh"
+#include "sim/fused_chain.hh"
 #include "sim/profiler.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -135,6 +136,8 @@ class Simulator
     {
         prof_ = p;
         queue.setProfiler(p);
+        for (FusedChain *c : chains_)
+            c->setProfiler(p);
         ids_.clear();
         if (p != nullptr) {
             ids_.reserve(components.size());
@@ -144,6 +147,34 @@ class Simulator
                                       : names_[i]));
             }
         }
+    }
+
+    /**
+     * Register a fused fixed-latency chain (see sim/fused_chain.hh).
+     * Every cycle the kernel drains the chain's due entries right
+     * after the event queue fires, in registration order.  Not owned;
+     * must outlive the simulator run.  Register chains in the order
+     * their entries would have been scheduled within a producing
+     * cycle, so drains replay the event queue's insertion order.
+     */
+    void
+    addFusedChain(FusedChain *c)
+    {
+        chains_.push_back(c);
+        c->setProfiler(prof_);
+        c->setDueHook(&chainsDue_);
+        if (c->nextDue() < chainsDue_)
+            chainsDue_ = c->nextDue();
+    }
+
+    /** @return pending events including undrained fused-chain entries. */
+    std::size_t
+    pendingEvents() const
+    {
+        std::size_t n = queue.size();
+        for (const FusedChain *c : chains_)
+            n += c->pending();
+        return n;
     }
 
     /**
@@ -193,6 +224,7 @@ class Simulator
     step()
     {
         kernel_.eventsFired.inc(queue.runDue(cycle_));
+        drainChains();
         if (prof_ != nullptr) {
             for (std::size_t i = 0; i < components.size(); ++i)
                 profiledTick(i, cycle_);
@@ -226,6 +258,7 @@ class Simulator
         while (cycle_ < end) {
             checkCancelled();
             kernel_.eventsFired.inc(queue.runDue(cycle_));
+            drainChains();
             // Active set: poll each hint immediately before the
             // component's slot so feeds from events and from earlier
             // components this cycle are already visible.
@@ -242,8 +275,12 @@ class Simulator
             kernel_.cyclesExecuted.inc();
             ++cycle_;
             // Fast-forward: nothing can happen before the earliest of
-            // the next event and every component's next work cycle.
+            // the next event, the next fused-chain entry (the cached
+            // minimum — pushes min-update it, drains re-derive it),
+            // and every component's next work cycle.
             Cycle next = queue.nextEventCycle();
+            if (chainsDue_ < next)
+                next = chainsDue_;
             if (next <= cycle_)
                 continue; // an event is already due — no skip possible
             for (Ticking *t : components) {
@@ -276,6 +313,32 @@ class Simulator
         }
     }
 
+    /**
+     * Drain every fused chain's entries due this cycle.  One compare
+     * on the cached earliest-due cycle in the common (nothing due)
+     * case; a due drain re-derives the exact minimum afterwards, in a
+     * second pass so pushes made *by* drained handlers (always due
+     * strictly later — lane latencies are positive constants) are
+     * observed no matter which lane they landed in.
+     */
+    void
+    drainChains()
+    {
+        if (chainsDue_ > cycle_)
+            return;
+        chainsDue_ = kCycleMax;
+        for (FusedChain *c : chains_) {
+            std::uint64_t n = c->drain(cycle_);
+            if (c->counted())
+                kernel_.eventsFired.inc(n);
+        }
+        for (const FusedChain *c : chains_) {
+            Cycle d = c->nextDue();
+            if (d < chainsDue_)
+                chainsDue_ = d;
+        }
+    }
+
     /** Timed tick of component @p i with its owner context active. */
     void
     profiledTick(std::size_t i, Cycle now)
@@ -299,6 +362,8 @@ class Simulator
 
     EventQueue queue;
     std::vector<Ticking *> components;
+    std::vector<FusedChain *> chains_;    //!< drained after runDue
+    Cycle chainsDue_ = kCycleMax;         //!< earliest fused entry due
     std::vector<std::string> names_;      //!< profile labels, parallel
     std::vector<Profiler::ComponentId> ids_; //!< profiler accounts
     Profiler *prof_ = nullptr;            //!< null unless --profile

@@ -1,0 +1,11 @@
+#include "sim/vec.hh"
+
+namespace vpc
+{
+namespace vec
+{
+
+bool forceScalar = false;
+
+} // namespace vec
+} // namespace vpc

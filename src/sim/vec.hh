@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Portable SIMD primitives for the SoA hot scans (DESIGN.md 5i).
+ *
+ * The hot loops this wraps are all short, data-parallel sweeps over
+ * contiguous structure-of-arrays state: the way-parallel tag compare
+ * in CacheArray::lookup/markDirty/invalidate, the LRU/overage-mask
+ * min-stamp victim scans, the RoW exact-write-set membership probe,
+ * and the VPC arbiter's EDF (finish, seq) argmin.  Each primitive has
+ * one scalar reference implementation and optional vector bodies
+ * selected at compile time (AVX2, SSE2, NEON); the scalar body is the
+ * specification and every vector body must return bit-identical
+ * results — the randomized oracle test drives both through the
+ * runtime `forceScalar` switch to prove it.
+ *
+ * Dispatch is compile-time only: -DVPC_SIMD=OFF defines
+ * VPC_SIMD_DISABLED and compiles the scalar bodies alone; otherwise
+ * the widest instruction set the compiler advertises (__AVX2__,
+ * __SSE2__, __ARM_NEON) is used.  `forceScalar` additionally forces
+ * the scalar body at runtime so tests can differentially compare the
+ * two paths inside a single (vector-enabled) binary.
+ *
+ * Overread contract: primitives taking an explicit element count and
+ * documented as "padded" may read up to kWidth64 - 1 elements past
+ * the end; callers guarantee that storage (CacheArray pads its
+ * per-line planes).  Primitives without the padded note handle tails
+ * with scalar code and never overread.
+ */
+
+#ifndef VPC_SIM_VEC_HH
+#define VPC_SIM_VEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#if !defined(VPC_SIMD_DISABLED)
+#if defined(__AVX2__) || defined(__SSE2__)
+#include <immintrin.h>
+#define VPC_VEC_X86 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define VPC_VEC_NEON 1
+#endif
+#endif
+
+namespace vpc
+{
+namespace vec
+{
+
+/**
+ * Runtime escape hatch: when set, every primitive executes its scalar
+ * reference body.  Flipped by the SoA oracle test to differentially
+ * check the vector bodies; never set on a hot path.
+ */
+extern bool forceScalar;
+
+/** Lanes per vector of 64-bit elements (1 in scalar builds). */
+#if !defined(VPC_SIMD_DISABLED) && defined(__AVX2__)
+constexpr unsigned kWidth64 = 4;
+constexpr const char *kIsaName = "avx2";
+#elif !defined(VPC_SIMD_DISABLED) && defined(__SSE2__)
+constexpr unsigned kWidth64 = 2;
+constexpr const char *kIsaName = "sse2";
+#elif defined(VPC_VEC_NEON)
+constexpr unsigned kWidth64 = 2;
+constexpr const char *kIsaName = "neon";
+#else
+constexpr unsigned kWidth64 = 1;
+constexpr const char *kIsaName = "scalar";
+#endif
+
+namespace detail
+{
+
+inline std::uint64_t
+eqMask64Scalar(const std::uint64_t *data, unsigned n, std::uint64_t key)
+{
+    std::uint64_t m = 0;
+    for (unsigned i = 0; i < n; ++i)
+        m |= std::uint64_t{data[i] == key} << i;
+    return m;
+}
+
+inline unsigned
+minIndex64Scalar(const std::uint64_t *vals, std::uint64_t mask)
+{
+    unsigned best = 64;
+    std::uint64_t best_v = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        auto w = static_cast<unsigned>(__builtin_ctzll(m));
+        if (vals[w] < best_v) {
+            best = w;
+            best_v = vals[w];
+        }
+    }
+    return best;
+}
+
+inline bool
+contains64Scalar(const std::uint64_t *data, std::size_t n,
+                 std::uint64_t key)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (data[i] == key)
+            return true;
+    return false;
+}
+
+inline unsigned
+argminF64SeqScalar(const double *f, const std::uint64_t *seq,
+                   unsigned n)
+{
+    unsigned best = 0;
+    for (unsigned i = 1; i < n; ++i) {
+        if (f[i] < f[best] ||
+            (f[i] == f[best] && seq[i] < seq[best]))
+            best = i;
+    }
+    return best;
+}
+
+} // namespace detail
+
+/**
+ * Bit i set iff data[i] == key, for i in [0, n); n <= 64.  Padded:
+ * may overread to the next kWidth64 boundary.
+ */
+inline std::uint64_t
+eqMask64(const std::uint64_t *data, unsigned n, std::uint64_t key)
+{
+#if !defined(VPC_SIMD_DISABLED) && defined(__AVX2__)
+    if (!forceScalar) {
+        const __m256i k = _mm256_set1_epi64x(
+            static_cast<long long>(key));
+        std::uint64_t m = 0;
+        for (unsigned i = 0; i < n; i += 4) {
+            __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(data + i));
+            __m256i eq = _mm256_cmpeq_epi64(v, k);
+            auto bits = static_cast<std::uint64_t>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+            m |= bits << i;
+        }
+        return n < 64 ? m & ((std::uint64_t{1} << n) - 1) : m;
+    }
+#elif !defined(VPC_SIMD_DISABLED) && defined(__SSE2__)
+    if (!forceScalar) {
+        // SSE2 has no 64-bit compare: compare 32-bit halves and AND
+        // each lane with its swapped half so a lane is all-ones iff
+        // both halves matched.
+        const __m128i k = _mm_set1_epi64x(static_cast<long long>(key));
+        std::uint64_t m = 0;
+        for (unsigned i = 0; i < n; i += 2) {
+            __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(data + i));
+            __m128i eq32 = _mm_cmpeq_epi32(v, k);
+            __m128i eq = _mm_and_si128(
+                eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+            auto bits = static_cast<std::uint64_t>(
+                _mm_movemask_pd(_mm_castsi128_pd(eq)));
+            m |= bits << i;
+        }
+        return n < 64 ? m & ((std::uint64_t{1} << n) - 1) : m;
+    }
+#elif defined(VPC_VEC_NEON)
+    if (!forceScalar) {
+        const uint64x2_t k = vdupq_n_u64(key);
+        std::uint64_t m = 0;
+        for (unsigned i = 0; i < n; i += 2) {
+            uint64x2_t eq = vceqq_u64(vld1q_u64(data + i), k);
+            m |= (vgetq_lane_u64(eq, 0) & 1) << i;
+            m |= (vgetq_lane_u64(eq, 1) & 1) << (i + 1);
+        }
+        return n < 64 ? m & ((std::uint64_t{1} << n) - 1) : m;
+    }
+#endif
+    return detail::eqMask64Scalar(data, n, key);
+}
+
+/**
+ * Index of the smallest vals[i] among the set bits of @p mask, ties
+ * to the lowest index (the LRU "first lowest way" rule).  @p mask
+ * must be non-zero with all bits < n; values must be < 2^63 (LRU
+ * stamps are use-clock readings, nowhere near that).  Padded: may
+ * overread to the next kWidth64 boundary.
+ */
+inline unsigned
+minIndex64(const std::uint64_t *vals, std::uint64_t mask, unsigned n)
+{
+#if !defined(VPC_SIMD_DISABLED) && defined(__AVX2__)
+    if (!forceScalar) {
+        // Masked-out lanes are blended to INT64_MAX, which no stamp
+        // reaches, so the signed 64-bit min (AVX2 has no unsigned
+        // compare) is exact.  The winning value is then located with
+        // an equality sweep — ctz over (equal & mask) reproduces the
+        // lowest-index tie-break.
+        const __m256i sent = _mm256_set1_epi64x(
+            std::numeric_limits<long long>::max());
+        const __m256i lane_bits = _mm256_set_epi64x(8, 4, 2, 1);
+        __m256i best = sent;
+        for (unsigned i = 0; i < n; i += 4) {
+            __m256i nib = _mm256_set1_epi64x(
+                static_cast<long long>((mask >> i) & 0xf));
+            __m256i lm = _mm256_cmpeq_epi64(
+                _mm256_and_si256(nib, lane_bits), lane_bits);
+            __m256i v = _mm256_blendv_epi8(
+                sent,
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(vals + i)),
+                lm);
+            best = _mm256_blendv_epi8(
+                best, v, _mm256_cmpgt_epi64(best, v));
+        }
+        alignas(32) std::int64_t lanes[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), best);
+        std::int64_t bv = lanes[0];
+        for (int l = 1; l < 4; ++l)
+            if (lanes[l] < bv)
+                bv = lanes[l];
+        std::uint64_t eq = eqMask64(
+            vals, n, static_cast<std::uint64_t>(bv)) & mask;
+        return static_cast<unsigned>(__builtin_ctzll(eq));
+    }
+#endif
+    return detail::minIndex64Scalar(vals, mask);
+}
+
+/**
+ * @return true iff @p key appears in data[0, n).  Exact tail — never
+ * overreads (the RoW write scratch is an unpadded vector).
+ */
+inline bool
+contains64(const std::uint64_t *data, std::size_t n, std::uint64_t key)
+{
+#if !defined(VPC_SIMD_DISABLED) && defined(__AVX2__)
+    if (!forceScalar) {
+        const __m256i k = _mm256_set1_epi64x(
+            static_cast<long long>(key));
+        std::size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            __m256i eq = _mm256_cmpeq_epi64(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(data + i)),
+                k);
+            if (_mm256_movemask_pd(_mm256_castsi256_pd(eq)) != 0)
+                return true;
+        }
+        return detail::contains64Scalar(data + i, n - i, key);
+    }
+#elif !defined(VPC_SIMD_DISABLED) && defined(__SSE2__)
+    if (!forceScalar) {
+        const __m128i k = _mm_set1_epi64x(static_cast<long long>(key));
+        std::size_t i = 0;
+        for (; i + 2 <= n; i += 2) {
+            __m128i eq32 = _mm_cmpeq_epi32(
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(data + i)),
+                k);
+            __m128i eq = _mm_and_si128(
+                eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+            if (_mm_movemask_pd(_mm_castsi128_pd(eq)) != 0)
+                return true;
+        }
+        return detail::contains64Scalar(data + i, n - i, key);
+    }
+#elif defined(VPC_VEC_NEON)
+    if (!forceScalar) {
+        const uint64x2_t k = vdupq_n_u64(key);
+        std::size_t i = 0;
+        for (; i + 2 <= n; i += 2) {
+            uint64x2_t eq = vceqq_u64(vld1q_u64(data + i), k);
+            if ((vgetq_lane_u64(eq, 0) | vgetq_lane_u64(eq, 1)) != 0)
+                return true;
+        }
+        return detail::contains64Scalar(data + i, n - i, key);
+    }
+#endif
+    return detail::contains64Scalar(data, n, key);
+}
+
+/**
+ * Index minimizing (f[i], seq[i]) lexicographically over [0, n);
+ * n >= 1.  This is the EDF grant rule: earliest virtual finish wins,
+ * arrival order breaks ties.  IEEE semantics match the scalar loop
+ * exactly (strict < then ==; no NaNs reach this — finish times are
+ * sums of non-NaN terms).  Exact tail — never overreads.
+ */
+inline unsigned
+argminF64Seq(const double *f, const std::uint64_t *seq, unsigned n)
+{
+#if !defined(VPC_SIMD_DISABLED) && defined(__AVX2__)
+    if (!forceScalar && n >= 4) {
+        __m256d best = _mm256_loadu_pd(f);
+        unsigned i = 4;
+        for (; i + 4 <= n; i += 4)
+            best = _mm256_min_pd(best, _mm256_loadu_pd(f + i));
+        alignas(32) double lanes[4];
+        _mm256_store_pd(lanes, best);
+        double bv = lanes[0];
+        for (int l = 1; l < 4; ++l)
+            if (lanes[l] < bv)
+                bv = lanes[l];
+        for (; i < n; ++i)
+            if (f[i] < bv)
+                bv = f[i];
+        // Lowest-seq winner among the (rare) equal-finish entries.
+        unsigned best_i = n;
+        for (unsigned j = 0; j < n; ++j) {
+            if (f[j] == bv &&
+                (best_i == n || seq[j] < seq[best_i]))
+                best_i = j;
+        }
+        return best_i;
+    }
+#endif
+    return detail::argminF64SeqScalar(f, seq, n);
+}
+
+} // namespace vec
+} // namespace vpc
+
+#endif // VPC_SIM_VEC_HH

@@ -182,6 +182,30 @@ CmpSystem::CmpSystem(SystemConfig cfg_,
     sim.addTicking(l2_.get(), "l2");
     sim.addTicking(mem_.get(), "mem");
 
+    // Fused fixed-latency chains.  Lane drain order must replay the
+    // event queue's insertion order for same-cycle entries: every
+    // fused hop has the minimum modeled latency, so all other events
+    // due the same cycle were inserted earlier and fire first
+    // (runDue precedes the drains), and within the fused set the
+    // producing cycle schedules hits/transits from the CPU ticks
+    // before the L2 tick issues bus grants — hence L1 lanes, then
+    // the transit lane, then the response lane.
+    if (cfg.kernelFuse) {
+        for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+            cpus[t]->setHitFused(true);
+            sim.addFusedChain(cpus[t]->hitChain());
+        }
+        transitLane_ =
+            std::make_unique<L2Cache::TransitLane>(/*counted=*/true);
+        l2_->setTransitLane(transitLane_.get());
+        sim.addFusedChain(transitLane_.get());
+        respLane_ =
+            std::make_unique<L2Bank::ResponseLane>(/*counted=*/true);
+        for (unsigned b = 0; b < l2_->numBanks(); ++b)
+            l2_->bank(b).setResponseLane(respLane_.get());
+        sim.addFusedChain(respLane_.get());
+    }
+
     if (cfg.profile) {
         profilers_.push_back(std::make_unique<Profiler>());
         sim.setProfiler(profilers_.back().get());
@@ -259,6 +283,19 @@ CmpSystem::buildSharded()
     }
     psim_->addUncoreTicking(l2_.get(), "l2");
     psim_->addUncoreTicking(mem_.get(), "mem");
+
+    // L1 hit completions are CPU -> private L1 -> CPU, entirely
+    // intra-shard, so they fuse under the sharded kernel too — the
+    // same lane type the serial kernel drains, one per core shard.
+    // Crossbar transits and responses cross the shard boundary and
+    // must remain real (counted) events here; the serial kernel's
+    // counted lanes mirror them so eventsFired agrees across kernels.
+    if (cfg.kernelFuse) {
+        for (ThreadId t = 0; t < cfg.numProcessors; ++t) {
+            cpus[t]->setHitFused(true);
+            psim_->addCoreChain(t, cpus[t]->hitChain());
+        }
+    }
 
     if (cfg.profile) {
         // One Profiler per shard: workers never share counters; the
@@ -440,8 +477,11 @@ CmpSystem::dumpState() const
             out += format(" t{}={}", t, bank.sgb(t).occupancy());
         out += "\n";
     }
+    // Both counts include undrained fused-lane entries, so serial and
+    // sharded dumps stay comparable (lanes hold what the other
+    // kernel's queue holds as events).
     out += format("event queue: {} pending\n",
-                  psim_ ? psim_->queuedEvents() : sim.events().size());
+                  psim_ ? psim_->queuedEvents() : sim.pendingEvents());
     return out;
 }
 

@@ -181,6 +181,11 @@ class CmpSystem
     std::unique_ptr<ShardedSimulator> psim_;
     /** Per-thread core-side L2 ports (shard-parallel only). */
     std::vector<std::unique_ptr<L2CorePort>> corePorts_;
+    /** Fused fixed-latency chains (cfg.kernelFuse, serial kernel):
+     *  the crossbar-transit and critical-word response lanes.  The
+     *  per-core L1 hit lanes live inside the Cpus (both kernels). */
+    std::unique_ptr<L2Cache::TransitLane> transitLane_;
+    std::unique_ptr<L2Bank::ResponseLane> respLane_;
     std::vector<std::unique_ptr<Workload>> workloads;
     std::unique_ptr<MemoryController> mem_;
     std::unique_ptr<L2Cache> l2_;

@@ -106,6 +106,7 @@ digestConfig(Fnv1a &h, const SystemConfig &cfg)
 
     h.u64(cfg.kernelSkip ? 1 : 0);
     h.u64(cfg.kernelThreads);
+    h.u64(cfg.kernelFuse ? 1 : 0);
     h.u64(cfg.allowUnallocatedShares ? 1 : 0);
     h.u64(cfg.vpcIntraThreadRow ? 1 : 0);
     h.u64(cfg.vpcIdleReset ? 1 : 0);

@@ -62,7 +62,7 @@ namespace vpc
 {
 
 /** Bump when the digested inputs or the record layout change. */
-constexpr std::uint64_t kRunCacheSchema = 1;
+constexpr std::uint64_t kRunCacheSchema = 2;
 
 /**
  * Content identity of one workload stream: a vpcsim-style spec string

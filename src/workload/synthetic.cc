@@ -15,6 +15,16 @@ SyntheticWorkload::SyntheticWorkload(const SyntheticParams &params_,
         vpc_fatal("synthetic working set smaller than one line");
     if (params.hotBytes < kLineBytes)
         vpc_fatal("synthetic hot region smaller than one line");
+    memB_ = Bernoulli(params.memFrac);
+    storeB_ = Bernoulli(params.storeFrac);
+    storeLocB_ = Bernoulli(params.storeLocality);
+    depB_ = Bernoulli(params.depFrac);
+    hotB_ = Bernoulli(params.hotFrac);
+    l2B_ = Bernoulli(params.l2Frac);
+    streamB_ = Bernoulli(params.streamFrac);
+    wsRegion_.set(params.workingSetBytes);
+    hotRegion_.set(params.hotBytes);
+    l2Region_.set(params.l2Bytes);
 }
 
 MicroOp
@@ -35,19 +45,16 @@ MicroOp
 SyntheticWorkload::generate()
 {
     MicroOp op;
-    if (!rng.chance(params.memFrac)) {
+    if (!rng.chance(memB_)) {
         op.kind = MicroOp::Kind::Compute;
         return op;
     }
 
-    if (rng.chance(params.storeFrac)) {
+    if (rng.chance(storeB_)) {
         op.kind = MicroOp::Kind::Store;
-        if (!rng.chance(params.storeLocality)) {
+        if (!rng.chance(storeLocB_)) {
             // Move to a fresh line; consecutive stores there gather.
-            std::uint64_t lines = params.workingSetBytes / kLineBytes;
-            storeLine = kLineBytes *
-                (rng.next32() % static_cast<std::uint32_t>(
-                     lines ? lines : 1));
+            storeLine = kLineBytes * wsRegion_.reduce(rng.next32());
             storeWord = 0;
         }
         op.addr = base + storeLine + 4 * (storeWord % 16);
@@ -56,20 +63,16 @@ SyntheticWorkload::generate()
     }
 
     op.kind = MicroOp::Kind::Load;
-    op.dependsOnPrevLoad = rng.chance(params.depFrac);
-    if (rng.chance(params.hotFrac)) {
+    op.dependsOnPrevLoad = rng.chance(depB_);
+    if (rng.chance(hotB_)) {
         // L1-resident hot region.
-        std::uint64_t lines = params.hotBytes / kLineBytes;
         op.addr = base + params.workingSetBytes +
-                  kLineBytes * (rng.next32() %
-                                static_cast<std::uint32_t>(lines));
-    } else if (rng.chance(params.l2Frac)) {
+                  kLineBytes * hotRegion_.reduce(rng.next32());
+    } else if (rng.chance(l2B_)) {
         // Medium region with L2 reuse (misses the L1, hits the L2).
-        std::uint64_t lines = params.l2Bytes / kLineBytes;
         op.addr = base + params.workingSetBytes + params.hotBytes +
-                  kLineBytes * (rng.next32() %
-                                static_cast<std::uint32_t>(lines));
-    } else if (rng.chance(params.streamFrac)) {
+                  kLineBytes * l2Region_.reduce(rng.next32());
+    } else if (rng.chance(streamB_)) {
         // Sequential walk through the working set.
         op.addr = base + streamPos;
         streamPos += kLineBytes;
@@ -77,9 +80,7 @@ SyntheticWorkload::generate()
             streamPos = 0;
     } else {
         // Random line in the working set.
-        std::uint64_t lines = params.workingSetBytes / kLineBytes;
-        op.addr = base + kLineBytes *
-                  (rng.next32() % static_cast<std::uint32_t>(lines));
+        op.addr = base + kLineBytes * wsRegion_.reduce(rng.next32());
     }
     return op;
 }

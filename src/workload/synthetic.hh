@@ -89,6 +89,33 @@ class SyntheticWorkload : public Workload
   private:
     static constexpr Addr kLineBytes = 64;
 
+    /**
+     * Line count of one address region, with the modulo strength-
+     * reduced: region sizes are runtime values, so `r % lines` is a
+     * hardware divide on the per-op path — but nearly every calibrated
+     * region is a power of two, where `r & mask` is the same value.
+     */
+    struct Region
+    {
+        std::uint32_t lines = 1;
+        std::uint32_t mask = 0; //!< lines - 1 if pow2, else 0
+
+        void
+        set(std::uint64_t bytes)
+        {
+            std::uint64_t n = bytes / kLineBytes;
+            lines = static_cast<std::uint32_t>(n ? n : 1);
+            mask = (lines & (lines - 1)) == 0 ? lines - 1 : 0;
+        }
+
+        /** @return r reduced mod lines (exactly `r % lines`). */
+        std::uint32_t
+        reduce(std::uint32_t r) const
+        {
+            return mask != 0 ? r & mask : r % lines;
+        }
+    };
+
     /** Generate one op (the body shared by next() and nextBlock()). */
     MicroOp generate();
 
@@ -96,6 +123,19 @@ class SyntheticWorkload : public Workload
     Addr base;
     std::uint64_t seed_;
     Rng rng;
+    //! @name Per-op probability draws, threshold form (see Bernoulli)
+    /// @{
+    Bernoulli memB_;
+    Bernoulli storeB_;
+    Bernoulli storeLocB_;
+    Bernoulli depB_;
+    Bernoulli hotB_;
+    Bernoulli l2B_;
+    Bernoulli streamB_;
+    /// @}
+    Region wsRegion_;      //!< working set, in lines
+    Region hotRegion_;     //!< L1-resident hot region, in lines
+    Region l2Region_;      //!< L2-resident reuse region, in lines
     Addr streamPos = 0;    //!< sequential walk position (bytes)
     Addr storeLine = 0;    //!< current store target line offset
     unsigned storeWord = 0;//!< next word within the store line

@@ -17,18 +17,28 @@
  *  - identical per-thread occupancy.
  *
  * Covered policies: global LRU, the VPC capacity manager (including
- * the multi-over-quota fairness refinement) and the flexible
- * whole-cache occupancy manager.
+ * the multi-over-quota fairness refinement), the flexible whole-cache
+ * occupancy manager and a PolicyKind::Other fallback policy.
+ *
+ * Every differential runs twice — once with vec::forceScalar set (the
+ * scalar reference bodies in sim/vec.hh) and once on the compiled
+ * vector path — so the SIMD tag-match and victim scans are proven
+ * decision-identical to the scalar specification at runtime, not just
+ * by build configuration.  Odd-way geometries (3, 5, 6 ways: below,
+ * just above and 1.5x the 4-lane vector width) cover the masked-tail
+ * and padding edge cases of the vectorized scans.
  */
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache_array.hh"
 #include "cache/replacement.hh"
 #include "sim/random.hh"
+#include "sim/vec.hh"
 
 namespace vpc
 {
@@ -179,6 +189,35 @@ struct Geometry
 };
 
 /**
+ * Run @p body under both vec dispatch modes: scalar-forced first,
+ * then the compiled vector path.  @p body must build fresh arrays on
+ * every call (the mode switch is runtime state, so one binary proves
+ * both paths).  Restores the default (vector) mode on exit.
+ */
+template <class Body>
+void
+forEachVecMode(Body &&body)
+{
+    for (bool scalar : {true, false}) {
+        vec::forceScalar = scalar;
+        SCOPED_TRACE(scalar ? "vec mode: forced scalar"
+                            : "vec mode: native");
+        body();
+        if (::testing::Test::HasFatalFailure())
+            break;
+    }
+    vec::forceScalar = false;
+}
+
+/** LRU behind PolicyKind::Other: the virtual-oracle fill path. */
+class OtherKindLru : public LruReplacement
+{
+  public:
+    PolicyKind kind() const override { return PolicyKind::Other; }
+    std::string name() const override { return "OtherLRU"; }
+};
+
+/**
  * Drive both arrays through @p steps random operations and compare
  * every replacement decision and the occupancy state after each one.
  */
@@ -253,12 +292,14 @@ runDifferential(CacheArray &soa, RefArray &ref, ThreadId threads,
 
 TEST(SoaOracle, GlobalLru)
 {
-    Geometry g;
-    CacheArray soa(g.sets, g.ways, g.lineBytes,
-                   std::make_unique<LruReplacement>());
-    RefArray ref(g.sets, g.ways, g.lineBytes,
-                 std::make_unique<LruReplacement>());
-    runDifferential(soa, ref, 4, g, 0xA11CE, 20'000);
+    forEachVecMode([] {
+        Geometry g;
+        CacheArray soa(g.sets, g.ways, g.lineBytes,
+                       std::make_unique<LruReplacement>());
+        RefArray ref(g.sets, g.ways, g.lineBytes,
+                     std::make_unique<LruReplacement>());
+        runDifferential(soa, ref, 4, g, 0xA11CE, 20'000);
+    });
 }
 
 TEST(SoaOracle, VpcCapacityManager)
@@ -266,13 +307,17 @@ TEST(SoaOracle, VpcCapacityManager)
     // Unequal shares: thread 0 holds half the ways, 3 gets none
     // (always over any quota as soon as it owns a line), so both
     // victim conditions and the fallback paths are exercised.
-    Geometry g;
-    std::vector<double> betas = {0.5, 0.25, 0.25, 0.0};
-    CacheArray soa(g.sets, g.ways, g.lineBytes,
-                   std::make_unique<VpcCapacityManager>(betas, g.ways));
-    RefArray ref(g.sets, g.ways, g.lineBytes,
-                 std::make_unique<VpcCapacityManager>(betas, g.ways));
-    runDifferential(soa, ref, 4, g, 0xB0B, 20'000);
+    forEachVecMode([] {
+        Geometry g;
+        std::vector<double> betas = {0.5, 0.25, 0.25, 0.0};
+        CacheArray soa(
+            g.sets, g.ways, g.lineBytes,
+            std::make_unique<VpcCapacityManager>(betas, g.ways));
+        RefArray ref(
+            g.sets, g.ways, g.lineBytes,
+            std::make_unique<VpcCapacityManager>(betas, g.ways));
+        runDifferential(soa, ref, 4, g, 0xB0B, 20'000);
+    });
 }
 
 TEST(SoaOracle, VpcFairnessRefinement)
@@ -280,44 +325,111 @@ TEST(SoaOracle, VpcFairnessRefinement)
     // Small quotas push several threads over-allocation at once, so
     // condition 1 repeatedly selects among multiple threads' lines
     // (the globally-LRU fairness refinement).
-    Geometry g;
-    g.ways = 8;
-    std::vector<double> betas = {0.125, 0.125, 0.125, 0.125};
-    CacheArray soa(g.sets, g.ways, g.lineBytes,
-                   std::make_unique<VpcCapacityManager>(betas, g.ways));
-    RefArray ref(g.sets, g.ways, g.lineBytes,
-                 std::make_unique<VpcCapacityManager>(betas, g.ways));
-    runDifferential(soa, ref, 4, g, 0xFA12, 20'000);
+    forEachVecMode([] {
+        Geometry g;
+        g.ways = 8;
+        std::vector<double> betas = {0.125, 0.125, 0.125, 0.125};
+        CacheArray soa(
+            g.sets, g.ways, g.lineBytes,
+            std::make_unique<VpcCapacityManager>(betas, g.ways));
+        RefArray ref(
+            g.sets, g.ways, g.lineBytes,
+            std::make_unique<VpcCapacityManager>(betas, g.ways));
+        runDifferential(soa, ref, 4, g, 0xFA12, 20'000);
+    });
 }
 
 TEST(SoaOracle, GlobalOccupancyManager)
 {
-    Geometry g;
-    std::uint64_t total = g.sets * g.ways;
-    std::vector<double> betas = {0.5, 0.25, 0.125, 0.125};
-    CacheArray soa(
-        g.sets, g.ways, g.lineBytes,
-        std::make_unique<GlobalOccupancyManager>(betas, total));
-    RefArray ref(
-        g.sets, g.ways, g.lineBytes,
-        std::make_unique<GlobalOccupancyManager>(betas, total));
-    runDifferential(soa, ref, 4, g, 0xCAFE, 20'000);
+    forEachVecMode([] {
+        Geometry g;
+        std::uint64_t total = g.sets * g.ways;
+        std::vector<double> betas = {0.5, 0.25, 0.125, 0.125};
+        CacheArray soa(
+            g.sets, g.ways, g.lineBytes,
+            std::make_unique<GlobalOccupancyManager>(betas, total));
+        RefArray ref(
+            g.sets, g.ways, g.lineBytes,
+            std::make_unique<GlobalOccupancyManager>(betas, total));
+        runDifferential(soa, ref, 4, g, 0xCAFE, 20'000);
+    });
+}
+
+TEST(SoaOracle, OtherKindVirtualFallback)
+{
+    // PolicyKind::Other routes every victim through the virtual
+    // oracle; the vectorized lookup/markDirty/invalidate scans still
+    // run, so this pins their agreement on the fallback fill path.
+    forEachVecMode([] {
+        Geometry g;
+        CacheArray soa(g.sets, g.ways, g.lineBytes,
+                       std::make_unique<OtherKindLru>());
+        RefArray ref(g.sets, g.ways, g.lineBytes,
+                     std::make_unique<OtherKindLru>());
+        runDifferential(soa, ref, 4, g, 0xD1CE, 20'000);
+    });
 }
 
 TEST(SoaOracle, BankInterleavedIndexShift)
 {
     // A banked array discards interleave bits before set indexing;
     // the eviction-address reconstruction must agree too.
-    Geometry g;
-    g.indexShift = 2;
-    std::vector<double> betas = {0.5, 0.5};
-    CacheArray soa(g.sets, g.ways, g.lineBytes,
-                   std::make_unique<VpcCapacityManager>(betas, g.ways),
-                   g.indexShift);
-    RefArray ref(g.sets, g.ways, g.lineBytes,
-                 std::make_unique<VpcCapacityManager>(betas, g.ways),
-                 g.indexShift);
-    runDifferential(soa, ref, 2, g, 0x5EED, 20'000);
+    forEachVecMode([] {
+        Geometry g;
+        g.indexShift = 2;
+        std::vector<double> betas = {0.5, 0.5};
+        CacheArray soa(
+            g.sets, g.ways, g.lineBytes,
+            std::make_unique<VpcCapacityManager>(betas, g.ways),
+            g.indexShift);
+        RefArray ref(
+            g.sets, g.ways, g.lineBytes,
+            std::make_unique<VpcCapacityManager>(betas, g.ways),
+            g.indexShift);
+        runDifferential(soa, ref, 2, g, 0x5EED, 20'000);
+    });
+}
+
+TEST(SoaOracle, OddWaysLru)
+{
+    // Associativities off the vector-width grid: 3 (below one
+    // 4-lane vector), 5 (one full vector + 1-way tail) and 6.  These
+    // hit the masked-tail bits and tail-padding loads of eqMask64 /
+    // minIndex64 that power-of-two geometries never exercise.
+    for (unsigned ways : {3u, 5u, 6u}) {
+        SCOPED_TRACE("ways=" + std::to_string(ways));
+        forEachVecMode([ways] {
+            Geometry g;
+            g.ways = ways;
+            CacheArray soa(g.sets, g.ways, g.lineBytes,
+                           std::make_unique<LruReplacement>());
+            RefArray ref(g.sets, g.ways, g.lineBytes,
+                         std::make_unique<LruReplacement>());
+            runDifferential(soa, ref, 4, g, 0x0DD + ways, 20'000);
+        });
+    }
+}
+
+TEST(SoaOracle, OddWaysVpcCapacity)
+{
+    // The same off-grid geometries under the VPC capacity manager,
+    // whose condition-1/2 victim scans run minIndex64 over sparse
+    // owner masks (arbitrary subsets of a non-multiple-width set).
+    for (unsigned ways : {3u, 5u, 6u}) {
+        SCOPED_TRACE("ways=" + std::to_string(ways));
+        forEachVecMode([ways] {
+            Geometry g;
+            g.ways = ways;
+            std::vector<double> betas = {0.34, 0.33, 0.33, 0.0};
+            CacheArray soa(
+                g.sets, g.ways, g.lineBytes,
+                std::make_unique<VpcCapacityManager>(betas, g.ways));
+            RefArray ref(
+                g.sets, g.ways, g.lineBytes,
+                std::make_unique<VpcCapacityManager>(betas, g.ways));
+            runDifferential(soa, ref, 4, g, 0x0DD1 + ways, 20'000);
+        });
+    }
 }
 
 } // namespace
