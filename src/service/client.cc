@@ -14,8 +14,8 @@ using Clock = std::chrono::steady_clock;
 
 ServiceClient::ServiceClient(std::string spool_dir,
                              std::string cache_dir,
-                             std::uint64_t poll_ms)
-    : pollMs_(poll_ms)
+                             std::uint64_t poll_ms, bool use_socket)
+    : pollMs_(poll_ms), useSocket_(use_socket)
 {
     if (cache_dir.empty())
         cache_dir = spool_dir + "/cache";
@@ -27,6 +27,28 @@ bool
 ServiceClient::daemonAlive() const
 {
     return spool_->ownerPid() != 0;
+}
+
+bool
+ServiceClient::socketConnected()
+{
+    if (!useSocket_)
+        return false;
+    if (transport_ && transport_->connected())
+        return true;
+    std::uint64_t owner = spool_->ownerPid();
+    if (owner == 0)
+        return false; // no daemon: nothing to connect to
+    if (transport_ && transport_->dead() && transportPid_ == owner)
+        return false; // that daemon's transport died; don't re-dial it
+    TransportConfig tc;
+    tc.socketPath = defaultSocketPath(spool_->root());
+    auto t = std::make_unique<TransportClient>(tc);
+    if (!t->connect(500))
+        return false; // spool-only daemon (or mid-restart)
+    transport_ = std::move(t);
+    transportPid_ = transport_->daemonPid();
+    return true;
 }
 
 std::uint64_t
@@ -77,6 +99,56 @@ ServiceClient::failReason(std::uint64_t digest)
     return spool_->failReason(digest);
 }
 
+bool
+ServiceClient::runJobSocket(const RunJob &job, std::uint64_t digest,
+                            RunResult &out)
+{
+    if (!socketConnected())
+        return false;
+    std::vector<TransportClient::Ack> acks;
+    if (!transport_->submitBatch({encodeJob(job)}, acks) ||
+        acks.size() != 1)
+        return false; // dead or wedged peer: fall back
+    if (acks[0].state == JobState::Absent)
+        return false; // daemon rejected the payload: recompute locally
+
+    JobState st = acks[0].state;
+    std::string reason;
+    while (st != JobState::Done && st != JobState::Failed) {
+        TransportClient::Completion comp;
+        if (transport_->nextCompletion(comp, 500)) {
+            if (comp.digest != digest)
+                continue; // someone else's watch on this connection
+            st = comp.state;
+            reason = comp.reason;
+            continue;
+        }
+        if (transport_->dead()) {
+            vpc_warn("client: socket transport died with {} {}; "
+                     "degrading", JobSpool::jobName(digest),
+                     jobStateName(st));
+            return false;
+        }
+        // Timeout tick: probe the spool as a belt-and-braces net so a
+        // lost push can never strand the wait.
+        JobState probed = spool_->state(digest);
+        if (probed == JobState::Done || probed == JobState::Failed)
+            st = probed;
+    }
+    if (st == JobState::Failed) {
+        if (reason.empty())
+            reason = failReason(digest);
+        throw std::runtime_error(format(
+            "job {} quarantined by the daemon: {}",
+            JobSpool::jobName(digest), reason));
+    }
+    if (fetch(digest, out))
+        return true;
+    vpc_warn("client: {} is done but has no cache record — daemon "
+             "cache dir mismatch?", JobSpool::jobName(digest));
+    return false;
+}
+
 RunResult
 ServiceClient::runJob(const RunJob &job, ServedBy *served)
 {
@@ -87,6 +159,12 @@ ServiceClient::runJob(const RunJob &job, ServedBy *served)
         // Already computed in some earlier life; no daemon needed.
         if (served)
             *served = ServedBy::Local;
+        return out;
+    }
+
+    if (runJobSocket(job, digest, out)) {
+        if (served)
+            *served = ServedBy::Socket;
         return out;
     }
 

@@ -3,20 +3,23 @@
  * Client side of the sweep service: submit, wait, fetch — and degrade
  * gracefully to local execution when no daemon is alive.
  *
- * The client and the daemon share two rendezvous points and nothing
- * else: the spool (jobs travel in, lifecycle state comes back) and
- * the run cache directory (results come back, bit-exact).  There is
- * no socket and no wire protocol — every interaction is an atomic
- * rename on a shared filesystem, so a client can outlive daemons,
- * daemons can outlive clients, and a SIGKILL on either side never
- * corrupts the other.
+ * Three tiers, fastest first, every one yielding the same bytes:
  *
- * Degradation contract (runJob): if a live daemon owns the spool the
- * job is submitted and awaited; if there is no daemon — or the daemon
- * dies while the job is still queued or running — the client computes
- * the job in-process against the same run cache directory.  Either
- * path yields bit-identical results (the run cache differential tests
- * enforce it), so callers never need to know which one served them.
+ *  1. Socket: when the daemon's Unix-socket transport is reachable the
+ *     job is submitted in a frame and the completion is *pushed* — no
+ *     polling, submit-to-result latency is dispatch + execution.
+ *  2. Spool polling: the original shared-filesystem rendezvous — jobs
+ *     travel in by atomic rename, lifecycle state comes back from the
+ *     state directories at poll_ms granularity.  Used when the socket
+ *     is absent (remote filesystem, --no-socket) or dies mid-wait.
+ *  3. Local: no live daemon at all — the client computes the job
+ *     in-process against the same run cache directory.
+ *
+ * Results are bit-identical across all three (the run cache
+ * differential tests enforce it), so callers never need to know which
+ * tier served them.  A SIGKILL on either side never corrupts the
+ * other: the spool stays the durability layer — a socket submit is
+ * spooled + journaled by the daemon before it is acked.
  */
 
 #ifndef VPC_SERVICE_CLIENT_HH
@@ -27,6 +30,7 @@
 #include <string>
 
 #include "service/spool.hh"
+#include "service/transport.hh"
 #include "system/run_cache.hh"
 
 namespace vpc
@@ -35,7 +39,8 @@ namespace vpc
 /** How runJob() ultimately obtained its result. */
 enum class ServedBy
 {
-    Daemon, //!< submitted to and completed by a live daemon
+    Socket, //!< pushed back over the daemon's socket transport
+    Daemon, //!< spool-polled from a live daemon
     Local,  //!< computed in-process (no daemon, or daemon died)
 };
 
@@ -48,13 +53,23 @@ class ServiceClient
      * @param cache_dir run cache directory; "" = <spool_dir>/cache
      *        (must match the daemon's, or results cannot be fetched)
      * @param poll_ms wait() poll interval
+     * @param use_socket try the socket transport first (tier 1);
+     *        false forces the spool-polling/local tiers
      */
     explicit ServiceClient(std::string spool_dir,
                            std::string cache_dir = "",
-                           std::uint64_t poll_ms = 50);
+                           std::uint64_t poll_ms = 50,
+                           bool use_socket = true);
 
     /** @return true when a live daemon owns the spool right now. */
     bool daemonAlive() const;
+
+    /**
+     * @return true when connected to the daemon's socket transport
+     *         (connecting on first call; reconnecting after a dead
+     *         peer only when a new daemon owns the spool)
+     */
+    bool socketConnected();
 
     /**
      * Encode and spool @p job (no-op if already spooled or finished).
@@ -94,9 +109,21 @@ class ServiceClient
     RunCache &cache() { return *cache_; }
 
   private:
+    /**
+     * Tier-1 round trip: submit over the socket, wait for the pushed
+     * completion.  @return true and fill @p out on a terminal result
+     * (throws on quarantine); false = socket unusable, fall back.
+     */
+    bool runJobSocket(const RunJob &job, std::uint64_t digest,
+                      RunResult &out);
+
     std::unique_ptr<JobSpool> spool_;
     std::unique_ptr<RunCache> cache_;
     std::uint64_t pollMs_;
+    bool useSocket_;
+    std::unique_ptr<TransportClient> transport_;
+    /** Daemon pid the current transport connection handshook with. */
+    std::uint64_t transportPid_ = 0;
 };
 
 } // namespace vpc

@@ -21,6 +21,10 @@ SweepDaemon::SweepDaemon(DaemonConfig cfg) : cfg_(std::move(cfg))
 
 SweepDaemon::~SweepDaemon()
 {
+    // Transport first: once the spool is released a successor daemon
+    // may bind its own socket, which a later unlink would clobber.
+    if (transport_)
+        transport_->stop();
     if (monitor_.joinable()) {
         {
             std::lock_guard<std::mutex> lk(monitorMu_);
@@ -43,8 +47,9 @@ SweepDaemon::start()
         spool_.reset();
         return false;
     }
-    journal_ = std::make_unique<JobJournal>(cfg_.spoolDir +
-                                            "/journal.log");
+    journal_ = std::make_unique<JobJournal>(
+        cfg_.spoolDir + "/journal.log", cfg_.journalRotateBytes,
+        cfg_.journalKeepSegments);
     cache_ = std::make_unique<RunCache>(cfg_.cacheDir);
     cfg_.workers = sweepThreads(cfg_.workers);
     pool_ = std::make_unique<ThreadPool>(cfg_.workers);
@@ -91,13 +96,73 @@ SweepDaemon::start()
         });
     }
 
+    // Socket transport: start last, after recovery, so admissions
+    // never race the orphan sweep.  Bind failure degrades to
+    // spool-only service.
+    if (cfg_.socket) {
+        TransportConfig tc;
+        tc.socketPath = cfg_.socketPath.empty()
+                            ? defaultSocketPath(cfg_.spoolDir)
+                            : cfg_.socketPath;
+        tc.heartbeatMs = cfg_.heartbeatMs;
+        transport_ = std::make_unique<TransportServer>(
+            std::move(tc),
+            [this](const std::string &text, std::uint64_t &d) {
+                return admitSocketJob(text, d);
+            },
+            [this](std::uint64_t d, std::string &reason) {
+                return probeJobState(d, reason);
+            });
+        if (!transport_->start()) {
+            vpc_warn("daemon: socket transport unavailable; serving "
+                     "spool-only");
+            transport_.reset();
+        }
+    }
+
     monitor_ = std::thread([this] { monitorLoop(); });
     started_ = true;
     vpc_inform("daemon: serving spool {} (cache {}, {} worker "
-               "thread(s), deadline {} ms, max {} attempts)",
+               "thread(s), deadline {} ms, max {} attempts, {})",
                cfg_.spoolDir, cfg_.cacheDir, cfg_.workers,
-               cfg_.deadlineMs, cfg_.maxAttempts);
+               cfg_.deadlineMs, cfg_.maxAttempts,
+               transport_ ? "socket " + transport_->socketPath()
+                          : std::string("spool-only"));
     return true;
+}
+
+JobState
+SweepDaemon::admitSocketJob(const std::string &text,
+                            std::uint64_t &digest_out)
+{
+    RunJob job;
+    if (!decodeJob(text, job))
+        return JobState::Absent;
+    std::uint64_t d = runDigest(job);
+    digest_out = d;
+    // Durability before the ack: the job is renamed into pending/ and
+    // journaled *here*, on the transport thread, so an acked socket
+    // submit survives SIGKILL exactly like a spool-path submit.
+    JobState st = spool_->submit(d, text);
+    if (st == JobState::Pending) {
+        journal_->append(d, "submit");
+        {
+            std::lock_guard<std::mutex> lk(hotMu_);
+            hotPending_.push_back(d);
+        }
+        hotCv_.notify_one();
+    }
+    return st;
+}
+
+JobState
+SweepDaemon::probeJobState(std::uint64_t digest,
+                           std::string &reason_out)
+{
+    JobState st = spool_->state(digest);
+    if (st == JobState::Failed)
+        reason_out = spool_->failReason(digest);
+    return st;
 }
 
 std::uint64_t
@@ -192,6 +257,8 @@ SweepDaemon::settleOutcome(BatchJob &bj)
         if (bj.cacheHit)
             ++stats_.cacheHits;
         eligible_.erase(d);
+        if (transport_)
+            transport_->publishCompletion(d, JobState::Done, "");
         return;
     }
     ++stats_.failures;
@@ -201,11 +268,14 @@ SweepDaemon::settleOutcome(BatchJob &bj)
     unsigned att = attempts_[d];
     if (att >= cfg_.maxAttempts) {
         journal_->append(d, "quarantine");
-        spool_->markFailed(
-            d, format("quarantined after {} attempt(s); last error: {}",
-                      att, bj.error));
+        std::string reason =
+            format("quarantined after {} attempt(s); last error: {}",
+                   att, bj.error);
+        spool_->markFailed(d, reason);
         ++stats_.quarantined;
         eligible_.erase(d);
+        if (transport_)
+            transport_->publishCompletion(d, JobState::Failed, reason);
         vpc_warn("daemon: quarantined {} after {} attempt(s): {}",
                  JobSpool::jobName(d), att, bj.error);
     } else {
@@ -227,30 +297,46 @@ SweepDaemon::runOnce()
     if (!started_)
         vpc_panic("SweepDaemon::runOnce before start()");
 
-    // Stale-claim sweep: nothing is executing between passes, so any
-    // running/ entry was abandoned (injected fault, or a claim we
-    // lost track of).  Requeue rather than leak it.
-    for (std::uint64_t d : spool_->list(JobState::Running)) {
-        if (spool_->requeue(d))
-            journal_->append(d, "requeue");
-    }
-
     const unsigned lanes = pool_->workers() + 1;
+    // Under saturation the jobs are tiny: claim several lanes' worth
+    // per pass so per-batch dispatch overhead amortizes.
+    const std::size_t cap = static_cast<std::size_t>(lanes) * 4;
     const std::atomic<bool> *stop = stop_.load();
     std::vector<std::unique_ptr<BatchJob>> batch;
     Clock::time_point now = Clock::now();
 
-    for (std::uint64_t d : spool_->list(JobState::Pending)) {
-        if (batch.size() >= lanes)
-            break;
-        if (stop && stop->load())
-            break;
+    // Socket submits land in the hot queue; snapshot it first.
+    std::deque<std::uint64_t> hot;
+    {
+        std::lock_guard<std::mutex> lk(hotMu_);
+        hot.swap(hotPending_);
+    }
+
+    // Directory scans are the slow path: still needed for spool-only
+    // submitters, retry pickups and the stale-claim sweep, but not on
+    // every pass while the socket keeps the hot queue fed.  Scan when
+    // the hot path is idle, or at least every pollMs.
+    bool scan = hot.empty() ||
+                now - lastScan_ >=
+                    std::chrono::milliseconds(cfg_.pollMs);
+    if (scan) {
+        lastScan_ = now;
+        // Stale-claim sweep: nothing is executing between passes, so
+        // any running/ entry was abandoned (injected fault, or a
+        // claim we lost track of).  Requeue rather than leak it.
+        for (std::uint64_t d : spool_->list(JobState::Running)) {
+            if (spool_->requeue(d))
+                journal_->append(d, "requeue");
+        }
+    }
+
+    auto claimOne = [&](std::uint64_t d) {
         auto el = eligible_.find(d);
         if (el != eligible_.end() && el->second > now)
-            continue; // still backing off
+            return; // still backing off; a later scan reclaims it
         std::string text;
         if (!spool_->claimJob(d, text))
-            continue;
+            return;
         ++stats_.claimed;
         auto bj = std::make_unique<BatchJob>();
         bj->digest = d;
@@ -258,27 +344,56 @@ SweepDaemon::runOnce()
             // Poison before it ever runs: corrupt record, codec skew
             // or an insane config.  Quarantine, don't retry.
             journal_->append(d, "quarantine");
-            spool_->markFailed(d, "undecodable or inconsistent job "
-                                  "record");
+            std::string reason = "undecodable or inconsistent job "
+                                 "record";
+            spool_->markFailed(d, reason);
             ++stats_.rejected;
             ++stats_.quarantined;
-            continue;
+            if (transport_)
+                transport_->publishCompletion(d, JobState::Failed,
+                                              reason);
+            return;
         }
         unsigned prior = attempts_[d];
         if (prior >= cfg_.maxAttempts) {
             // Exhausted in a previous life (crash between the last
             // failure and its quarantine transition).
             journal_->append(d, "quarantine");
-            spool_->markFailed(
-                d, format("quarantined after {} attempt(s) (journal "
-                          "replay)", prior));
+            std::string reason =
+                format("quarantined after {} attempt(s) (journal "
+                       "replay)", prior);
+            spool_->markFailed(d, reason);
             ++stats_.quarantined;
-            continue;
+            if (transport_)
+                transport_->publishCompletion(d, JobState::Failed,
+                                              reason);
+            return;
         }
         planFaults(*bj);
         attempts_[d] = prior + 1;
         journal_->append(d, "start");
         batch.push_back(std::move(bj));
+    };
+
+    while (!hot.empty() && batch.size() < cap &&
+           !(stop && stop->load())) {
+        std::uint64_t d = hot.front();
+        hot.pop_front();
+        claimOne(d);
+    }
+    if (!hot.empty()) {
+        // Claim-capped (or stopping): hand the tail back, in order.
+        std::lock_guard<std::mutex> lk(hotMu_);
+        hotPending_.insert(hotPending_.begin(), hot.begin(), hot.end());
+    }
+    if (scan && batch.size() < cap) {
+        for (std::uint64_t d : spool_->list(JobState::Pending)) {
+            if (batch.size() >= cap)
+                break;
+            if (stop && stop->load())
+                break;
+            claimOne(d);
+        }
     }
     if (batch.empty())
         return 0;
@@ -311,15 +426,22 @@ SweepDaemon::run(const std::atomic<bool> &stop)
         if (stop.load())
             break;
         if (done == 0) {
-            // Idle: nothing claimable.  Sleep in short slices so a
-            // stop request is honored promptly.
+            // Idle: nothing claimable.  Wait in short slices so a
+            // stop request is honored promptly; a socket submit
+            // signals hotCv_ and ends the wait instantly.
+            std::unique_lock<std::mutex> lk(hotMu_);
             Clock::time_point until =
                 Clock::now() + std::chrono::milliseconds(cfg_.pollMs);
-            while (!stop.load() && Clock::now() < until)
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(5));
+            while (!stop.load() && hotPending_.empty() &&
+                   Clock::now() < until)
+                hotCv_.wait_for(lk, std::chrono::milliseconds(5));
         }
     }
+    // Stop the transport before the final republish: no new socket
+    // admissions land after the drain, and connected clients see EOF
+    // and degrade to their spool/local fallbacks.
+    if (transport_)
+        transport_->stop(); // idempotent; stats stay readable
     // Graceful drain: anything still claimed goes back to pending/
     // for the next daemon (in-flight jobs already settled above —
     // dispatch() does not return while they run).

@@ -47,8 +47,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <deque>
+
 #include "service/journal.hh"
 #include "service/spool.hh"
+#include "service/transport.hh"
 #include "sim/thread_pool.hh"
 #include "system/run_cache.hh"
 #include "verify/fault_injector.hh"
@@ -76,6 +79,17 @@ struct DaemonConfig
     bool injectFaults = false;   //!< deterministic service-fault mode
     double faultRate = 0.0;      //!< per-job fault probability
     std::uint64_t faultSeed = 1;
+    /**
+     * Socket transport (src/service/transport.hh).  On by default;
+     * when binding fails (path too long, no AF_UNIX) the daemon warns
+     * and serves spool-only — never a hard error.
+     */
+    bool socket = true;
+    std::string socketPath;      //!< "" = <spoolDir>/daemon.sock
+    std::uint64_t heartbeatMs = 2000; //!< transport ping interval
+    /** Journal rotation (see service/journal.hh). */
+    std::uint64_t journalRotateBytes = 1u << 20;
+    unsigned journalKeepSegments = 8;
 };
 
 /** Daemon-lifetime counters (monotonic; read after run()). */
@@ -125,6 +139,9 @@ class SweepDaemon
     const DaemonStats &stats() const { return stats_; }
     const RunCache &cache() const { return *cache_; }
     JobSpool &spool() { return *spool_; }
+    /** @return the socket transport, or null when it is disabled or
+     *          failed to bind (the daemon then serves spool-only). */
+    const TransportServer *transport() const { return transport_.get(); }
 
   private:
     /** A claimed job travelling through one execution batch. */
@@ -152,13 +169,31 @@ class SweepDaemon
     void monitorLoop();
     void planFaults(BatchJob &bj);
     std::uint64_t backoffFor(unsigned attempt) const;
+    /** TransportServer::SubmitFn — runs on the transport thread. */
+    JobState admitSocketJob(const std::string &text,
+                            std::uint64_t &digest_out);
+    /** TransportServer::StateFn — runs on the transport thread. */
+    JobState probeJobState(std::uint64_t digest,
+                           std::string &reason_out);
 
     DaemonConfig cfg_;
     std::unique_ptr<JobSpool> spool_;
     std::unique_ptr<JobJournal> journal_;
     std::unique_ptr<RunCache> cache_;
     std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<TransportServer> transport_;
     std::unique_ptr<FaultInjector> injector_;
+
+    /**
+     * Hot admission queue: digests spooled by the socket transport,
+     * claimable without a directory scan.  Guarded by hotMu_; hotCv_
+     * wakes run()'s idle wait the instant a socket submit lands.
+     */
+    std::mutex hotMu_;
+    std::condition_variable hotCv_;
+    std::deque<std::uint64_t> hotPending_;
+    /** Last pending/ directory scan (scheduling thread only). */
+    std::chrono::steady_clock::time_point lastScan_{};
     /** The job planFaults() is rolling for (scheduling thread only). */
     BatchJob *planning_ = nullptr;
     DaemonStats stats_;

@@ -1,44 +1,48 @@
 #include "service/journal.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <filesystem>
 
 #include "sim/logging.hh"
 
 namespace vpc
 {
 
-JobJournal::JobJournal(std::string path) : path_(std::move(path))
+namespace fs = std::filesystem;
+
+namespace
 {
-    f_ = std::fopen(path_.c_str(), "ab");
-    if (!f_)
-        vpc_warn("journal: cannot open {} for append", path_);
+
+/**
+ * @return the segment number of @p name relative to the active
+ *         journal's @p base name ("journal.log.7" -> 7), or 0 when
+ *         @p name is not a sealed segment of @p base
+ */
+std::uint64_t
+segmentSeq(const std::string &base, const std::string &name)
+{
+    if (name.size() < base.size() + 2 ||
+        name.compare(0, base.size(), base) != 0 ||
+        name[base.size()] != '.')
+        return 0;
+    std::uint64_t seq = 0;
+    for (std::size_t i = base.size() + 1; i < name.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(name[i])))
+            return 0;
+        seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    }
+    return seq;
 }
 
-JobJournal::~JobJournal()
-{
-    if (f_)
-        std::fclose(f_);
-}
-
+/** Append every parseable line of @p path to @p out (see replay()). */
 void
-JobJournal::append(std::uint64_t digest, const std::string &event)
+parseInto(const std::string &path, std::vector<JobJournal::Event> &out)
 {
-    if (!f_)
-        return;
-    std::fprintf(f_, "%016llx %s\n",
-                 static_cast<unsigned long long>(digest),
-                 event.c_str());
-    std::fflush(f_);
-}
-
-std::vector<JobJournal::Event>
-JobJournal::replay() const
-{
-    std::vector<Event> out;
-    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        return out;
+        return;
     std::string line;
     int c;
     bool terminated = false;
@@ -60,7 +64,7 @@ JobJournal::replay() const
                 line.clear();
                 return;
             }
-        Event e;
+        JobJournal::Event e;
         e.digest = std::strtoull(line.substr(0, 16).c_str(), nullptr, 16);
         e.name = std::move(word);
         out.push_back(std::move(e));
@@ -76,6 +80,114 @@ JobJournal::replay() const
         }
     }
     std::fclose(f);
+}
+
+} // namespace
+
+JobJournal::JobJournal(std::string path, std::uint64_t rotate_bytes,
+                       unsigned keep_segments)
+    : path_(std::move(path)), rotateBytes_(rotate_bytes),
+      keepSegments_(keep_segments)
+{
+    // Resume segment numbering past whatever a previous life sealed.
+    for (const std::string &seg : segments()) {
+        std::uint64_t seq = segmentSeq(
+            fs::path(path_).filename().string(),
+            fs::path(seg).filename().string());
+        nextSeq_ = std::max(nextSeq_, seq + 1);
+    }
+    f_ = std::fopen(path_.c_str(), "ab");
+    if (!f_) {
+        vpc_warn("journal: cannot open {} for append", path_);
+        return;
+    }
+    long pos = std::ftell(f_);
+    size_ = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+}
+
+JobJournal::~JobJournal()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+void
+JobJournal::append(std::uint64_t digest, const std::string &event)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!f_)
+        return;
+    int n = std::fprintf(f_, "%016llx %s\n",
+                         static_cast<unsigned long long>(digest),
+                         event.c_str());
+    std::fflush(f_);
+    if (n > 0)
+        size_ += static_cast<std::uint64_t>(n);
+    if (rotateBytes_ != 0 && size_ > rotateBytes_)
+        rotate();
+}
+
+void
+JobJournal::rotate()
+{
+    std::fclose(f_);
+    f_ = nullptr;
+    std::string sealed = path_ + "." + std::to_string(nextSeq_);
+    std::error_code ec;
+    fs::rename(path_, sealed, ec);
+    if (ec) {
+        // Keep appending to the oversized active file rather than
+        // lose events; rotation retries after the next append.
+        vpc_warn("journal: cannot seal {} -> {}: {}", path_, sealed,
+                 ec.message());
+    } else {
+        ++nextSeq_;
+        if (keepSegments_ != 0) {
+            std::vector<std::string> segs = segments();
+            while (segs.size() > keepSegments_) {
+                fs::remove(segs.front(), ec);
+                segs.erase(segs.begin());
+            }
+        }
+    }
+    f_ = std::fopen(path_.c_str(), "ab");
+    if (!f_) {
+        vpc_warn("journal: cannot reopen {} after rotation", path_);
+        return;
+    }
+    long pos = std::ftell(f_);
+    size_ = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+}
+
+std::vector<std::string>
+JobJournal::segments() const
+{
+    std::vector<std::pair<std::uint64_t, std::string>> found;
+    fs::path p(path_);
+    std::string base = p.filename().string();
+    std::error_code ec;
+    fs::path dir = p.parent_path().empty() ? "." : p.parent_path();
+    for (const auto &ent : fs::directory_iterator(dir, ec)) {
+        std::uint64_t seq =
+            segmentSeq(base, ent.path().filename().string());
+        if (seq != 0)
+            found.emplace_back(seq, ent.path().string());
+    }
+    std::sort(found.begin(), found.end());
+    std::vector<std::string> out;
+    out.reserve(found.size());
+    for (auto &[seq, path] : found)
+        out.push_back(std::move(path));
+    return out;
+}
+
+std::vector<JobJournal::Event>
+JobJournal::replay() const
+{
+    std::vector<Event> out;
+    for (const std::string &seg : segments())
+        parseInto(seg, out);
+    parseInto(path_, out);
     return out;
 }
 

@@ -18,6 +18,18 @@
  * misreading one.  The journal is advisory history, not the source
  * of truth (the spool is), so a skipped torn line only costs one
  * uncounted attempt.
+ *
+ * Rotation: an always-on daemon serving thousands of jobs would grow
+ * a single log without bound, so the journal optionally rotates.
+ * When the active file exceeds @c rotate_bytes after an append it is
+ * sealed by renaming to `<path>.<N>` (N ascending from 1, resuming
+ * past any segments found on disk) and a fresh active file is opened.
+ * replay() parses every sealed segment in ascending order and then
+ * the active file, so attempt counts survive any number of rotations
+ * and daemon restarts.  With @c keep_segments > 0 only that many
+ * newest sealed segments are retained; pruning forgets the oldest
+ * history, which is sound for an advisory log — at worst a poison
+ * job whose failures were pruned earns a fresh round of attempts.
  */
 
 #ifndef VPC_SERVICE_JOURNAL_HH
@@ -25,6 +37,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,7 +45,7 @@
 namespace vpc
 {
 
-/** Append-only, torn-write-tolerant job event log. */
+/** Append-only, torn-write-tolerant, rotating job event log. */
 class JobJournal
 {
   public:
@@ -43,31 +56,54 @@ class JobJournal
         std::string name;
     };
 
-    /** Open (creating if needed) the journal at @p path for append. */
-    explicit JobJournal(std::string path);
+    /**
+     * Open (creating if needed) the journal at @p path for append.
+     *
+     * @param rotate_bytes seal the active file once it grows past
+     *        this many bytes (0 = never rotate)
+     * @param keep_segments retain at most this many sealed segments,
+     *        pruning the oldest (0 = keep all)
+     */
+    explicit JobJournal(std::string path,
+                        std::uint64_t rotate_bytes = 0,
+                        unsigned keep_segments = 0);
     ~JobJournal();
 
     JobJournal(const JobJournal &) = delete;
     JobJournal &operator=(const JobJournal &) = delete;
 
-    /** Append one event line and flush it to the OS. */
+    /**
+     * Append one event line and flush it to the OS.  Thread-safe:
+     * the daemon's scheduling thread and the socket transport thread
+     * both journal (admission vs. settlement).
+     */
     void append(std::uint64_t digest, const std::string &event);
 
     /**
-     * Parse the whole journal; malformed or torn lines are skipped.
-     * Reads the file fresh (not the append handle), so it sees other
-     * writers' history too.
+     * Parse sealed segments (ascending) then the active journal;
+     * malformed or torn lines are skipped.  Reads the files fresh
+     * (not the append handle), so it sees other writers' history too.
      */
     std::vector<Event> replay() const;
 
     /** @return per-digest count of "start" events (attempts so far). */
     std::unordered_map<std::uint64_t, unsigned> replayAttempts() const;
 
+    /** @return sealed segment paths, oldest first. */
+    std::vector<std::string> segments() const;
+
     const std::string &path() const { return path_; }
 
   private:
+    void rotate(); //!< caller holds mu_
+
+    mutable std::mutex mu_;
     std::string path_;
     std::FILE *f_ = nullptr;
+    std::uint64_t rotateBytes_ = 0;
+    unsigned keepSegments_ = 0;
+    std::uint64_t size_ = 0;   //!< active-file bytes (append handle)
+    std::uint64_t nextSeq_ = 1; //!< next sealed segment number
 };
 
 } // namespace vpc

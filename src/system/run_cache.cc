@@ -1,6 +1,7 @@
 #include "system/run_cache.hh"
 
 #include <bit>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -188,8 +189,18 @@ RunCache::gcStaleTemps(const std::string &dir,
     if (ec)
         return 0;
     const auto now = fs::file_time_type::clock::now();
+    auto is_shard_dir = [](const std::string &n) {
+        return n.size() == 2 &&
+               std::isxdigit(static_cast<unsigned char>(n[0])) &&
+               std::isxdigit(static_cast<unsigned char>(n[1]));
+    };
     for (const fs::directory_entry &e : it) {
         const std::string name = e.path().filename().string();
+        // Descend into the 256-way shard fanout (one level only).
+        if (e.is_directory(ec) && is_shard_dir(name)) {
+            removed += gcStaleTemps(e.path().string(), max_age);
+            continue;
+        }
         // Temp names are "<record>.tmp.<pid>.<seq>"; anything else in
         // the store (records, foreign files) is not ours to clean.
         std::size_t tag = name.find(".tmp.");
@@ -225,6 +236,19 @@ RunCache::recordPath(std::uint64_t key) const
 {
     if (dir_.empty())
         return "";
+    // 256-way fanout by the first digest byte: "ab/ab12...ef.json".
+    char name[40];
+    std::snprintf(name, sizeof(name), "%02llx/%016llx.json",
+                  static_cast<unsigned long long>(key >> 56),
+                  static_cast<unsigned long long>(key));
+    return dir_ + "/" + name;
+}
+
+std::string
+RunCache::legacyRecordPath(std::uint64_t key) const
+{
+    if (dir_.empty())
+        return "";
     char name[32];
     std::snprintf(name, sizeof(name), "%016llx.json",
                   static_cast<unsigned long long>(key));
@@ -238,6 +262,11 @@ RunCache::loadFromDisk(std::uint64_t key, RunRecord &out) const
     if (path.empty())
         return false;
     std::ifstream in(path);
+    if (!in) {
+        // Pre-shard stores published records flat in the store root;
+        // keep serving them.
+        in.open(legacyRecordPath(key));
+    }
     if (!in)
         return false;
     std::stringstream ss;
@@ -320,6 +349,14 @@ RunCache::storeToDisk(std::uint64_t key, const RunRecord &r) const
                              seq.fetch_add(1,
                                            std::memory_order_relaxed));
     std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        // First write into this shard: create the fanout directory
+        // lazily and retry once.
+        std::error_code dir_ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(path).parent_path(), dir_ec);
+        f = std::fopen(tmp.c_str(), "w");
+    }
     if (!f) {
         vpc_warn("run-cache: cannot write '{}'", tmp);
         storeErrors_.fetch_add(1, std::memory_order_relaxed);

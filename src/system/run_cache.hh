@@ -34,6 +34,14 @@
  * storeErrors() so silent degradation (full disk, bad permissions)
  * is visible in bench output instead of vanishing into a warn line.
  *
+ * Layout: records are sharded 256 ways by the first digest byte —
+ * `<dir>/<2-hex>/<16-hex>.json` — so directory operations (record
+ * opens, janitor scans) stay O(1)-ish under tens of thousands of
+ * cached runs instead of degrading with one giant flat directory.
+ * The read path also accepts the pre-shard flat layout
+ * (`<dir>/<16-hex>.json`), so an old store keeps serving hits; new
+ * records are always published sharded.
+ *
  * Anything that can alter either the model statistics or the kernel
  * counters is part of the digest (config, shares, verify layer,
  * kernel mode, run lengths, workload identity).  The only excluded
@@ -150,15 +158,20 @@ class RunCache
      */
     std::uint64_t storeErrors() const;
 
-    /** @return the record path for @p key ("" without a disk store). */
+    /** @return the sharded record path for @p key ("" without a disk
+     *          store).  This is where new records are published. */
     std::string recordPath(std::uint64_t key) const;
 
+    /** @return the pre-shard flat path for @p key (read fallback). */
+    std::string legacyRecordPath(std::uint64_t key) const;
+
     /**
-     * Janitor: remove `*.tmp.*` files in @p dir left behind by crashed
-     * writers.  A temp is stale when its embedded writer pid is no
-     * longer alive, or — when the pid cannot be determined — when the
-     * file is older than @p max_age.  Fresh temps of live writers are
-     * never touched.  Runs automatically on store open.
+     * Janitor: remove `*.tmp.*` files in @p dir — and its 2-hex-named
+     * shard subdirectories — left behind by crashed writers.  A temp
+     * is stale when its embedded writer pid is no longer alive, or —
+     * when the pid cannot be determined — when the file is older than
+     * @p max_age.  Fresh temps of live writers are never touched.
+     * Runs automatically on store open.
      *
      * @return the number of temps removed
      */

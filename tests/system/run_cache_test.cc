@@ -193,6 +193,52 @@ TEST(RunCacheTest, DiskRoundTripIsExact)
     std::filesystem::remove_all(dir);
 }
 
+TEST(RunCacheTest, RecordsArePublishedIntoShardedFanout)
+{
+    std::string dir = testDir("sharded");
+    RunJob job = smallJob();
+    std::uint64_t key = runDigest(job);
+
+    RunCache writer(dir);
+    runAndMeasureCached(job, &writer);
+
+    // The record lands under <dir>/<first digest byte as 2 hex>/.
+    std::string path = writer.recordPath(key);
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    std::string shard =
+        std::filesystem::path(path).parent_path().filename().string();
+    char want[8];
+    std::snprintf(want, sizeof(want), "%02llx",
+                  static_cast<unsigned long long>(key >> 56));
+    EXPECT_EQ(shard, want);
+    // And nothing was published flat in the store root.
+    EXPECT_FALSE(
+        std::filesystem::exists(writer.legacyRecordPath(key)));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RunCacheTest, LegacyFlatLayoutRecordsStillServeHits)
+{
+    std::string dir = testDir("legacy_flat");
+    RunJob job = smallJob();
+    std::uint64_t key = runDigest(job);
+
+    // Publish sharded, then relocate the record to where a pre-shard
+    // store would have put it.
+    RunCache writer(dir);
+    RunResult computed = runAndMeasureCached(job, &writer);
+    ASSERT_FALSE(computed.cacheHit);
+    std::filesystem::rename(writer.recordPath(key),
+                            writer.legacyRecordPath(key));
+
+    RunCache reader(dir);
+    RunRecord replayed;
+    ASSERT_TRUE(reader.probe(key, replayed));
+    EXPECT_EQ(reader.diskHits(), 1u);
+    expectSameRecord(computed.record, replayed);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(RunCacheTest, CorruptRecordDegradesToMiss)
 {
     std::string dir = testDir("corrupt");
@@ -285,6 +331,25 @@ TEST(RunCacheJanitor, ReclaimsPidlessTempsByAgeOnly)
               1u);
     EXPECT_FALSE(fs::exists(old_tmp));
     EXPECT_TRUE(fs::exists(new_tmp));
+}
+
+TEST(RunCacheJanitor, DescendsIntoShardSubdirectories)
+{
+    namespace fs = std::filesystem;
+    std::string dir = testDir("janitor_shards");
+    fs::create_directories(dir + "/ab");
+    fs::create_directories(dir + "/not-a-shard");
+
+    std::string dead = dir + "/ab/cc.json.tmp.4194304999.0";
+    std::string foreign = dir + "/not-a-shard/dd.json.tmp.4194304999.0";
+    std::ofstream(dead) << "x";
+    std::ofstream(foreign) << "x";
+
+    EXPECT_EQ(RunCache::gcStaleTemps(dir), 1u);
+    EXPECT_FALSE(fs::exists(dead));
+    // Only 2-hex shard dirs are ours to clean.
+    EXPECT_TRUE(fs::exists(foreign));
+    fs::remove_all(dir);
 }
 
 TEST(RunCacheJanitor, RunsOnStoreOpen)

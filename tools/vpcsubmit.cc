@@ -32,6 +32,7 @@ main(int argc, char **argv)
 
     std::string spool_dir, cache_dir;
     bool wait_for_result = true;
+    bool use_socket = true;
     std::uint64_t timeout_ms = 0;
     std::vector<std::string> sim_args;
 
@@ -46,13 +47,18 @@ main(int argc, char **argv)
             spool_dir = val;
         } else if (key == "--no-wait") {
             wait_for_result = false;
+        } else if (key == "--no-socket") {
+            use_socket = false;
         } else if (key == "--timeout-ms") {
             timeout_ms = std::strtoull(val.c_str(), nullptr, 10);
         } else if (key == "--help" || key == "-h") {
             std::printf("usage: vpcsubmit --spool=DIR [--no-wait] "
-                        "[--timeout-ms=MS] <vpcsim options>\n"
+                        "[--no-socket] [--timeout-ms=MS] "
+                        "<vpcsim options>\n"
                         "  --run-cache defaults to <spool>/cache and "
-                        "must match the daemon's.\n\n%s",
+                        "must match the daemon's.\n"
+                        "  --no-socket skips the daemon's socket "
+                        "transport (spool polling).\n\n%s",
                         simUsage().c_str());
             return 0;
         } else {
@@ -78,7 +84,7 @@ main(int argc, char **argv)
         return 1;
     }
 
-    ServiceClient client(spool_dir, cache_dir);
+    ServiceClient client(spool_dir, cache_dir, 50, use_socket);
     RunJob job = opts->buildRunJob();
 
     if (!wait_for_result) {
@@ -104,9 +110,12 @@ main(int argc, char **argv)
         }
         RunResult r = client.runJob(job, &served);
         printRunReport(*opts, r.record.stats, r.record.kernel);
-        std::fprintf(stderr, "vpcsubmit: served %s\n",
-                     served == ServedBy::Daemon ? "by the daemon"
-                                                : "locally");
+        const char *how = "locally";
+        if (served == ServedBy::Socket)
+            how = "over the socket";
+        else if (served == ServedBy::Daemon)
+            how = "by the daemon";
+        std::fprintf(stderr, "vpcsubmit: served %s\n", how);
         printRunCacheLine(client.cache());
     } catch (const std::exception &e) {
         std::fprintf(stderr, "vpcsubmit: fatal: %s\n", e.what());

@@ -65,6 +65,21 @@ usage()
         "  --backoff-ms=MS         retry backoff base (default 100)\n"
         "  --poll-ms=MS            idle spool poll interval "
         "(default 200)\n"
+        "  --socket=PATH           socket transport endpoint "
+        "(default:\n"
+        "                          <spool>/daemon.sock)\n"
+        "  --no-socket             disable the socket transport "
+        "(spool-only)\n"
+        "  --heartbeat-ms=MS       socket liveness ping interval "
+        "(default\n"
+        "                          2000; 3 silent intervals = dead "
+        "peer)\n"
+        "  --journal-rotate-bytes=N  seal the attempt journal past N "
+        "bytes\n"
+        "                          (default 1 MiB; 0 = never rotate)\n"
+        "  --journal-keep=N        sealed segments retained "
+        "(default 8;\n"
+        "                          0 = keep all)\n"
         "  --once                  drain the pending backlog, then "
         "exit\n"
         "  --inject-service-faults deterministic fault drill "
@@ -122,6 +137,18 @@ main(int argc, char **argv)
             cfg.backoffMs = n;
         } else if (key == "--poll-ms" && parseU64(val, n) && n > 0) {
             cfg.pollMs = n;
+        } else if (key == "--socket") {
+            cfg.socketPath = val;
+        } else if (key == "--no-socket") {
+            cfg.socket = false;
+        } else if (key == "--heartbeat-ms" && parseU64(val, n) &&
+                   n > 0) {
+            cfg.heartbeatMs = n;
+        } else if (key == "--journal-rotate-bytes" &&
+                   parseU64(val, n)) {
+            cfg.journalRotateBytes = n;
+        } else if (key == "--journal-keep" && parseU64(val, n)) {
+            cfg.journalKeepSegments = static_cast<unsigned>(n);
         } else if (key == "--once") {
             once = true;
         } else if (key == "--inject-service-faults") {
@@ -192,5 +219,21 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(s.republished),
                  static_cast<unsigned long long>(s.orphansRecovered),
                  static_cast<unsigned long long>(s.faultsInjected));
+    if (const TransportServer *t = daemon.transport()) {
+        const TransportStats &ts = t->stats();
+        std::fprintf(
+            stderr,
+            "vpcsvc: socket: %llu conns, %llu submits (%llu "
+            "rejected), %llu completions pushed, %llu backpressured, "
+            "%llu dropped, %llu dead peers\n",
+            static_cast<unsigned long long>(ts.accepted.load()),
+            static_cast<unsigned long long>(ts.submits.load()),
+            static_cast<unsigned long long>(ts.submitRejects.load()),
+            static_cast<unsigned long long>(
+                ts.completionsPushed.load()),
+            static_cast<unsigned long long>(ts.backpressured.load()),
+            static_cast<unsigned long long>(ts.dropped.load()),
+            static_cast<unsigned long long>(ts.deadPeers.load()));
+    }
     return 0;
 }
