@@ -300,7 +300,9 @@ SweepDaemon::runOnce()
     const unsigned lanes = pool_->workers() + 1;
     // Under saturation the jobs are tiny: claim several lanes' worth
     // per pass so per-batch dispatch overhead amortizes.
-    const std::size_t cap = static_cast<std::size_t>(lanes) * 4;
+    const std::size_t cap = cfg_.claimCap != 0
+                                ? cfg_.claimCap
+                                : static_cast<std::size_t>(lanes) * 4;
     const std::atomic<bool> *stop = stop_.load();
     std::vector<std::unique_ptr<BatchJob>> batch;
     Clock::time_point now = Clock::now();

@@ -76,6 +76,15 @@ struct DaemonConfig
     std::uint64_t backoffMs = 100;   //!< retry backoff base
     std::uint64_t backoffCapMs = 10000;
     std::uint64_t pollMs = 200;  //!< idle sleep between spool scans
+    /**
+     * Most jobs claimed per scheduling pass.  0 = auto: four lanes'
+     * worth, so per-batch dispatch overhead amortizes under
+     * saturation.  Small explicit values trade throughput for a
+     * finer-grained spool state (jobs settle as they finish instead
+     * of a batch at a time) — used by recovery drills that need jobs
+     * spread across lifecycle states mid-drain.
+     */
+    std::size_t claimCap = 0;
     bool injectFaults = false;   //!< deterministic service-fault mode
     double faultRate = 0.0;      //!< per-job fault probability
     std::uint64_t faultSeed = 1;

@@ -82,6 +82,20 @@ parseInto(const std::string &path, std::vector<JobJournal::Event> &out)
     std::fclose(f);
 }
 
+/**
+ * @return the current size of append-mode stream @p f.  ftell() right
+ *         after fopen("ab") is implementation-defined until the first
+ *         write (glibc reports 0), so seek to the end explicitly.
+ */
+std::uint64_t
+appendSize(std::FILE *f)
+{
+    if (std::fseek(f, 0, SEEK_END) != 0)
+        return 0;
+    long pos = std::ftell(f);
+    return pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+}
+
 } // namespace
 
 JobJournal::JobJournal(std::string path, std::uint64_t rotate_bytes,
@@ -101,8 +115,7 @@ JobJournal::JobJournal(std::string path, std::uint64_t rotate_bytes,
         vpc_warn("journal: cannot open {} for append", path_);
         return;
     }
-    long pos = std::ftell(f_);
-    size_ = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+    size_ = appendSize(f_);
 }
 
 JobJournal::~JobJournal()
@@ -155,8 +168,7 @@ JobJournal::rotate()
         vpc_warn("journal: cannot reopen {} after rotation", path_);
         return;
     }
-    long pos = std::ftell(f_);
-    size_ = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+    size_ = appendSize(f_);
 }
 
 std::vector<std::string>

@@ -333,6 +333,14 @@ struct TransportServer::Conn
     Clock::time_point lastSend;
     bool readPaused = false;
     bool pingOutstanding = false;
+    /**
+     * Condemned but not yet destroyed: set by doomConn() wherever a
+     * fatal condition is found while a caller still holds this Conn
+     * (send error inside enqueueFrame, hard-cap overflow, protocol
+     * error mid-parse).  The fd is closed and the Conn freed only by
+     * sweepDoomed(), from the event loop's top level.
+     */
+    bool doomed = false;
 };
 
 TransportServer::TransportServer(TransportConfig cfg, SubmitFn on_submit,
@@ -479,17 +487,20 @@ TransportServer::loop()
             if (it == conns_.end())
                 continue;
             Conn &c = *it->second;
+            if (c.doomed)
+                continue;
             if (ev.error) {
-                closeConn(ev.fd);
+                doomConn(c);
                 continue;
             }
             if (ev.writable)
                 flushConn(c);
-            if (conns_.count(ev.fd) && ev.readable)
+            if (ev.readable)
                 readConn(c);
         }
         drainCompletions();
         heartbeat();
+        sweepDoomed();
     }
 }
 
@@ -511,6 +522,30 @@ TransportServer::acceptAll()
         poller_->add(fd, true, false);
         stats_.accepted.fetch_add(1, std::memory_order_relaxed);
     }
+}
+
+void
+TransportServer::doomConn(Conn &c)
+{
+    if (c.doomed)
+        return;
+    c.doomed = true;
+    doomedFds_.push_back(c.fd);
+    // Stop all polling on a doomed fd so it cannot generate further
+    // events (or be flushed/read) before the sweep destroys it.
+    poller_->mod(c.fd, false, false);
+}
+
+void
+TransportServer::sweepDoomed()
+{
+    if (doomedFds_.empty())
+        return;
+    // closeConn() may only run here: no caller holds a Conn reference
+    // and no conns_ iteration is in progress.
+    for (int fd : doomedFds_)
+        closeConn(fd);
+    doomedFds_.clear();
 }
 
 void
@@ -542,6 +577,8 @@ TransportServer::updateInterest(Conn &c)
 void
 TransportServer::enqueueFrame(Conn &c, std::string frame)
 {
+    if (c.doomed)
+        return; // the sweep will drop the queue with the Conn
     c.outBytes += frame.size();
     c.out.push_back(std::move(frame));
     stats_.framesOut.fetch_add(1, std::memory_order_relaxed);
@@ -551,6 +588,8 @@ TransportServer::enqueueFrame(Conn &c, std::string frame)
 void
 TransportServer::flushConn(Conn &c)
 {
+    if (c.doomed)
+        return;
     while (!c.out.empty()) {
         const std::string &f = c.out.front();
         ssize_t n = ::send(c.fd, f.data() + c.outOffset,
@@ -558,7 +597,7 @@ TransportServer::flushConn(Conn &c)
         if (n < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 break;
-            closeConn(c.fd);
+            doomConn(c);
             return;
         }
         c.lastSend = Clock::now();
@@ -575,7 +614,7 @@ TransportServer::flushConn(Conn &c)
         stats_.dropped.fetch_add(1, std::memory_order_relaxed);
         vpc_warn("transport: dropping connection {} ({} bytes "
                  "undrained)", c.fd, c.outBytes);
-        closeConn(c.fd);
+        doomConn(c);
         return;
     }
     // Hysteresis: pause reads above the high-water mark, resume only
@@ -598,13 +637,13 @@ TransportServer::readConn(Conn &c)
     for (;;) {
         ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
         if (n == 0) {
-            closeConn(c.fd);
+            doomConn(c);
             return;
         }
         if (n < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 break;
-            closeConn(c.fd);
+            doomConn(c);
             return;
         }
         c.in.append(buf, static_cast<std::size_t>(n));
@@ -613,14 +652,16 @@ TransportServer::readConn(Conn &c)
         if (c.readPaused)
             break; // honor backpressure promptly
     }
-    // Parse every complete frame accumulated so far.
-    while (c.in.size() - c.parsed >= 4) {
+    // Parse every complete frame accumulated so far.  Stop as soon as
+    // the Conn is doomed — a handler's reply may have hit a send
+    // error or the hard cap.
+    while (!c.doomed && c.in.size() - c.parsed >= 4) {
         std::uint32_t len;
         std::memcpy(&len, c.in.data() + c.parsed, 4);
         if (len == 0 || len > kMaxFrameBytes) {
             vpc_warn("transport: protocol error from fd {} (frame "
                      "length {})", c.fd, len);
-            closeConn(c.fd);
+            doomConn(c);
             return;
         }
         if (c.in.size() - c.parsed < 4u + len)
@@ -631,7 +672,7 @@ TransportServer::readConn(Conn &c)
         c.parsed += 4u + len;
         stats_.framesIn.fetch_add(1, std::memory_order_relaxed);
         if (!handleFrame(c, type, body, len - 1)) {
-            closeConn(c.fd);
+            doomConn(c);
             return;
         }
     }
@@ -662,7 +703,7 @@ TransportServer::handleFrame(Conn &c, std::uint8_t type,
     }
     case FrameType::SubmitBatch: {
         std::uint32_t n = cur.u32();
-        if (!cur.ok || n > 65536)
+        if (!cur.ok || n > kMaxBatchJobs)
             return false;
         std::string ack;
         putU32(ack, n);
@@ -787,6 +828,8 @@ TransportServer::heartbeat()
     std::vector<int> dead;
     for (auto &[fd, cp] : conns_) {
         Conn &c = *cp;
+        if (c.doomed)
+            continue; // already condemned; the sweep handles it
         if (now - c.lastRecv > 3 * idle) {
             dead.push_back(fd);
             continue;
@@ -947,7 +990,7 @@ TransportClient::handleFrame(std::uint8_t type, const char *body,
     }
     case FrameType::SubmitAck: {
         std::uint32_t n = cur.u32();
-        if (!cur.ok || n > 65536)
+        if (!cur.ok || n > kMaxBatchJobs)
             return false;
         acks_.clear();
         acks_.reserve(n);
@@ -1068,24 +1111,54 @@ TransportClient::submitBatch(const std::vector<std::string> &encoded,
 {
     if (!connected())
         return false;
-    std::string body;
-    putU32(body, static_cast<std::uint32_t>(encoded.size()));
-    for (const std::string &text : encoded)
-        putBytes(body, text);
-    haveAcks_ = false;
-    if (!sendAll(makeFrame(FrameType::SubmitBatch, body), timeout_ms))
-        return false;
+    acks_out.clear();
     Clock::time_point deadline =
         Clock::now() + std::chrono::milliseconds(timeout_ms);
-    while (!haveAcks_) {
+    // Split into as many SubmitBatch frames as the server-side limits
+    // (kMaxBatchJobs jobs, kMaxFrameBytes payload) require: an
+    // oversized frame would be a protocol error that silently drops
+    // the connection and degrades everything to the spool tier.
+    std::size_t i = 0;
+    while (i < encoded.size()) {
+        std::string body;
+        putU32(body, 0); // job count, patched once the chunk is cut
+        std::uint32_t n = 0;
+        while (i < encoded.size() && n < kMaxBatchJobs) {
+            const std::string &text = encoded[i];
+            // Frame payload = type byte + body so far + this record.
+            if (1 + body.size() + 4 + text.size() > kMaxFrameBytes) {
+                if (n == 0) {
+                    vpc_warn("transport: job record of {} bytes "
+                             "cannot fit one frame ({} byte limit); "
+                             "falling back to spool submit",
+                             text.size(), kMaxFrameBytes);
+                    return false;
+                }
+                break;
+            }
+            putBytes(body, text);
+            ++n;
+            ++i;
+        }
+        std::memcpy(body.data(), &n, sizeof(n));
         auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
             deadline - Clock::now()).count();
         if (left <= 0)
             return false;
-        if (!pump(static_cast<std::uint64_t>(left)) && dead_)
+        haveAcks_ = false;
+        if (!sendAll(makeFrame(FrameType::SubmitBatch, body),
+                     static_cast<std::uint64_t>(left)))
             return false;
+        while (!haveAcks_) {
+            left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now()).count();
+            if (left <= 0)
+                return false;
+            if (!pump(static_cast<std::uint64_t>(left)) && dead_)
+                return false;
+        }
+        acks_out.insert(acks_out.end(), acks_.begin(), acks_.end());
     }
-    acks_out = acks_;
     return true;
 }
 
@@ -1094,11 +1167,21 @@ TransportClient::watch(const std::vector<std::uint64_t> &digests)
 {
     if (!connected())
         return false;
-    std::string body;
-    putU32(body, static_cast<std::uint32_t>(digests.size()));
-    for (std::uint64_t d : digests)
-        putU64(body, d);
-    return sendAll(makeFrame(FrameType::Watch, body), 5000);
+    // Chunk like submitBatch: stay well under the server's per-frame
+    // Watch count (1M) and byte limits whatever the list size.
+    std::size_t i = 0;
+    do {
+        std::size_t n = std::min<std::size_t>(digests.size() - i,
+                                              kMaxBatchJobs);
+        std::string body;
+        putU32(body, static_cast<std::uint32_t>(n));
+        for (std::size_t k = 0; k < n; ++k)
+            putU64(body, digests[i + k]);
+        i += n;
+        if (!sendAll(makeFrame(FrameType::Watch, body), 5000))
+            return false;
+    } while (i < digests.size());
+    return true;
 }
 
 bool

@@ -82,6 +82,9 @@ constexpr std::uint32_t kTransportProtoVersion = 1;
 /** Largest accepted frame payload (a batch of ~4k typical jobs). */
 constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 
+/** Most jobs in one SubmitBatch frame (clients split larger ones). */
+constexpr std::uint32_t kMaxBatchJobs = 65536;
+
 /** @return the default socket path for @p spool_dir. */
 std::string defaultSocketPath(const std::string &spool_dir);
 
@@ -192,6 +195,8 @@ class TransportServer
                      const char *body, std::size_t len);
     void enqueueFrame(Conn &c, std::string frame);
     void updateInterest(Conn &c);
+    void doomConn(Conn &c);
+    void sweepDoomed();
     void closeConn(int fd);
     void drainCompletions();
     void heartbeat();
@@ -208,6 +213,15 @@ class TransportServer
     std::unordered_map<int, std::unique_ptr<Conn>> conns_;
     /** digest -> fds to notify on completion (loop thread only). */
     std::unordered_map<std::uint64_t, std::vector<int>> watchers_;
+    /**
+     * Connections condemned mid-callback (send error, hard cap,
+     * protocol error).  flushConn()/enqueueFrame() run while callers
+     * hold a Conn reference or iterate conns_, so they must never
+     * destroy the Conn themselves: they doomConn() it and the event
+     * loop sweeps this list once per iteration, when no frame is in
+     * flight (loop thread only).
+     */
+    std::vector<int> doomedFds_;
 
     /** Cross-thread inbox: completions + control flags. */
     struct PendingCompletion
@@ -274,12 +288,17 @@ class TransportClient
     std::uint64_t daemonPid() const { return daemonPid_; }
 
     /**
-     * Submit a batch of encoded job records (job_codec text) in one
-     * frame and wait for the index-aligned acks.  Submitted digests
+     * Submit a batch of encoded job records (job_codec text) and wait
+     * for the index-aligned acks.  Batches larger than the server's
+     * per-frame limits (kMaxBatchJobs jobs, kMaxFrameBytes payload)
+     * are transparently split into multiple SubmitBatch frames; a
+     * single record too big for one frame fails the call client-side
+     * instead of tripping a server protocol error.  Submitted digests
      * are implicitly watched: a Complete frame will follow for every
      * ack that was not already terminal.
      *
-     * @return false on timeout or dead peer (@p acks_out untouched)
+     * @return false on timeout, dead peer, or an oversized record
+     *         (@p acks_out then holds only the chunks acked so far)
      */
     bool submitBatch(const std::vector<std::string> &encoded_jobs,
                      std::vector<Ack> &acks_out,

@@ -179,6 +179,27 @@ TEST(JobJournal, RotationResumesNumberingAcrossReopen)
     EXPECT_EQ(j.replayAttempts()[0x1], 20u);
 }
 
+TEST(JobJournal, ReopenedJournalCountsExistingBytesTowardRotation)
+{
+    std::string path = testPath("rotate_size_resume");
+    // Four "start" lines = 4 x 23 = 92 bytes: just under a 100-byte
+    // threshold, so the first life seals nothing.
+    {
+        JobJournal j(path, 100);
+        for (std::uint64_t i = 0; i < 4; ++i)
+            j.append(0x9, "start");
+        ASSERT_TRUE(j.segments().empty());
+    }
+    // A restarted daemon must resume the size accounting from the
+    // bytes already on disk (ftell right after fopen "ab" reports 0
+    // until the first write): the very next append crosses the
+    // threshold and rotates — not 100 bytes later.
+    JobJournal j(path, 100);
+    j.append(0x9, "start");
+    EXPECT_EQ(j.segments().size(), 1u);
+    EXPECT_EQ(j.replayAttempts()[0x9], 5u);
+}
+
 TEST(JobJournal, SegmentPruningKeepsOnlyTheNewest)
 {
     std::string path = testPath("prune");

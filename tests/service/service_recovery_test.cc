@@ -124,6 +124,14 @@ TEST(ServiceRecovery, SigkilledDaemonIsRecoveredBySuccessor)
         cfg.spoolDir = dir;
         cfg.workers = 1;
         cfg.pollMs = 1;
+        // Claim one job per pass: the default batched claim can move
+        // every pending job into running/ and settle the whole batch
+        // at once, leaving only a sub-millisecond window in which
+        // done/, running/ and pending/ are simultaneously non-empty.
+        // One-at-a-time claims keep that tri-state window open for
+        // nearly the whole drain, so the snapshot poll below is
+        // deterministic in practice.
+        cfg.claimCap = 1;
         SweepDaemon daemon(cfg);
         if (!daemon.start())
             ::_exit(2);

@@ -361,6 +361,92 @@ TEST(Transport, SilentPeerIsClosedByServerHeartbeat)
     EXPECT_GE(live.daemon->transport()->stats().deadPeers.load(), 1u);
 }
 
+TEST(Transport, HardCapOverflowMidFrameIsDroppedSafely)
+{
+    // Regression drill for the connection-lifetime contract: a Watch
+    // flood for settled digests makes the server queue reply frames
+    // far faster than the (never reading) peer drains them, so the
+    // write queue crosses the hard cap *inside* the Watch handler's
+    // enqueue loop.  The server must condemn the connection without
+    // destroying it under the handler's feet (historically a
+    // use-after-free) and keep serving other peers.
+    std::string dir = testDir("hardcap");
+    fs::create_directories(dir);
+    TransportConfig tc;
+    tc.socketPath = dir + "/t.sock";
+    tc.heartbeatMs = 0;
+    tc.writeHighWater = 16u << 10;
+    tc.writeHardCap = 64u << 10;
+    std::string fat_reason(8 << 10, 'r');
+    TransportServer server(
+        tc,
+        [](const std::string &, std::uint64_t &digest) {
+            digest = 0;
+            return JobState::Absent;
+        },
+        [&](std::uint64_t, std::string &reason_out) {
+            reason_out = fat_reason;
+            return JobState::Failed; // settled: replied immediately
+        });
+    ASSERT_TRUE(server.start());
+
+    auto rawConnect = [&]() {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, tc.socketPath.c_str(),
+                    tc.socketPath.size() + 1);
+        EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)), 0);
+        return fd;
+    };
+    auto put32 = [](std::string &s, std::uint32_t v) {
+        s.append(reinterpret_cast<const char *>(&v), sizeof(v));
+    };
+
+    // One Watch frame, 2048 digests: ~16 MiB of queued replies
+    // against a 64 KiB cap.
+    int fd = rawConnect();
+    constexpr std::uint32_t kDigests = 2048;
+    std::string frame;
+    put32(frame, 1 + 4 + kDigests * 8);
+    frame.push_back(5); // FrameType::Watch
+    put32(frame, kDigests);
+    for (std::uint64_t d = 1; d <= kDigests; ++d)
+        frame.append(reinterpret_cast<const char *>(&d), sizeof(d));
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+
+    // Drain whatever the server managed to push: it must end in EOF
+    // (dropped connection), never a wedged or crashed server.
+    char buf[64 * 1024];
+    ssize_t n;
+    do {
+        n = ::recv(fd, buf, sizeof(buf), 0);
+    } while (n > 0);
+    EXPECT_EQ(n, 0) << "server should drop the overflowed connection";
+    ::close(fd);
+    EXPECT_GE(server.stats().dropped.load(), 1u);
+
+    // The event loop survived: a fresh peer completes the handshake.
+    int fd2 = rawConnect();
+    std::string hello;
+    put32(hello, 1 + 4);
+    hello.push_back(1); // FrameType::Hello
+    put32(hello, kTransportProtoVersion);
+    ASSERT_EQ(::send(fd2, hello.data(), hello.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(hello.size()));
+    std::string ack;
+    while (ack.size() < 17) { // u32 len + type + u32 ver + u64 pid
+        n = ::recv(fd2, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0) << "server must still answer Hello";
+        ack.append(buf, static_cast<std::size_t>(n));
+    }
+    EXPECT_EQ(static_cast<std::uint8_t>(ack[4]), 2u); // HelloAck
+    ::close(fd2);
+}
+
 TEST(TransportReconnect, SigkilledDaemonMidStreamDegradesThenDrains)
 {
 #if VPC_TSAN
